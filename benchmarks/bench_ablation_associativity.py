@@ -1,0 +1,84 @@
+"""A-3 — associativity sweep (extends Fig. 5's three geometries).
+
+Fig. 5 compares three points on the associativity axis (1-way, 8-way,
+fully associative).  This ablation fills in the curve — eviction
+fraction vs ways at the paper's 32-Mbit capacity — quantifying the
+paper's observation that 8 ways already sit "within 2% of the optimum":
+the marginal benefit of each doubling shrinks rapidly, which is exactly
+why processor-style low-way set associativity is the right hardware
+design point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_percent, format_table
+from repro.switch.kvstore.cache import CacheGeometry, simulate_eviction_count
+from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+
+SCALE = 1.0 / 512.0
+PAPER_PAIRS = 1 << 18          # the 32-Mbit operating point
+WAYS = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_key_stream(CaidaTraceConfig(scale=SCALE)).tolist()
+
+
+@pytest.fixture(scope="module")
+def sweep(report, keys):
+    capacity = max(64, int(PAPER_PAIRS * SCALE) // 64 * 64)
+    results: dict[int | str, float] = {}
+    for ways in WAYS:
+        geometry = CacheGeometry.set_associative(capacity, ways=ways)
+        results[ways] = simulate_eviction_count(keys, geometry).eviction_fraction
+    full = simulate_eviction_count(
+        keys, CacheGeometry.fully_associative(capacity)).eviction_fraction
+    results["full"] = full
+
+    rows = []
+    for ways in WAYS:
+        excess = results[ways] - full
+        rows.append([str(ways), format_percent(results[ways]),
+                     f"+{100 * excess:.2f}pp"])
+    rows.append(["full LRU", format_percent(full), "optimum"])
+    text = format_table(
+        ["ways", "eviction fraction", "vs optimum"],
+        rows,
+        title=f"A-3 — associativity sweep at the 32-Mbit point "
+              f"(capacity {capacity} pairs, trace scale {SCALE:.4g})",
+    )
+    report("A-3: associativity sweep", text)
+    return results
+
+
+def test_more_ways_never_hurt_much(sweep):
+    ordered = [sweep[w] for w in WAYS]
+    for narrower, wider in zip(ordered, ordered[1:]):
+        assert wider <= narrower + 0.002
+
+
+def test_8way_within_a_few_points_of_optimum(sweep):
+    """The paper's claim at its operating point."""
+    assert sweep[8] - sweep["full"] <= 0.02
+
+
+def test_diminishing_returns(sweep):
+    """Doubling 1→8 ways buys far more than 8→32."""
+    gain_low = sweep[1] - sweep[8]
+    gain_high = sweep[8] - sweep[32]
+    assert gain_low > 3 * max(gain_high, 1e-9)
+
+
+def test_sweep_throughput(benchmark, keys, sweep):
+    capacity = max(64, int(PAPER_PAIRS * SCALE) // 64 * 64)
+    subset = keys[:200_000]
+
+    def run():
+        return simulate_eviction_count(
+            subset, CacheGeometry.set_associative(capacity, ways=16))
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.accesses == len(subset)

@@ -1,0 +1,87 @@
+"""A-1 — eviction-policy ablation (the paper chooses LRU, §3.2).
+
+The paper states "Currently, we use the least recently used (LRU)
+cache-eviction policy" without evaluating alternatives.  This ablation
+fills that gap: eviction fractions for LRU vs FIFO vs random at the
+target geometry, over the same CAIDA-like key stream.
+
+Expected outcome: LRU ≤ FIFO ≈ random — flow locality is what LRU
+exploits, justifying the paper's choice; the gap narrows as the cache
+grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_percent, format_table
+from repro.switch.kvstore.cache import CacheGeometry, simulate_eviction_count
+from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+
+SCALE = 1.0 / 512.0
+POLICIES = ("lru", "fifo", "random")
+CAPACITIES = tuple(1 << e for e in range(16, 21))  # paper scale
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_key_stream(CaidaTraceConfig(scale=SCALE)).tolist()
+
+
+@pytest.fixture(scope="module")
+def ablation(report, keys):
+    results: dict[tuple[str, int], float] = {}
+    rows = []
+    for paper_pairs in CAPACITIES:
+        scaled = max(8, int(paper_pairs * SCALE) // 8 * 8)
+        geometry = CacheGeometry.set_associative(scaled, ways=8)
+        row = [f"2^{paper_pairs.bit_length() - 1}"]
+        for policy in POLICIES:
+            stats = simulate_eviction_count(keys, geometry, policy=policy)
+            results[(policy, paper_pairs)] = stats.eviction_fraction
+            row.append(format_percent(stats.eviction_fraction))
+        rows.append(row)
+    text = format_table(
+        ["pairs"] + list(POLICIES), rows,
+        title=f"A-1 — eviction policy ablation, 8-way cache "
+              f"(trace scale {SCALE:.4g})",
+    )
+    report("A-1: eviction-policy ablation", text)
+    return results
+
+
+def test_lru_never_loses_to_alternatives(ablation):
+    for paper_pairs in CAPACITIES:
+        lru = ablation[("lru", paper_pairs)]
+        for policy in ("fifo", "random"):
+            assert lru <= ablation[(policy, paper_pairs)] + 0.005
+
+
+def test_policies_converge_with_size(ablation):
+    small, large = CAPACITIES[0], CAPACITIES[-1]
+    gap_small = ablation[("fifo", small)] - ablation[("lru", small)]
+    gap_large = ablation[("fifo", large)] - ablation[("lru", large)]
+    assert gap_large <= gap_small + 0.005
+
+
+def _bench_policy(benchmark, keys, policy):
+    geometry = CacheGeometry.set_associative(1 << 10, ways=8)
+    subset = keys[:200_000]
+
+    def run():
+        return simulate_eviction_count(subset, geometry, policy=policy)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.accesses == len(subset)
+
+
+def test_policy_throughput_lru(benchmark, keys, ablation):
+    _bench_policy(benchmark, keys, "lru")
+
+
+def test_policy_throughput_fifo(benchmark, keys, ablation):
+    _bench_policy(benchmark, keys, "fifo")
+
+
+def test_policy_throughput_random(benchmark, keys, ablation):
+    _bench_policy(benchmark, keys, "random")

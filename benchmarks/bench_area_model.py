@@ -1,0 +1,78 @@
+"""T-AREA — the §3.3/§4 in-text feasibility numbers.
+
+Recomputes every back-of-the-envelope figure the paper quotes and
+prints claimed-vs-computed side by side:
+
+* 32-Mbit SRAM cache < 2.5% of a 200 mm² die at 7000 Kbit/mm²;
+* 128 bits per key-value pair (104-bit 5-tuple + 24-bit counter);
+* all 3.8 M trace flows on-chip would need ~486 Mbit ≈ 38% of the die;
+* 22.6 M average packets/s under datacenter conditions;
+* 3.55% evictions at 32 Mbit ⇒ ~802 K backing-store writes/s, within a
+  few cores of a scale-out key-value store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.compiler import compile_program
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+from repro.switch.area import (
+    MBIT,
+    AreaReport,
+    area_fraction,
+    backing_store_cores,
+    cache_bits,
+    effective_packet_rate,
+    evictions_per_second,
+)
+
+CLAIMS = [
+    # (label, claimed, computed-thunk, tolerance rel)
+    ("32 Mbit cache area (% of die)", 2.5,
+     lambda: 100 * area_fraction(32 * MBIT), None),           # upper bound
+    ("pair width for COUNT-by-5tuple (bits)", 128,
+     lambda: _pair_bits(), 0.0),
+    ("all 3.8M flows on-chip (Mbit)", 486,
+     lambda: cache_bits(3_800_000, 128) / MBIT, 0.05),
+    ("all 3.8M flows on-chip (% of die)", 38,
+     lambda: 100 * area_fraction(cache_bits(3_800_000, 128)), 0.1),
+    ("average packet rate (M pkts/s)", 22.6,
+     lambda: effective_packet_rate() / 1e6, 0.01),
+    ("writes/s at 3.55% evictions (K)", 802,
+     lambda: evictions_per_second(0.0355) / 1e3, 0.01),
+    ("KV-store cores for 802K writes/s", 2.7,
+     lambda: backing_store_cores(802_000), 0.05),
+]
+
+
+def _pair_bits() -> int:
+    rp = resolve_program(parse_program("SELECT COUNT GROUPBY 5tuple"))
+    return compile_program(rp).groupby_stages[0].pair_bits
+
+
+@pytest.fixture(scope="module", autouse=True)
+def area_table(report):
+    rows = []
+    for label, claimed, thunk, _tol in CLAIMS:
+        value = thunk()
+        rows.append([label, claimed, f"{value:.3g}"])
+    rows.append(["32 Mbit config", "",
+                 AreaReport(pair_bits=128, n_pairs=1 << 18).describe()])
+    text = format_table(["quantity (§3.3/§4)", "paper", "computed"], rows,
+                        title="T-AREA — feasibility arithmetic, claimed vs computed")
+    report("T-AREA: §4 headline numbers", text)
+
+
+@pytest.mark.parametrize("label,claimed,thunk,tol",
+                         CLAIMS, ids=[c[0] for c in CLAIMS])
+def test_claim_reproduces(label, claimed, thunk, tol, benchmark):
+    value = benchmark.pedantic(thunk, rounds=5, iterations=10)
+    if tol is None:
+        assert value < claimed          # "< 2.5%" style upper bound
+    elif tol == 0.0:
+        assert value == claimed
+    else:
+        assert value == pytest.approx(claimed, rel=tol)

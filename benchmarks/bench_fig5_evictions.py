@@ -1,0 +1,133 @@
+"""FIG5 — eviction rate vs cache size for three geometries.
+
+Reproduces both panels of Fig. 5 over the synthetic CAIDA-like trace
+(scale 1/256 of the paper's 157 M packets; cache capacities scaled by
+the same factor so the working-set:cache ratio matches):
+
+* left panel: % evictions (fraction of packets) vs cache size in pairs;
+* right panel: evictions/second under §4 datacenter conditions
+  (22.6 M average packets/s) vs cache size in Mbit.
+
+Also checks the paper's two stated insights: 8-way is within a few
+percent of fully associative, and the split design is necessary.
+
+Benchmark timings measure raw cache-simulation throughput per geometry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.eviction import (
+    PAPER_CAPACITIES,
+    run_eviction_sweep,
+    shape_checks,
+)
+from repro.analysis.report import format_percent, format_table
+from repro.switch.area import backing_store_cores
+from repro.switch.kvstore.cache import CacheGeometry, simulate_eviction_count
+from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+
+SCALE = 1.0 / 256.0
+
+#: Paper reference points for the 8-way geometry, read off Fig. 5
+#: (left) and the §4 text: at 32 Mbit (2^18 pairs) the 8-way eviction
+#: fraction is 3.55%.
+PAPER_8WAY_AT_32MBIT = 0.0355
+
+
+@pytest.fixture(scope="module")
+def sweep(report):
+    data = run_eviction_sweep(scale=SCALE)
+
+    # Left panel: % evictions vs cache size (pairs, paper scale).
+    rows_left = []
+    for paper_pairs in PAPER_CAPACITIES:
+        row = [f"2^{paper_pairs.bit_length() - 1}"]
+        for geometry in ("hash_table", "8way", "fully_associative"):
+            point = data.point(geometry, paper_pairs)
+            row.append(format_percent(point.eviction_fraction))
+        rows_left.append(row)
+    left = format_table(
+        ["pairs", "hash table", "8-way", "fully assoc"],
+        rows_left,
+        title=f"Fig. 5 (left) — evictions as % of packets "
+              f"(trace scale {SCALE:.4g}: {data.points[0].packets} pkts, "
+              f"{data.points[0].flows} flows)",
+    )
+
+    # Right panel: evictions/s under datacenter conditions vs Mbit.
+    rows_right = []
+    for paper_pairs in PAPER_CAPACITIES:
+        point8 = data.point("8way", paper_pairs)
+        rows_right.append([
+            f"{point8.paper_mbits:.0f}",
+            f"{data.point('hash_table', paper_pairs).evictions_per_sec / 1e3:,.0f}K",
+            f"{point8.evictions_per_sec / 1e3:,.0f}K",
+            f"{data.point('fully_associative', paper_pairs).evictions_per_sec / 1e3:,.0f}K",
+            f"{backing_store_cores(point8.evictions_per_sec):.1f}",
+        ])
+    right = format_table(
+        ["Mbit", "hash table", "8-way", "fully assoc", "8-way KV cores"],
+        rows_right,
+        title="Fig. 5 (right) — backing-store writes/s @ 22.6 M avg pkts/s",
+    )
+
+    point = data.point("8way", 1 << 18)
+    summary = (
+        f"paper: 8-way @ 32 Mbit evicts 3.55% of packets (~802K writes/s)\n"
+        f"ours:  8-way @ 32 Mbit evicts {format_percent(point.eviction_fraction)} "
+        f"({point.evictions_per_sec / 1e3:,.0f}K writes/s)\n"
+        f"shape checks: {shape_checks(data) or 'all hold'}"
+    )
+    report("FIG5: eviction rates", left + "\n\n" + right + "\n\n" + summary)
+    return data
+
+
+def test_fig5_shape_holds(sweep):
+    assert shape_checks(sweep) == []
+
+
+def test_fig5_8way_close_to_full_lru(sweep):
+    """Paper: 'an 8-way associative cache comes within 2% of this
+    optimum' — allow a few points of slack for the synthetic trace."""
+    for paper_pairs in PAPER_CAPACITIES:
+        full = sweep.point("fully_associative", paper_pairs).eviction_fraction
+        eight = sweep.point("8way", paper_pairs).eviction_fraction
+        assert eight - full <= 0.03
+
+
+def test_fig5_target_point_same_decade_as_paper(sweep):
+    """At the 32-Mbit point the eviction fraction must be a few percent
+    (the paper's 3.55%), not 0.01% or 30%."""
+    point = sweep.point("8way", 1 << 18)
+    assert 0.005 <= point.eviction_fraction <= 0.12
+    assert 100_000 <= point.evictions_per_sec <= 3_000_000
+
+
+@pytest.fixture(scope="module")
+def bench_keys():
+    keys = generate_key_stream(CaidaTraceConfig(scale=1 / 2048))
+    return keys.tolist()
+
+
+def _bench_geometry(benchmark, keys, geometry):
+    def run():
+        return simulate_eviction_count(keys, geometry)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.accesses == len(keys)
+
+
+def test_cache_sim_hash_table(benchmark, bench_keys, sweep):
+    _bench_geometry(benchmark, bench_keys, CacheGeometry.hash_table(1 << 10))
+
+
+def test_cache_sim_8way(benchmark, bench_keys, sweep):
+    _bench_geometry(benchmark, bench_keys,
+                    CacheGeometry.set_associative(1 << 10, ways=8))
+
+
+def test_cache_sim_fully_associative(benchmark, bench_keys, sweep):
+    _bench_geometry(benchmark, bench_keys,
+                    CacheGeometry.fully_associative(1 << 10))

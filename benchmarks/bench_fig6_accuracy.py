@@ -1,0 +1,97 @@
+"""FIG6 — accuracy of a non-linear-in-state query vs cache size.
+
+Reproduces Fig. 6: for a query that cannot be merged (the paper's
+``nonmt``-style fold), accuracy = % of keys with a single value segment
+(valid keys), for 8-way caches of varying size and query windows of
+1/3/5 minutes (expressed as fractions of the trace).
+
+The paper's reference point: with a 32-Mbit cache, accuracy improves
+from 74% (5-min window) to 84% (1-min window).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.accuracy import (
+    WINDOW_FRACTIONS,
+    run_accuracy_sweep,
+    shape_checks,
+    _window_validity,
+)
+from repro.analysis.report import format_percent, format_table
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+
+SCALE = 1.0 / 256.0
+CAPACITIES = tuple(1 << e for e in range(16, 22))
+
+
+@pytest.fixture(scope="module")
+def sweep(report):
+    data = run_accuracy_sweep(scale=SCALE, capacities=CAPACITIES)
+    rows = []
+    for paper_pairs in CAPACITIES:
+        mbit = paper_pairs * 128 / (1 << 20)
+        row = [f"{mbit:.0f}"]
+        for window in ("1min", "3min", "5min"):
+            match = [p for p in data.points
+                     if p.window == window and p.paper_pairs == paper_pairs]
+            row.append(format_percent(match[0].accuracy, digits=1))
+        rows.append(row)
+    table = format_table(
+        ["Mbit", "1 min", "3 min", "5 min"],
+        rows,
+        title=f"Fig. 6 — accuracy (% valid keys) for a non-linear query, "
+              f"8-way cache (trace scale {SCALE:.4g})",
+    )
+    at32 = {w: [p for p in data.points
+                if p.window == w and p.paper_pairs == (1 << 18)][0].accuracy
+            for w in ("1min", "5min")}
+    summary = (
+        "paper @ 32 Mbit: 74% (5-min) -> 84% (1-min)\n"
+        f"ours  @ 32 Mbit: {format_percent(at32['5min'], 1)} (5-min) -> "
+        f"{format_percent(at32['1min'], 1)} (1-min)\n"
+        f"shape checks: {shape_checks(data) or 'all hold'}"
+    )
+    report("FIG6: non-linear query accuracy", table + "\n" + summary)
+    return data
+
+
+def test_fig6_shape_holds(sweep):
+    assert shape_checks(sweep) == []
+
+
+def test_fig6_shorter_windows_more_accurate_at_32mbit(sweep):
+    """The paper's quoted comparison is 1-min vs 5-min (74% -> 84%);
+    intermediate windows can wobble a little on the synthetic trace
+    (prefix length-bias, see EXPERIMENTS.md)."""
+    accs = {w: [p for p in sweep.points
+                if p.window == w and p.paper_pairs == (1 << 18)][0].accuracy
+            for w in WINDOW_FRACTIONS}
+    assert accs["1min"] >= accs["5min"] - 0.01
+    # The quoted gain is ~10pp; ours must be positive and material.
+    assert accs["1min"] - accs["5min"] >= 0.03
+
+
+def test_fig6_accuracy_band_plausible(sweep):
+    """The 32-Mbit accuracies should land in the paper's band
+    (tens-of-percent, not ~0 or exactly 1)."""
+    for point in sweep.points:
+        if point.paper_pairs == (1 << 18):
+            assert 0.40 <= point.accuracy <= 1.0
+
+
+@pytest.fixture(scope="module")
+def window_keys():
+    return generate_key_stream(CaidaTraceConfig(scale=1 / 2048)).tolist()
+
+
+def test_window_validity_throughput(benchmark, window_keys, sweep):
+    geometry = CacheGeometry.set_associative(1 << 10, ways=8)
+
+    def run():
+        return _window_validity(window_keys, geometry, seed=0)
+
+    valid, total = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert 0 < valid <= total

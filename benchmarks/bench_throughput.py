@@ -1,0 +1,84 @@
+"""Component throughput benchmarks (supporting, not a paper artifact).
+
+Measures the simulation building blocks so regressions in the hot
+paths are visible: compiler latency, interpreter vs hardware-pipeline
+packet rates, the network simulator's event rate, and trace-generation
+speed.  These set the wall-clock budget for the Fig. 5/6 sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.core.interpreter import Interpreter
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import single_switch
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.switch.pipeline import SwitchPipeline
+from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+
+EWMA = (
+    "def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
+    "SELECT 5tuple, ewma GROUPBY 5tuple"
+)
+PARAMS = {"alpha": 0.1}
+
+
+def test_compile_latency(benchmark):
+    def compile_once():
+        return compile_program(resolve_program(parse_program(EWMA)))
+
+    program = benchmark(compile_once)
+    assert program.groupby_stages
+
+
+def test_interpreter_throughput(benchmark, small_trace):
+    rp = resolve_program(parse_program(EWMA))
+    records = small_trace.records[:5000]
+
+    def run():
+        return Interpreter(rp, params=PARAMS).run_result(records)
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(table) > 0
+
+
+def test_pipeline_throughput(benchmark, small_trace):
+    rp = resolve_program(parse_program(EWMA))
+    program = compile_program(rp)
+    records = small_trace.records[:5000]
+
+    def run():
+        pipeline = SwitchPipeline(program, params=PARAMS,
+                                  geometry=CacheGeometry.set_associative(256, 8))
+        pipeline.run(records)
+        pipeline.finalize()
+        return pipeline
+
+    pipeline = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert pipeline.packets_seen == len(records)
+
+
+def test_network_simulator_event_rate(benchmark):
+    def run():
+        sim = NetworkSimulator(single_switch(8))
+        for i in range(2000):
+            sim.inject(time_ns=i * 500, src=f"h{i % 7 + 1}", dst="h0",
+                       pkt_len=800)
+        return sim.run()
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(table) == 2000
+
+
+def test_trace_generation_rate(benchmark):
+    config = CaidaTraceConfig(scale=1 / 2048)
+
+    def run():
+        return generate_key_stream(config)
+
+    keys = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(keys) > 10_000

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Cache planning: size the on-chip store for a query and a workload.
+
+Recreates the §4 methodology as an operator tool: given a query, the
+compiler reports bits per key-value pair; the area model converts
+candidate cache sizes to % of switch die; and a trace-driven sweep
+reports the eviction rate each size implies — i.e. the write rate the
+backing store must sustain and the cores a Redis/Memcached-class store
+would need.
+
+Run:  python examples/cache_planning.py
+"""
+
+from repro import compile_program, parse_program, resolve_program
+from repro.analysis.report import format_table
+from repro.switch.area import (
+    AreaReport,
+    backing_store_cores,
+    effective_packet_rate,
+)
+from repro.switch.kvstore.cache import CacheGeometry, simulate_eviction_count
+from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+
+QUERY = "SELECT COUNT GROUPBY 5tuple"
+
+#: Candidate cache sizes in pairs, at paper scale.
+CANDIDATES = tuple(1 << e for e in range(16, 22))
+
+#: Trace scale (and cache scaling) — see DESIGN.md on substitutions.
+SCALE = 1.0 / 512.0
+
+
+def main() -> None:
+    program = compile_program(resolve_program(parse_program(QUERY)))
+    stage = program.groupby_stages[0]
+    print(f"query: {QUERY.strip()}")
+    print(f"pair layout: {stage.key.bits}-bit key + {stage.value.bits}-bit "
+          f"value = {stage.pair_bits} bits\n")
+
+    keys = generate_key_stream(CaidaTraceConfig(scale=SCALE)).tolist()
+    packet_rate = effective_packet_rate()
+
+    rows = []
+    for pairs in CANDIDATES:
+        area = AreaReport(pair_bits=stage.pair_bits, n_pairs=pairs)
+        scaled = max(8, int(pairs * SCALE) // 8 * 8)
+        stats = simulate_eviction_count(
+            keys, CacheGeometry.set_associative(scaled, ways=8))
+        writes = stats.eviction_fraction * packet_rate
+        rows.append([
+            f"{area.total_mbit:.0f}",
+            f"{pairs:,}",
+            f"{100 * area.chip_fraction:.2f}%",
+            f"{100 * stats.eviction_fraction:.2f}%",
+            f"{writes / 1e3:,.0f}K",
+            f"{backing_store_cores(writes):.1f}",
+        ])
+    print(format_table(
+        ["Mbit", "pairs", "% die", "evict %", "writes/s", "KV cores"],
+        rows,
+        title="cache sizing for the query (8-way, CAIDA-like trace, "
+              f"scale {SCALE:.4g})",
+    ))
+    print("\npaper's pick: 32 Mbit — <2.5% of die, backing-store load "
+          "within a few commodity cores (§4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — reproduction of *Hardware-Software Co-Design for Network
+Performance Measurement* (Narayana et al., HotNets-XV 2016).
+
+The package implements both halves of the paper's co-design:
+
+* :mod:`repro.core` — the declarative performance query language
+  (parser, semantic analysis, the linear-in-state analysis, merge
+  synthesis, a query compiler, and a reference interpreter);
+* :mod:`repro.switch` — the switch hardware model (programmable
+  parser, match-action pipeline, the split SRAM/DRAM key-value store,
+  and the §3.3/§4 area model);
+
+plus the substrates the evaluation needs:
+
+* :mod:`repro.network` — an event-driven queueing simulator producing
+  the paper's packet-observation table;
+* :mod:`repro.traffic` — CAIDA-like, datacenter, and incast workload
+  generators with TCP anomaly injection;
+* :mod:`repro.queries` — the Fig. 2 query catalog;
+* :mod:`repro.telemetry` — the end-to-end runtime (compile → install →
+  stream → collect);
+* :mod:`repro.analysis` — the Fig. 5 / Fig. 6 experiment drivers.
+
+Quickstart::
+
+    from repro import QueryEngine, CacheGeometry
+    from repro.traffic.datacenter import DatacenterWorkload
+
+    table = DatacenterWorkload().observation_table()
+    engine = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
+                         geometry=CacheGeometry.set_associative(4096, ways=8))
+    report = engine.run(table)
+    for row in report.result.rows[:5]:
+        print(row)
+"""
+
+from .core.compiler import CompileOptions, compile_program
+from .core.interpreter import Interpreter, ResultTable, run_query
+from .core.linearity import analyze_fold
+from .core.parser import parse_program, parse_query
+from .core.semantics import resolve_program
+from .network.records import ObservationTable, PacketRecord
+from .switch.kvstore.cache import CacheGeometry
+from .switch.pipeline import SwitchPipeline
+from .telemetry.runtime import QueryEngine, RunReport, run
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CacheGeometry",
+    "CompileOptions",
+    "Interpreter",
+    "ObservationTable",
+    "PacketRecord",
+    "QueryEngine",
+    "ResultTable",
+    "RunReport",
+    "SwitchPipeline",
+    "analyze_fold",
+    "compile_program",
+    "parse_program",
+    "parse_query",
+    "resolve_program",
+    "run",
+    "run_query",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Experiment drivers for the paper's evaluation (§4)."""
+
+from .accuracy import AccuracyPoint, AccuracySweep, run_accuracy_sweep
+from .eviction import EvictionPoint, EvictionSweep, run_eviction_sweep
+from .report import banner, format_percent, format_table
+
+__all__ = [
+    "AccuracyPoint",
+    "AccuracySweep",
+    "EvictionPoint",
+    "EvictionSweep",
+    "banner",
+    "format_percent",
+    "format_table",
+    "run_accuracy_sweep",
+    "run_eviction_sweep",
+]

@@ -1,0 +1,53 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's figures report;
+this module owns the formatting so their output stays consistent and
+greppable in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned fixed-width table."""
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if _numericish(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _numericish(cell: str) -> bool:
+    return bool(cell) and (cell[0].isdigit() or cell[0] in "-+.")
+
+
+def format_percent(fraction: float, digits: int = 2) -> str:
+    return f"{100 * fraction:.{digits}f}%"
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(60, len(text) + 4)
+    return f"{bar}\n{text}\n{bar}"

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``run``       Compile a query and run it over a trace file (CSV/NPZ),
+              printing the result table (and optionally checking it
+              against the exact interpreter).
+``plan``      Show the compiled switch configuration for a query.
+``generate``  Produce a workload trace file (caida / datacenter /
+              incast).
+``catalog``   List the Fig. 2 catalog, or show one entry's source.
+
+Examples::
+
+    python -m repro generate datacenter --out /tmp/dc.npz --flows 300
+    python -m repro run --query "SELECT COUNT GROUPBY srcip" \
+        --trace /tmp/dc.npz --cache-pairs 4096 --ways 8
+    python -m repro run --catalog per_flow_loss_rate --trace /tmp/dc.npz
+    python -m repro plan --catalog latency_ewma
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.core.errors import QueryError
+from repro.queries.catalog import ALL_QUERIES
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.telemetry.runtime import QueryEngine
+
+
+def _parse_params(pairs: list[str]) -> dict[str, float]:
+    params: dict[str, float] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects name=value, got {pair!r}")
+        name, _, raw = pair.partition("=")
+        value = float(raw)
+        params[name] = int(value) if value.is_integer() else value
+    return params
+
+
+def _load_trace(path: str):
+    from repro.traffic.trace_io import read_csv, read_npz
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return read_csv(path)
+    if suffix == ".npz":
+        return read_npz(path)
+    raise SystemExit(f"unsupported trace format {suffix!r} (use .csv or .npz)")
+
+
+def _query_source(args: argparse.Namespace) -> tuple[str, dict[str, float]]:
+    defaults: dict[str, float] = {}
+    if args.catalog:
+        entry = ALL_QUERIES.get(args.catalog)
+        if entry is None:
+            raise SystemExit(
+                f"unknown catalog query {args.catalog!r}; "
+                f"try: {', '.join(ALL_QUERIES)}")
+        source = entry.source
+        defaults = dict(entry.default_params)
+    elif args.query_file:
+        source = Path(args.query_file).read_text()
+    elif args.query:
+        source = args.query
+    else:
+        raise SystemExit("supply --query, --query-file, or --catalog")
+    return source, defaults
+
+
+def _geometry(args: argparse.Namespace) -> CacheGeometry:
+    if args.ways == 0:
+        return CacheGeometry.fully_associative(args.cache_pairs)
+    if args.ways == 1:
+        return CacheGeometry.hash_table(args.cache_pairs)
+    return CacheGeometry.set_associative(args.cache_pairs, ways=args.ways)
+
+
+def _add_query_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--query", help="query text")
+    parser.add_argument("--query-file", help="file containing query text")
+    parser.add_argument("--catalog", help="name of a Fig. 2 catalog query")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="NAME=VALUE", help="query parameter binding")
+    parser.add_argument("--cache-pairs", type=int, default=1 << 12,
+                        help="cache capacity in key-value pairs")
+    parser.add_argument("--ways", type=int, default=8,
+                        help="associativity (0=fully associative, 1=hash table)")
+    parser.add_argument("--policy", default="lru",
+                        choices=("lru", "fifo", "random"))
+    parser.add_argument("--exact-history", action="store_true",
+                        help="enable the exact-history merge extension")
+    parser.add_argument("--refresh", type=int, default=None, metavar="N",
+                        help="push cache values to the backing store every N packets")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source, params = _query_source(args)
+    params.update(_parse_params(args.param))
+    table = _load_trace(args.trace)
+    engine = QueryEngine(source, params=params, geometry=_geometry(args),
+                         policy=args.policy, exact_history=args.exact_history,
+                         refresh_interval=args.refresh)
+    report = engine.run(table.records, include_invalid=args.include_invalid,
+                        with_ground_truth=args.check)
+
+    result = report.result
+    columns = list(result.schema.column_names())
+    rows = [[row.get(c, "") for c in columns] for row in result.rows[:args.limit]]
+    print(format_table(columns, rows,
+                       title=f"result: {report.result_name} "
+                             f"({len(result)} rows, showing {len(rows)})"))
+    for name, stats in report.cache_stats.items():
+        print(f"\n[{name}] cache: {stats.accesses} accesses, "
+              f"{stats.evictions} evictions "
+              f"({100 * stats.eviction_fraction:.2f}%), "
+              f"{report.backing_writes[name]} backing-store writes, "
+              f"accuracy {100 * report.accuracy[name]:.1f}%")
+    if args.check:
+        from repro.telemetry.results import compare_tables
+        truth = report.ground_truth[report.result_name]
+        if result.schema.keyed and truth.schema.keyed:
+            diff = compare_tables(result, truth, rel_tol=1e-6)
+            print(f"\nvs exact interpreter: {diff.describe()}")
+            return 0 if diff.exact else 1
+        print(f"\nvs exact interpreter: {len(result)} vs {len(truth)} rows")
+        return 0 if len(result) == len(truth) else 1
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    source, _ = _query_source(args)
+    engine = QueryEngine(source, params=_parse_params(args.param) or None,
+                         exact_history=args.exact_history)
+    print(engine.describe_plan())
+    info = engine.info()
+    if info.params:
+        print(f"\nparameters to bind at run time: {sorted(info.params)}")
+    for name, linear in info.linear_by_fold.items():
+        verdict = "linear in state (mergeable)" if linear else \
+            "NOT linear in state (value-list fallback)"
+        print(f"{name}: {verdict}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.traffic.trace_io import write_csv, write_npz
+
+    if args.kind == "caida":
+        from repro.traffic.caida import CaidaTraceConfig, generate_caida_like
+        table = generate_caida_like(CaidaTraceConfig(scale=args.scale,
+                                                     seed=args.seed))
+    elif args.kind == "datacenter":
+        from repro.traffic.datacenter import DatacenterConfig, DatacenterWorkload
+        table = DatacenterWorkload(DatacenterConfig(
+            n_flows=args.flows, duration_ns=int(args.duration_ms * 1e6),
+            seed=args.seed)).observation_table()
+    else:  # incast
+        from repro.traffic.incast import IncastConfig, generate_incast
+        result = generate_incast(IncastConfig(n_senders=args.senders,
+                                              seed=args.seed))
+        table = result.table
+        print(f"incast ground truth: hotspot qid={result.hotspot_qid}, "
+              f"{result.drops} drops")
+    if args.anomalies:
+        from repro.traffic.tcpgen import clean_sequence_table, inject_tcp_anomalies
+        clean_sequence_table(table)
+        counts = inject_tcp_anomalies(table)
+        print(f"planted anomalies: {counts}")
+
+    out = Path(args.out)
+    if out.suffix.lower() == ".csv":
+        write_csv(table, out)
+    else:
+        write_npz(table, out)
+    print(f"wrote {len(table)} observations to {out}")
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    if args.show:
+        entry = ALL_QUERIES.get(args.show)
+        if entry is None:
+            raise SystemExit(f"unknown catalog query {args.show!r}")
+        print(f"# {entry.description}")
+        print(f"# linear in state: {entry.linear_in_state}; "
+              f"default params: {entry.default_params}")
+        print(entry.source.strip())
+        return 0
+    rows = [[e.name, "yes" if e.linear_in_state else "no", e.description]
+            for e in ALL_QUERIES.values()]
+    print(format_table(["name", "linear?", "description"], rows,
+                       title="query catalog (Fig. 2 + §2 examples)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Performance-query system from 'Hardware-Software "
+                    "Co-Design for Network Performance Measurement' "
+                    "(HotNets 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a query over a trace file")
+    _add_query_args(run_p)
+    run_p.add_argument("--trace", required=True, help="trace file (.csv/.npz)")
+    run_p.add_argument("--limit", type=int, default=20,
+                       help="max result rows to print")
+    run_p.add_argument("--include-invalid", action="store_true",
+                       help="include invalid (multi-epoch) keys in results")
+    run_p.add_argument("--check", action="store_true",
+                       help="verify against the exact interpreter")
+    run_p.set_defaults(func=cmd_run)
+
+    plan_p = sub.add_parser("plan", help="show the compiled switch config")
+    _add_query_args(plan_p)
+    plan_p.set_defaults(func=cmd_plan)
+
+    gen_p = sub.add_parser("generate", help="generate a workload trace")
+    gen_p.add_argument("kind", choices=("caida", "datacenter", "incast"))
+    gen_p.add_argument("--out", required=True, help="output file (.csv/.npz)")
+    gen_p.add_argument("--scale", type=float, default=1 / 1024,
+                       help="caida: scale relative to the paper's trace")
+    gen_p.add_argument("--flows", type=int, default=300,
+                       help="datacenter: number of flows")
+    gen_p.add_argument("--duration-ms", type=float, default=100.0,
+                       help="datacenter: trace duration")
+    gen_p.add_argument("--senders", type=int, default=24,
+                       help="incast: number of synchronized senders")
+    gen_p.add_argument("--seed", type=int, default=1)
+    gen_p.add_argument("--anomalies", action="store_true",
+                       help="plant TCP sequence anomalies")
+    gen_p.set_defaults(func=cmd_generate)
+
+    cat_p = sub.add_parser("catalog", help="list or show catalog queries")
+    cat_p.add_argument("--show", help="print one query's source")
+    cat_p.set_defaults(func=cmd_catalog)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except QueryError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

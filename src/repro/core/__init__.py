@@ -1,0 +1,52 @@
+"""The paper's software half: the performance query language.
+
+Pipeline: text → :mod:`.lexer` → :mod:`.parser` → AST
+(:mod:`.ast_nodes`) → :mod:`.semantics` (resolution + checks) →
+:mod:`.linearity` (linear-in-state analysis) + :mod:`.merge_synthesis`
+→ :mod:`.compiler` (switch configuration, :mod:`.plan`).
+:mod:`.interpreter` evaluates resolved programs exactly.
+"""
+
+from .ast_nodes import Program, format_program
+from .compiler import CompileOptions, compile_program
+from .errors import (
+    CompileError,
+    InterpreterError,
+    LexError,
+    LinearityError,
+    ParseError,
+    QueryError,
+    SemanticError,
+)
+from .interpreter import Interpreter, ResultTable, run_query
+from .linearity import LinearityResult, analyze_fold, if_convert
+from .merge_synthesis import MergeSpec, synthesize_merge
+from .parser import parse_expression, parse_program, parse_query
+from .semantics import ResolvedProgram, resolve_program
+
+__all__ = [
+    "CompileError",
+    "CompileOptions",
+    "Interpreter",
+    "InterpreterError",
+    "LexError",
+    "LinearityError",
+    "LinearityResult",
+    "MergeSpec",
+    "ParseError",
+    "Program",
+    "QueryError",
+    "ResolvedProgram",
+    "ResultTable",
+    "SemanticError",
+    "analyze_fold",
+    "compile_program",
+    "format_program",
+    "if_convert",
+    "parse_expression",
+    "parse_program",
+    "parse_query",
+    "resolve_program",
+    "run_query",
+    "synthesize_merge",
+]

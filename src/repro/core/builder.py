@@ -1,0 +1,339 @@
+"""Programmatic query construction — a fluent alternative to query text.
+
+Operators embedding the system in tooling (dashboards, alerting
+pipelines) should not have to assemble query *strings*.  The builder
+produces exactly the same AST as the parser, so everything downstream
+(semantics, linearity analysis, compiler, hardware) is shared::
+
+    from repro.core.builder import field, param, query, program, fold
+
+    ewma = fold("ewma", state=["lat_est"], packet=["tin", "tout"]).let(
+        "lat_est",
+        (1 - param("alpha")) * field("lat_est")
+        + param("alpha") * (field("tout") - field("tin")),
+    )
+
+    q = (query()
+         .select("5tuple", "ewma")
+         .groupby("5tuple")
+         .where(field("proto") == 6))
+
+    prog = program(folds=[ewma], result=q)
+
+Expression objects overload Python operators; comparisons build
+predicate nodes (so ``field("proto") == 6`` is a query predicate, not a
+Python bool).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Dotted,
+    Expr,
+    FoldDef,
+    If,
+    JoinQuery,
+    Name,
+    Number,
+    Program,
+    Query,
+    SelectItem,
+    SelectQuery,
+    Star,
+    Stmt,
+    UnaryOp,
+)
+from .errors import SemanticError
+
+NumberLike = Union[int, float, "E"]
+
+
+class E:
+    """Wrapper around an AST expression with operator overloading."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Expr):
+        self.node = node
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: NumberLike) -> "E":
+        return E(BinOp("+", self.node, _unwrap(other)))
+
+    def __radd__(self, other: NumberLike) -> "E":
+        return E(BinOp("+", _unwrap(other), self.node))
+
+    def __sub__(self, other: NumberLike) -> "E":
+        return E(BinOp("-", self.node, _unwrap(other)))
+
+    def __rsub__(self, other: NumberLike) -> "E":
+        return E(BinOp("-", _unwrap(other), self.node))
+
+    def __mul__(self, other: NumberLike) -> "E":
+        return E(BinOp("*", self.node, _unwrap(other)))
+
+    def __rmul__(self, other: NumberLike) -> "E":
+        return E(BinOp("*", _unwrap(other), self.node))
+
+    def __truediv__(self, other: NumberLike) -> "E":
+        return E(BinOp("/", self.node, _unwrap(other)))
+
+    def __rtruediv__(self, other: NumberLike) -> "E":
+        return E(BinOp("/", _unwrap(other), self.node))
+
+    def __neg__(self) -> "E":
+        return E(UnaryOp("-", self.node))
+
+    # -- comparisons (build predicates, not bools) -----------------------------
+
+    def __eq__(self, other: object) -> "E":  # type: ignore[override]
+        return E(BinOp("==", self.node, _unwrap(other)))
+
+    def __ne__(self, other: object) -> "E":  # type: ignore[override]
+        return E(BinOp("!=", self.node, _unwrap(other)))
+
+    def __lt__(self, other: NumberLike) -> "E":
+        return E(BinOp("<", self.node, _unwrap(other)))
+
+    def __le__(self, other: NumberLike) -> "E":
+        return E(BinOp("<=", self.node, _unwrap(other)))
+
+    def __gt__(self, other: NumberLike) -> "E":
+        return E(BinOp(">", self.node, _unwrap(other)))
+
+    def __ge__(self, other: NumberLike) -> "E":
+        return E(BinOp(">=", self.node, _unwrap(other)))
+
+    # -- boolean connectives (named methods; `and`/`or` are not overloadable) --
+
+    def and_(self, other: "E") -> "E":
+        return E(BinOp("and", self.node, _unwrap(other)))
+
+    def or_(self, other: "E") -> "E":
+        return E(BinOp("or", self.node, _unwrap(other)))
+
+    def not_(self) -> "E":
+        return E(UnaryOp("not", self.node))
+
+    def __hash__(self) -> int:  # __eq__ is overloaded; keep hashable
+        return hash(self.node)
+
+    def __repr__(self) -> str:
+        from .ast_nodes import format_expr
+        return f"E({format_expr(self.node)})"
+
+
+def _unwrap(value: object) -> Expr:
+    if isinstance(value, E):
+        return value.node
+    if isinstance(value, (int, float)):
+        return Number(value)
+    if isinstance(value, Expr):
+        return value
+    raise TypeError(f"cannot use {value!r} in a query expression")
+
+
+# -- leaf constructors ---------------------------------------------------------
+
+
+def field(name: str) -> E:
+    """Reference a packet field, state variable, or upstream column —
+    resolved by semantic analysis exactly as in query text."""
+    return E(Name(name))
+
+
+def param(name: str) -> E:
+    """Reference a query parameter (bound at run time)."""
+    return E(Name(name))
+
+
+def lit(value: int | float) -> E:
+    """A numeric literal."""
+    return E(Number(value))
+
+
+def col(table: str, name: str) -> E:
+    """A qualified column, e.g. ``col("R1", "COUNT")`` in a join."""
+    return E(Dotted(table, name))
+
+
+def fmax(a: NumberLike, b: NumberLike) -> E:
+    return E(Call("max", (_unwrap(a), _unwrap(b))))
+
+
+def fmin(a: NumberLike, b: NumberLike) -> E:
+    return E(Call("min", (_unwrap(a), _unwrap(b))))
+
+
+def count() -> E:
+    """The ``COUNT`` aggregation sugar."""
+    return E(Name("COUNT"))
+
+
+def agg(func: str, expr: NumberLike) -> E:
+    """Aggregation sugar with an argument: ``agg("SUM", field("pkt_len"))``."""
+    return E(Call(func, (_unwrap(expr),)))
+
+
+# -- fold builder ----------------------------------------------------------------
+
+
+class FoldBuilder:
+    """Builds a :class:`FoldDef` statement by statement."""
+
+    def __init__(self, name: str, state: Iterable[str], packet: Iterable[str]):
+        self.name = name
+        self.state_params = tuple(state)
+        self.packet_params = tuple(packet)
+        self.body: list[Stmt] = []
+        self.inits: dict[str, int | float] = {}
+
+    def let(self, target: str, value: NumberLike) -> "FoldBuilder":
+        """Append ``target = value``."""
+        if target not in self.state_params:
+            raise SemanticError(
+                f"{target!r} is not a state variable of fold {self.name!r}")
+        self.body.append(Assign(target, _unwrap(value)))
+        return self
+
+    def when(self, pred: E,
+             then: "FoldBuilder | list[Stmt]",
+             otherwise: "FoldBuilder | list[Stmt] | None" = None) -> "FoldBuilder":
+        """Append an ``if`` whose branches are built with :meth:`branch`."""
+        then_stmts = then.body if isinstance(then, FoldBuilder) else list(then)
+        else_stmts: list[Stmt] = []
+        if otherwise is not None:
+            else_stmts = (otherwise.body if isinstance(otherwise, FoldBuilder)
+                          else list(otherwise))
+        self.body.append(If(pred=_unwrap(pred), then=tuple(then_stmts),
+                            orelse=tuple(else_stmts)))
+        return self
+
+    def branch(self) -> "FoldBuilder":
+        """A sub-builder for an ``if`` branch (same declarations)."""
+        return FoldBuilder(self.name, self.state_params, self.packet_params)
+
+    def init(self, **values: int | float) -> "FoldBuilder":
+        """Set initial state values (default 0)."""
+        for var, value in values.items():
+            if var not in self.state_params:
+                raise SemanticError(
+                    f"{var!r} is not a state variable of fold {self.name!r}")
+            self.inits[var] = value
+        return self
+
+    def build(self) -> FoldDef:
+        if not self.body:
+            raise SemanticError(f"fold {self.name!r} has an empty body")
+        return FoldDef(
+            name=self.name,
+            state_params=self.state_params,
+            packet_params=self.packet_params,
+            body=tuple(self.body),
+            inits=dict(self.inits),
+        )
+
+
+def fold(name: str, state: Iterable[str], packet: Iterable[str]) -> FoldBuilder:
+    """Start building a fold function."""
+    return FoldBuilder(name, state, packet)
+
+
+# -- query builder ----------------------------------------------------------------
+
+
+class QueryBuilder:
+    """Builds a :class:`SelectQuery` or :class:`JoinQuery`."""
+
+    def __init__(self) -> None:
+        self._items: list[SelectItem] | Star | None = None
+        self._source: str | None = None
+        self._join: tuple[str, tuple[str, ...]] | None = None
+        self._groupby: tuple[str, ...] | None = None
+        self._where: Expr | None = None
+
+    def select(self, *items: str | E | tuple[str | E, str]) -> "QueryBuilder":
+        """Select items: names, expressions, or ``(expr, alias)`` pairs."""
+        built: list[SelectItem] = []
+        for item in items:
+            alias = None
+            if isinstance(item, tuple):
+                item, alias = item
+            if isinstance(item, str):
+                expr: Expr = Name(item)
+            else:
+                expr = _unwrap(item)
+            built.append(SelectItem(expr=expr, alias=alias))
+        self._items = built
+        return self
+
+    def select_star(self) -> "QueryBuilder":
+        self._items = Star()
+        return self
+
+    def source(self, name: str) -> "QueryBuilder":
+        """``FROM name`` (omit for the base table ``T``)."""
+        self._source = name
+        return self
+
+    def join(self, left: str, right: str, on: Iterable[str]) -> "QueryBuilder":
+        self._source = left
+        self._join = (right, tuple(on))
+        return self
+
+    def groupby(self, *keys: str) -> "QueryBuilder":
+        self._groupby = tuple(keys)
+        return self
+
+    def where(self, pred: E) -> "QueryBuilder":
+        self._where = _unwrap(pred)
+        return self
+
+    def build(self) -> Query:
+        if self._items is None:
+            raise SemanticError("query has no SELECT items")
+        items = tuple(self._items) if isinstance(self._items, list) else self._items
+        if self._join is not None:
+            right, on = self._join
+            if self._groupby is not None:
+                raise SemanticError("JOIN query cannot carry a GROUPBY clause")
+            if self._source is None:
+                raise SemanticError("join requires a left input")
+            return JoinQuery(items=items, left=self._source, right=right,
+                             on=on, where=self._where)
+        return SelectQuery(items=items, source=self._source,
+                           groupby=self._groupby, where=self._where)
+
+
+def query() -> QueryBuilder:
+    """Start building a query."""
+    return QueryBuilder()
+
+
+def program(result: QueryBuilder | Query,
+            named: dict[str, QueryBuilder | Query] | None = None,
+            folds: Iterable[FoldBuilder | FoldDef] = ()) -> Program:
+    """Assemble a :class:`Program` from built parts.
+
+    ``named`` queries are added in insertion order (they may reference
+    each other in that order); ``result`` is appended last.
+    """
+    fold_defs: dict[str, FoldDef] = {}
+    for item in folds:
+        built = item.build() if isinstance(item, FoldBuilder) else item
+        if built.name in fold_defs:
+            raise SemanticError(f"fold {built.name!r} defined twice")
+        fold_defs[built.name] = built
+
+    queries: dict[str, Query] = {}
+    for name, q in (named or {}).items():
+        queries[name] = q.build() if isinstance(q, QueryBuilder) else q
+    result_query = result.build() if isinstance(result, QueryBuilder) else result
+    queries["__result__"] = result_query
+    return Program(folds=fold_defs, queries=queries, result="__result__")

@@ -1,0 +1,134 @@
+"""Built-in aggregation sugar: ``COUNT``, ``SUM``, ``AVG``, ``MAX``, ``MIN``.
+
+The paper writes ``SELECT COUNT GROUPBY 5tuple`` and ``SUM(pkt_len)``
+"for ease of illustration ... for fold functions that count unique
+packets or sum up a packet field across packets" (Fig. 2 caption).
+Semantic analysis rewrites these into ordinary :class:`FoldDef`
+instances so the rest of the toolchain (linearity analysis, compiler,
+interpreter, hardware model) sees only one aggregation mechanism.
+
+Each sugar form expands to a fold over a synthetic packet parameter
+``__arg0`` which the instantiation binds to the argument expression
+(``COUNT`` takes no argument).  The generated folds:
+
+``COUNT``    -> ``acc = acc + 1``                       (linear, A=1)
+``SUM(e)``   -> ``acc = acc + e``                       (linear, A=1)
+``AVG(e)``   -> ``sum = sum + e; cnt = cnt + 1``        (linear; read-time sum/cnt)
+``MAX(e)``   -> ``acc = max(acc, e)``                   (not linear in state)
+``MIN(e)``   -> ``acc = min(acc, e)``                   (not linear in state)
+
+``MAX``/``MIN`` are deliberately non-linear examples: they exercise the
+multi-value-list / invalid-key path of the backing store (§3.2, "merge
+functions that are not linear in state").
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import Assign, BinOp, Call, Expr, FoldDef, Name, Number, format_expr
+
+#: Names recognised as aggregation sugar inside SELECT lists.
+AGGREGATE_SUGAR = frozenset({"COUNT", "SUM", "AVG", "MAX", "MIN"})
+
+#: Synthetic packet-parameter name bound to the sugar argument.
+ARG = "__arg0"
+
+
+def sugar_column_name(func: str, arg: Expr | None) -> str:
+    """Canonical result-column name for a sugar aggregation.
+
+    The paper later refers to these columns by their surface syntax —
+    ``R1.COUNT``, ``WHERE SUM(tout-tin) > L`` — so the name must be a
+    deterministic function of the expression text.
+    """
+    if arg is None:
+        return func
+    return f"{func}({format_expr(arg)})"
+
+
+def make_count_fold(name: str) -> FoldDef:
+    """``COUNT``: one state variable incremented per record."""
+    return FoldDef(
+        name=name,
+        state_params=(name,),
+        packet_params=(),
+        body=(Assign(name, BinOp("+", Name(name), Number(1))),),
+    )
+
+
+def make_sum_fold(name: str) -> FoldDef:
+    """``SUM(e)``: accumulate the bound argument expression."""
+    return FoldDef(
+        name=name,
+        state_params=(name,),
+        packet_params=(ARG,),
+        body=(Assign(name, BinOp("+", Name(name), Name(ARG))),),
+    )
+
+
+def make_avg_fold(name: str) -> FoldDef:
+    """``AVG(e)``: sum and count; the ratio is computed at read time.
+
+    State variables are ``<name>.sum`` spelled ``__sum``/``__cnt``
+    internally; the resolver attaches a read-time expression dividing
+    them.
+    """
+    sum_var = f"{name}__sum"
+    cnt_var = f"{name}__cnt"
+    return FoldDef(
+        name=name,
+        state_params=(sum_var, cnt_var),
+        packet_params=(ARG,),
+        body=(
+            Assign(sum_var, BinOp("+", Name(sum_var), Name(ARG))),
+            Assign(cnt_var, BinOp("+", Name(cnt_var), Number(1))),
+        ),
+    )
+
+
+def make_max_fold(name: str) -> FoldDef:
+    """``MAX(e)``: running maximum — intentionally not linear in state.
+
+    State initialises to −∞ so the first packet's value wins (the
+    hardware models this as an initialise-on-insert, §3.2).
+    """
+    return FoldDef(
+        name=name,
+        state_params=(name,),
+        packet_params=(ARG,),
+        body=(Assign(name, Call("max", (Name(name), Name(ARG)))),),
+        inits={name: float("-inf")},
+    )
+
+
+def make_min_fold(name: str) -> FoldDef:
+    """``MIN(e)``: running minimum — intentionally not linear in state."""
+    return FoldDef(
+        name=name,
+        state_params=(name,),
+        packet_params=(ARG,),
+        body=(Assign(name, Call("min", (Name(name), Name(ARG)))),),
+        inits={name: float("inf")},
+    )
+
+
+_FACTORIES = {
+    "COUNT": make_count_fold,
+    "SUM": make_sum_fold,
+    "AVG": make_avg_fold,
+    "MAX": make_max_fold,
+    "MIN": make_min_fold,
+}
+
+
+def make_sugar_fold(func: str, column_name: str) -> FoldDef:
+    """Build the fold definition for aggregation sugar ``func``.
+
+    Args:
+        func: One of :data:`AGGREGATE_SUGAR`.
+        column_name: The result-column name (also used as the fold's
+            internal name so diagnostics read naturally).
+
+    Raises:
+        KeyError: if ``func`` is not a known sugar form.
+    """
+    return _FACTORIES[func](column_name)

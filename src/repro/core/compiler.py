@@ -1,0 +1,249 @@
+"""Query compiler: resolved programs → switch configurations.
+
+The paper stops short of building this ("We have not yet built such a
+compiler", §1) but specifies the mapping it would implement (§3.1-3.2):
+
+* ``SELECT ... WHERE`` → programmable parser + match-action stages;
+* ``GROUPBY`` → the programmable key-value store, with the aggregation
+  fields as key and the fold state as value;
+* restricted ``JOIN`` → the two input ``GROUPBY`` stages on-switch plus
+  a read-time relational join in the collection software;
+* composed queries → the base-table stage on-switch, downstream stages
+  over its (keyed) results in software.
+
+The compiler also runs the linear-in-state analysis per fold, attaches
+the synthesised merge function, lays out key/value bit widths (§4 uses
+a 104-bit 5-tuple key and a 24-bit counter), and accounts ALU work for
+the feasibility discussion of §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from . import schema as sch
+from .ast_nodes import BinOp, Call, Cond, Expr, Number, UnaryOp, walk
+from .errors import CompileError
+from .linearity import LinearityResult, analyze_fold
+from .merge_synthesis import MergeSpec, synthesize_merge
+from .plan import (
+    AluProgram,
+    FoldConfig,
+    GroupByStage,
+    KeyLayout,
+    SelectStage,
+    SoftwareStage,
+    SwitchProgram,
+    ValueLayout,
+    ValueSlot,
+)
+from .semantics import Column, FoldInstance, ResolvedProgram, ResolvedQuery
+
+#: Default bit width of one state register; §4 assumes 24-bit counters,
+#: which :func:`_state_bits` applies to pure-counting folds.
+DEFAULT_STATE_BITS = 32
+COUNTER_BITS = 24
+
+#: Bit width modelled for an auxiliary merge register (the running
+#: product ``P`` is a fixed-point multiplier in hardware).
+AUX_REGISTER_BITS = 32
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Compiler knobs.
+
+    Attributes:
+        exact_history: Enable the exact-history merge extension for
+            linear folds whose coefficients read history variables
+            (see :mod:`repro.core.merge_synthesis`).
+        state_bits_override: Per-(fold-column, state-var) width
+            overrides, e.g. ``{("COUNT", "COUNT"): 24}``.
+        alu_op_budget: Combinational ops available per pipeline stage;
+            exceeded budgets are reported in :attr:`AluProgram.op_count`
+            diagnostics but only enforced when ``strict_alu`` is set.
+        strict_alu: Raise :class:`CompileError` when a fold exceeds the
+            ALU budget.
+    """
+
+    exact_history: bool = False
+    state_bits_override: Mapping[tuple[str, str], int] | None = None
+    alu_op_budget: int = 16
+    strict_alu: bool = False
+
+
+def compile_program(program: ResolvedProgram,
+                    options: CompileOptions | None = None) -> SwitchProgram:
+    """Compile a resolved program into a :class:`SwitchProgram`."""
+    options = options or CompileOptions()
+    select_stages: list[SelectStage] = []
+    groupby_stages: list[GroupByStage] = []
+    software_stages: list[SoftwareStage] = []
+    on_switch: set[str] = set()
+
+    for query in program.queries:
+        if query.kind == "join":
+            software_stages.append(SoftwareStage(
+                query=query,
+                reason="restricted JOIN reduces to on-switch GROUPBYs plus a "
+                       "read-time join (§2)",
+            ))
+            continue
+        if query.source is not None:
+            software_stages.append(SoftwareStage(
+                query=query,
+                reason=f"input {query.source!r} is a keyed result table, read "
+                       "from the backing store",
+            ))
+            continue
+        if query.kind == "groupby":
+            groupby_stages.append(_compile_groupby(query, options))
+        else:
+            select_stages.append(_compile_select(query))
+        on_switch.add(query.name)
+
+    parse_fields = _collect_parse_fields(program, on_switch)
+    return SwitchProgram(
+        parse_fields=parse_fields,
+        select_stages=tuple(select_stages),
+        groupby_stages=tuple(groupby_stages),
+        software_stages=tuple(software_stages),
+        result=program.result,
+        params=program.params,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stage compilation
+# ---------------------------------------------------------------------------
+
+
+def _compile_select(query: ResolvedQuery) -> SelectStage:
+    columns = tuple(c for c in query.output.columns if c.expr is not None)
+    return SelectStage(
+        query_name=query.name,
+        where=query.where,
+        columns=columns,
+        output=query.output,
+    )
+
+
+def _compile_groupby(query: ResolvedQuery, options: CompileOptions) -> GroupByStage:
+    key = KeyLayout(fields=query.groupby_keys, bits=sch.key_bits(query.groupby_keys))
+
+    fold_configs: list[FoldConfig] = []
+    slots: list[ValueSlot] = []
+    for instance in query.folds:
+        linearity = analyze_fold(instance)
+        merge = synthesize_merge(linearity, exact_history=options.exact_history)
+        alu = _build_alu(linearity, options, instance.column)
+        state_bits = {
+            var: _state_bits(instance, var, linearity, options)
+            for var in instance.state_vars
+        }
+        fold_configs.append(FoldConfig(
+            column=instance.column,
+            instance=instance,
+            linearity=linearity,
+            merge=merge,
+            alu=alu,
+            state_bits=state_bits,
+        ))
+        for var in instance.state_vars:
+            slots.append(ValueSlot(name=f"{instance.column}/{var}",
+                                   bits=state_bits[var], kind="state"))
+        for i in range(merge.aux_registers()):
+            slots.append(ValueSlot(name=f"{instance.column}/aux{i}",
+                                   bits=AUX_REGISTER_BITS, kind="aux"))
+
+    return GroupByStage(
+        query_name=query.name,
+        key=key,
+        folds=tuple(fold_configs),
+        value=ValueLayout(slots=tuple(slots)),
+        where=query.where,
+        output=query.output,
+    )
+
+
+def _build_alu(linearity: LinearityResult, options: CompileOptions,
+               column: str) -> AluProgram:
+    op_count = sum(_count_ops(e) for e in linearity.update_exprs.values())
+    depth = max((_expr_depth(e) for e in linearity.update_exprs.values()), default=0)
+    if options.strict_alu and op_count > options.alu_op_budget:
+        raise CompileError(
+            f"fold {column!r} needs {op_count} ALU ops per packet, exceeding "
+            f"the per-stage budget of {options.alu_op_budget} (§3.3)"
+        )
+    return AluProgram(update_exprs=dict(linearity.update_exprs),
+                      op_count=op_count, depth=depth)
+
+
+def _count_ops(expr: Expr) -> int:
+    count = 0
+    for node in walk(expr):
+        if isinstance(node, (BinOp, UnaryOp, Call, Cond)):
+            count += 1
+    return count
+
+
+def _expr_depth(expr: Expr) -> int:
+    children = expr.children()
+    if not children:
+        return 0
+    return 1 + max(_expr_depth(c) for c in children)
+
+
+def _state_bits(instance: FoldInstance, var: str, linearity: LinearityResult,
+                options: CompileOptions) -> int:
+    """Bit width of one state register.
+
+    Pure counters — identity-matrix variables whose offset is a
+    constant increment — get the paper's 24-bit width; everything else
+    gets 32 bits.  Both can be overridden per variable.
+    """
+    override = (options.state_bits_override or {}).get((instance.column, var))
+    if override is not None:
+        return override
+    if linearity.linear and var in linearity.order:
+        coeff = linearity.matrix.get((var, var))
+        offset = linearity.offset.get(var, Number(0))
+        off_diagonal = any(i == var and j != var for (i, j) in linearity.matrix)
+        if coeff == Number(1) and not off_diagonal and isinstance(offset, Number):
+            return COUNTER_BITS
+    return DEFAULT_STATE_BITS
+
+
+# ---------------------------------------------------------------------------
+# Parser configuration (§3.1)
+# ---------------------------------------------------------------------------
+
+
+def _collect_parse_fields(program: ResolvedProgram, on_switch: set[str]) -> tuple[str, ...]:
+    """Every base-table field an on-switch stage touches."""
+    from .ast_nodes import FieldRef
+
+    names: list[str] = []
+
+    def visit(expr: Expr | None) -> None:
+        if expr is None:
+            return
+        for node in walk(expr):
+            if isinstance(node, FieldRef) and node.name not in names:
+                names.append(node.name)
+
+    for query in program.queries:
+        if query.name not in on_switch:
+            continue
+        visit(query.where)
+        for key_field in query.groupby_keys:
+            if key_field not in names:
+                names.append(key_field)
+        for fold in query.folds:
+            result = analyze_fold(fold)
+            for expr in result.update_exprs.values():
+                visit(expr)
+        for col in query.output.columns:
+            visit(col.expr)
+    return tuple(names)

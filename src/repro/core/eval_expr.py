@@ -1,0 +1,179 @@
+"""Shared expression evaluator.
+
+Resolved expressions (:class:`FieldRef` / :class:`ColumnRef` /
+:class:`StateRef` / :class:`ParamRef` over arithmetic, comparisons,
+``Cond`` and scalar builtins) are evaluated in three places — the
+reference interpreter, the switch ALU model, and the backing-store
+merge — always with the same semantics, defined here once.
+
+Value conventions:
+
+* comparisons and boolean operators return ``1`` / ``0`` (ints), which
+  mirrors how a switch ALU materialises predicates into registers;
+* ``and`` / ``or`` short-circuit like Python but still return 0/1;
+* division is true division (floats), matching the paper's EWMA and
+  ratio examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .ast_nodes import (
+    BinOp,
+    Call,
+    ColumnRef,
+    Cond,
+    Expr,
+    FieldRef,
+    Name,
+    Number,
+    ParamRef,
+    StateRef,
+    UnaryOp,
+)
+from .errors import InterpreterError
+
+Numeric = float | int
+
+
+class EvalContext:
+    """Value environment for expression evaluation.
+
+    Args:
+        row: Maps field/column names to values.  For base-table queries
+            this is the packet record (attribute or mapping access);
+            for derived tables it is the result-row dict.
+        state: Maps state-variable names to values (fold bodies only).
+        params: Query-parameter bindings (``alpha``, ``L``, ...).
+        qualified_rows: For joins — maps table name to that side's row.
+    """
+
+    __slots__ = ("row", "state", "params", "qualified_rows")
+
+    def __init__(
+        self,
+        row: Mapping[str, Numeric] | object | None = None,
+        state: Mapping[str, Numeric] | None = None,
+        params: Mapping[str, Numeric] | None = None,
+        qualified_rows: Mapping[str, Mapping[str, Numeric]] | None = None,
+    ):
+        self.row = row
+        self.state = state
+        self.params = params or {}
+        self.qualified_rows = qualified_rows
+
+    def field(self, name: str) -> Numeric:
+        row = self.row
+        if row is None:
+            raise InterpreterError(f"no row bound while reading field {name!r}")
+        if isinstance(row, Mapping):
+            try:
+                return row[name]
+            except KeyError:
+                raise InterpreterError(f"row has no field {name!r}") from None
+        try:
+            return getattr(row, name)
+        except AttributeError:
+            raise InterpreterError(f"record has no field {name!r}") from None
+
+    def column(self, name: str, table: str | None) -> Numeric:
+        if table is not None:
+            if self.qualified_rows is None or table not in self.qualified_rows:
+                raise InterpreterError(f"no row bound for table {table!r}")
+            try:
+                return self.qualified_rows[table][name]
+            except KeyError:
+                raise InterpreterError(f"{table!r} row has no column {name!r}") from None
+        return self.field(name)
+
+    def state_var(self, name: str) -> Numeric:
+        if self.state is None:
+            raise InterpreterError(f"no state bound while reading {name!r}")
+        try:
+            return self.state[name]
+        except KeyError:
+            raise InterpreterError(f"state has no variable {name!r}") from None
+
+    def param(self, name: str) -> Numeric:
+        try:
+            return self.params[name]
+        except KeyError:
+            raise InterpreterError(
+                f"query parameter {name!r} has no binding; pass it via params="
+            ) from None
+
+
+_BUILTINS: dict[str, Callable[..., Numeric]] = {
+    "max": max,
+    "min": min,
+    "abs": abs,
+}
+
+
+def evaluate(expr: Expr, ctx: EvalContext) -> Numeric:
+    """Evaluate a resolved expression in ``ctx``."""
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, FieldRef):
+        return ctx.field(expr.name)
+    if isinstance(expr, ColumnRef):
+        return ctx.column(expr.name, expr.table)
+    if isinstance(expr, StateRef):
+        return ctx.state_var(expr.name)
+    if isinstance(expr, ParamRef):
+        return ctx.param(expr.name)
+    if isinstance(expr, Cond):
+        if evaluate(expr.pred, ctx):
+            return evaluate(expr.then, ctx)
+        return evaluate(expr.orelse, ctx)
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, ctx)
+        return (0 if value else 1) if expr.op == "not" else -value
+    if isinstance(expr, Call):
+        func = _BUILTINS.get(expr.func)
+        if func is None:
+            raise InterpreterError(f"unknown function {expr.func!r} at evaluation time")
+        return func(*(evaluate(a, ctx) for a in expr.args))
+    if isinstance(expr, BinOp):
+        op = expr.op
+        if op == "and":
+            return 1 if (evaluate(expr.left, ctx) and evaluate(expr.right, ctx)) else 0
+        if op == "or":
+            return 1 if (evaluate(expr.left, ctx) or evaluate(expr.right, ctx)) else 0
+        left = evaluate(expr.left, ctx)
+        right = evaluate(expr.right, ctx)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        raise InterpreterError(f"unknown operator {op!r}")
+    if isinstance(expr, Name):
+        raise InterpreterError(
+            f"unresolved name {expr.ident!r} reached evaluation — run semantic "
+            "analysis first"
+        )
+    raise InterpreterError(f"cannot evaluate {expr!r}")
+
+
+def evaluate_predicate(expr: Expr | None, ctx: EvalContext) -> bool:
+    """Evaluate an optional WHERE predicate; ``None`` means pass-all."""
+    if expr is None:
+        return True
+    return bool(evaluate(expr, ctx))

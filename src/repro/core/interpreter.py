@@ -1,0 +1,239 @@
+"""Reference interpreter for performance queries.
+
+Evaluates a resolved program directly over an observation table (any
+iterable of packet records), with no cache, eviction, or merge
+machinery.  Its results are exact by construction, which makes it
+
+* the ground truth against which the hardware model's backing-store
+  contents are compared (accuracy evaluation, Fig. 6), and
+* the software fallback the telemetry runtime uses for query stages
+  that run off-switch (downstream stages of composed queries, and the
+  relational part of ``JOIN``).
+
+Result representation: a *keyed* query produces a ``ResultTable`` whose
+rows are dicts keyed by column name; the key columns identify each row.
+A non-keyed ``SELECT`` over the packet stream produces a streaming list
+of row dicts in packet order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from .ast_nodes import Expr
+from .errors import InterpreterError
+from .eval_expr import EvalContext, Numeric, evaluate, evaluate_predicate
+from .linearity import if_convert
+from .semantics import (
+    Column,
+    FoldInstance,
+    ResolvedProgram,
+    ResolvedQuery,
+    TableSchema,
+)
+
+Row = dict[str, Numeric]
+
+
+@dataclass
+class ResultTable:
+    """Materialised result of one query."""
+
+    schema: TableSchema
+    rows: list[Row] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def by_key(self) -> dict[tuple, Row]:
+        """Index rows by the table's key columns (keyed tables only)."""
+        if not self.schema.keyed:
+            raise InterpreterError(f"table {self.name!r} is not keyed")
+        return {
+            tuple(row[k] for k in self.schema.key_columns): row for row in self.rows
+        }
+
+    def column(self, name: str) -> list[Numeric]:
+        col = self.schema.resolve(name)
+        if col is None:
+            raise InterpreterError(f"table {self.name!r} has no column {name!r}")
+        return [row[col.name] for row in self.rows]
+
+    def sort_key(self) -> "ResultTable":
+        """Rows sorted by key columns — convenient for stable output."""
+        if self.schema.keyed:
+            self.rows.sort(key=lambda r: tuple(r[k] for k in self.schema.key_columns))
+        return self
+
+
+class GroupState:
+    """Accumulator for one grouping key: per-fold state dicts."""
+
+    __slots__ = ("states",)
+
+    def __init__(self, folds: tuple[FoldInstance, ...]):
+        self.states: dict[str, dict[str, Numeric]] = {
+            f.column: f.initial_state() for f in folds
+        }
+
+
+class Interpreter:
+    """Evaluates a resolved program over an observation stream.
+
+    Args:
+        program: Output of :func:`repro.core.semantics.resolve_program`.
+        params: Bindings for free query parameters.
+    """
+
+    def __init__(self, program: ResolvedProgram, params: Mapping[str, Numeric] | None = None):
+        self.program = program
+        self.params = dict(params or {})
+        missing = set(program.params) - set(self.params)
+        if missing:
+            raise InterpreterError(
+                f"unbound query parameters: {sorted(missing)}"
+            )
+        # Pre-compute per-fold update expressions (if-converted bodies):
+        # evaluating one expression per state variable is both faster
+        # and identical to the ALU semantics.
+        self._updates: dict[tuple[str, str], dict[str, Expr]] = {}
+        for query in program.queries:
+            for fold in query.folds:
+                self._updates[(query.name, fold.column)] = if_convert(
+                    fold.body, fold.state_vars
+                )
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, records: Iterable[object]) -> dict[str, ResultTable]:
+        """Evaluate every query; returns tables keyed by query name."""
+        tables: dict[str, ResultTable] = {}
+        stream = list(records) if not isinstance(records, list) else records
+        for query in self.program.queries:
+            tables[query.name] = self._eval_query(query, stream, tables)
+        return tables
+
+    def run_result(self, records: Iterable[object]) -> ResultTable:
+        """Evaluate and return only the program's result table."""
+        return self.run(records)[self.program.result]
+
+    def evaluate_stage(self, query_name: str, stream: list[object],
+                       tables: dict[str, ResultTable]) -> ResultTable:
+        """Evaluate a single named query over already-materialised
+        upstream ``tables`` (and ``stream`` for base-table queries).
+
+        Used by the telemetry runtime for software stages: upstream
+        tables there come from switch backing stores rather than from
+        this interpreter.
+        """
+        return self._eval_query(self.program.by_name(query_name), stream, tables)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _input_rows(self, query: ResolvedQuery, stream: list[object],
+                    tables: dict[str, ResultTable]) -> Iterable[object]:
+        if query.source is None:
+            return stream
+        return tables[query.source].rows
+
+    def _eval_query(self, query: ResolvedQuery, stream: list[object],
+                    tables: dict[str, ResultTable]) -> ResultTable:
+        if query.kind == "select":
+            return self._eval_select(query, self._input_rows(query, stream, tables))
+        if query.kind == "groupby":
+            return self._eval_groupby(query, self._input_rows(query, stream, tables))
+        if query.kind == "join":
+            return self._eval_join(query, tables)
+        raise InterpreterError(f"unknown query kind {query.kind!r}")
+
+    def _eval_select(self, query: ResolvedQuery, rows: Iterable[object]) -> ResultTable:
+        out = ResultTable(schema=query.output)
+        columns = query.output.columns
+        for row in rows:
+            ctx = EvalContext(row=row, params=self.params)
+            if not evaluate_predicate(query.where, ctx):
+                continue
+            out.rows.append({
+                col.name: evaluate(col.expr, ctx) for col in columns if col.expr is not None
+            })
+        return out
+
+    def _eval_groupby(self, query: ResolvedQuery, rows: Iterable[object]) -> ResultTable:
+        groups: dict[tuple, GroupState] = {}
+        keys = query.groupby_keys
+        for row in rows:
+            ctx = EvalContext(row=row, params=self.params)
+            if not evaluate_predicate(query.where, ctx):
+                continue
+            key = tuple(ctx.field(k) for k in keys)
+            group = groups.get(key)
+            if group is None:
+                group = GroupState(query.folds)
+                groups[key] = group
+            for fold in query.folds:
+                state = group.states[fold.column]
+                updates = self._updates[(query.name, fold.column)]
+                fctx = EvalContext(row=row, state=state, params=self.params)
+                new_values = {
+                    var: evaluate(expr, fctx) for var, expr in updates.items()
+                }
+                state.update(new_values)
+
+        out = ResultTable(schema=query.output)
+        for key, group in groups.items():
+            out.rows.append(self._emit_group_row(query, key, group))
+        return out
+
+    def _emit_group_row(self, query: ResolvedQuery, key: tuple,
+                        group: GroupState) -> Row:
+        row: Row = dict(zip(query.groupby_keys, key))
+        for col in query.output.columns:
+            if col.kind == "agg":
+                row[col.name] = group.states[col.fold][col.state_var]
+            elif col.kind == "derived":
+                state = group.states[col.fold]
+                ctx = EvalContext(state=state, params=self.params)
+                row[col.name] = evaluate(col.read_expr, ctx)
+        return row
+
+    def _eval_join(self, query: ResolvedQuery,
+                   tables: dict[str, ResultTable]) -> ResultTable:
+        left = tables[query.join_left]
+        right = tables[query.join_right]
+        right_index = {
+            tuple(row[k] for k in query.join_on): row for row in right.rows
+        }
+        out = ResultTable(schema=query.output)
+        for lrow in left.rows:
+            key = tuple(lrow[k] for k in query.join_on)
+            rrow = right_index.get(key)
+            if rrow is None:
+                continue  # inner join
+            qualified = {query.join_left: lrow, query.join_right: rrow}
+            ctx = EvalContext(row=lrow, params=self.params, qualified_rows=qualified)
+            if not evaluate_predicate(query.where, ctx):
+                continue
+            result_row: Row = dict(zip(query.join_on, key))
+            for col in query.output.columns:
+                if col.kind == "expr" and col.expr is not None:
+                    result_row[col.name] = evaluate(col.expr, ctx)
+            out.rows.append(result_row)
+        return out
+
+
+def run_query(source: str, records: Iterable[object],
+              params: Mapping[str, Numeric] | None = None) -> ResultTable:
+    """One-shot convenience: parse, resolve, and evaluate query text."""
+    from .parser import parse_program
+    from .semantics import resolve_program
+
+    program = resolve_program(parse_program(source))
+    return Interpreter(program, params=params).run_result(records)

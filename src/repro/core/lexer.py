@@ -1,0 +1,228 @@
+"""Lexer for the performance query language.
+
+Produces a flat token stream with Python-style ``NEWLINE`` / ``INDENT``
+/ ``DEDENT`` tokens so that fold-function bodies can use indented
+blocks exactly as the paper writes them::
+
+    def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):
+        if lastseq + 1 != tcpseq:
+            oos_count = oos_count + 1
+        lastseq = tcpseq + payload_len
+
+Three lexical conveniences from the paper are handled here:
+
+* ``5tuple`` — an identifier that begins with a digit.  A digit run
+  immediately followed by letters is re-examined: if the alphabetic
+  suffix is a time unit (``ns``/``us``/``ms``/``s``) the token is a
+  time literal normalised to nanoseconds (``1ms`` → ``1000000``);
+  otherwise the whole run is an identifier token.
+* *Line joining* — query clauses routinely wrap (Fig. 2), so a line
+  whose first token is a clause keyword (``WHERE``, ``GROUPBY``,
+  ``FROM``, ``JOIN``, ``ON``, ``AS``) or that follows a line ending in
+  an operator, comma, or open bracket is treated as a continuation of
+  the previous logical line.
+* Comments start with ``#`` or ``//`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import LexError
+from .schema import TIME_UNITS_NS
+
+# Token type names.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+OP = "OP"
+NEWLINE = "NEWLINE"
+INDENT = "INDENT"
+DEDENT = "DEDENT"
+EOF = "EOF"
+
+#: Keywords of the query language.  Clause keywords are recognised
+#: case-insensitively (the paper uses upper case); the fold keywords are
+#: lower case only, like Python.
+CLAUSE_KEYWORDS = frozenset({"SELECT", "FROM", "WHERE", "GROUPBY", "JOIN", "ON", "AS"})
+FOLD_KEYWORDS = frozenset({"def", "if", "then", "else", "and", "or", "not"})
+
+#: Keywords that, at the start of a physical line, mark it as the
+#: continuation of the previous logical line.
+_CONTINUATION_KEYWORDS = frozenset({"FROM", "WHERE", "GROUPBY", "JOIN", "ON", "AS"})
+
+_TWO_CHAR_OPS = ("==", "!=", "<=", ">=", "//")
+_ONE_CHAR_OPS = "+-*/()=<>,.:*"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with source position (1-based)."""
+
+    type: str
+    value: str | int | float
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        if self.type != IDENT:
+            return False
+        if word in CLAUSE_KEYWORDS:
+            return str(self.value).upper() == word
+        return self.value == word
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``#`` and ``//`` comments, preserving earlier text."""
+    cut = len(line)
+    hash_pos = line.find("#")
+    if hash_pos != -1:
+        cut = min(cut, hash_pos)
+    slash_pos = line.find("//")
+    if slash_pos != -1:
+        cut = min(cut, slash_pos)
+    return line[:cut]
+
+
+class Lexer:
+    """Tokenises query-language source text.
+
+    Usage::
+
+        tokens = Lexer(source).tokens()
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+
+    # -- line-level scanning -------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Lex the whole source, returning tokens ending in ``EOF``."""
+        out: list[Token] = []
+        indent_stack = [0]
+        paren_depth = 0
+        prev_logical_had_tokens = False
+
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            text = _strip_comment(raw)
+            if not text.strip():
+                continue
+            indent = len(text) - len(text.lstrip(" \t"))
+            line_tokens = list(self._scan_line(text, line_no))
+            if not line_tokens:
+                continue
+
+            continuation = paren_depth > 0
+            if not continuation and prev_logical_had_tokens and out:
+                first = line_tokens[0]
+                if first.type == IDENT and str(first.value).upper() in _CONTINUATION_KEYWORDS:
+                    continuation = True
+                last = out[-1]
+                if last.type == OP and last.value in {"+", "-", "*", "/", ",", "(", "==", "!=", "<", "<=", ">", ">=", "="}:
+                    continuation = True
+
+            if not continuation:
+                if prev_logical_had_tokens:
+                    out.append(Token(NEWLINE, "\n", line_no, 1))
+                if indent > indent_stack[-1]:
+                    indent_stack.append(indent)
+                    out.append(Token(INDENT, indent, line_no, 1))
+                else:
+                    while indent < indent_stack[-1]:
+                        indent_stack.pop()
+                        out.append(Token(DEDENT, indent, line_no, 1))
+                    if indent != indent_stack[-1]:
+                        raise LexError("inconsistent indentation", line_no, 1)
+
+            out.extend(line_tokens)
+            paren_depth += sum(1 for t in line_tokens if t.type == OP and t.value == "(")
+            paren_depth -= sum(1 for t in line_tokens if t.type == OP and t.value == ")")
+            if paren_depth < 0:
+                raise LexError("unbalanced ')'", line_no, 1)
+            prev_logical_had_tokens = True
+
+        last_line = self.source.count("\n") + 1
+        if prev_logical_had_tokens:
+            out.append(Token(NEWLINE, "\n", last_line, 1))
+        while indent_stack[-1] > 0:
+            indent_stack.pop()
+            out.append(Token(DEDENT, 0, last_line, 1))
+        out.append(Token(EOF, "", last_line, 1))
+        return out
+
+    # -- character-level scanning --------------------------------------------
+
+    def _scan_line(self, text: str, line_no: int) -> Iterator[Token]:
+        i = 0
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch in " \t":
+                i += 1
+                continue
+            col = i + 1
+            if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+                token, i = self._scan_number_or_ident(text, i, line_no, col)
+                yield token
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                yield Token(IDENT, text[i:j], line_no, col)
+                i = j
+                continue
+            two = text[i:i + 2]
+            if two in _TWO_CHAR_OPS and two != "//":
+                yield Token(OP, two, line_no, col)
+                i += 2
+                continue
+            if ch in _ONE_CHAR_OPS:
+                yield Token(OP, ch, line_no, col)
+                i += 1
+                continue
+            raise LexError(f"unexpected character {ch!r}", line_no, col)
+
+    def _scan_number_or_ident(self, text: str, i: int, line_no: int, col: int) -> tuple[Token, int]:
+        """Scan a token starting with a digit: a plain number, a
+        time-suffixed literal, or a digit-leading identifier such as
+        ``5tuple``."""
+        n = len(text)
+        j = i
+        while j < n and (text[j].isalnum() or text[j] == "_"):
+            j += 1
+        # Possible fractional part (only if the alnum run is pure digits).
+        run = text[i:j]
+        if run.isdigit() and j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+            k = j + 1
+            while k < n and text[k].isdigit():
+                k += 1
+            frac = text[i:k]
+            # Optional exponent.
+            if k < n and text[k] in "eE":
+                m = k + 1
+                if m < n and text[m] in "+-":
+                    m += 1
+                if m < n and text[m].isdigit():
+                    while m < n and text[m].isdigit():
+                        m += 1
+                    return Token(NUMBER, float(text[i:m]), line_no, col), m
+            return Token(NUMBER, float(frac), line_no, col), k
+        if run.isdigit():
+            return Token(NUMBER, int(run), line_no, col), j
+        # Mixed digits+letters: split into leading digits and suffix.
+        digits = 0
+        while digits < len(run) and run[digits].isdigit():
+            digits += 1
+        suffix = run[digits:]
+        if suffix in TIME_UNITS_NS:
+            value = int(run[:digits]) * TIME_UNITS_NS[suffix]
+            return Token(NUMBER, value, line_no, col), j
+        # Identifier that begins with digits, e.g. ``5tuple``.
+        return Token(IDENT, run, line_no, col), j
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` to a token list."""
+    return Lexer(source).tokens()

@@ -1,0 +1,419 @@
+"""Recursive-descent parser for the performance query language (Fig. 1).
+
+The parser turns token streams from :mod:`repro.core.lexer` into the
+AST of :mod:`repro.core.ast_nodes`.  It is purely syntactic: identifiers
+stay unresolved (:class:`~repro.core.ast_nodes.Name` /
+:class:`~repro.core.ast_nodes.Dotted`) and no schema checking happens
+here — that is the job of :mod:`repro.core.semantics`.
+
+Grammar accepted (a slight superset of the paper's Fig. 1)::
+
+    program      := (fold_def | named_query | query)*
+    fold_def     := 'def' IDENT '(' params ',' params ')' ':' block
+    params       := IDENT | '(' IDENT (',' IDENT)* ')'
+    block        := simple_stmt* NEWLINE            # inline, single line
+                  | NEWLINE INDENT statement+ DEDENT
+    statement    := simple_stmt NEWLINE | if_stmt
+    simple_stmt  := IDENT '=' expr (';' simple_stmt)*
+    if_stmt      := 'if' expr ':' block ['else' ':' block]
+                  | 'if' expr 'then' simple_stmt ['else' simple_stmt]
+    named_query  := IDENT '=' query
+    query        := 'SELECT' select_items clause*
+    clause       := 'FROM' IDENT ['JOIN' IDENT 'ON' key_list]
+                  | 'GROUPBY' key_list
+                  | 'WHERE' expr
+    select_items := '*' | select_item (',' select_item)*
+    select_item  := expr ['AS' IDENT]
+    key_list     := IDENT (',' IDENT)*
+
+Clause order is free (the paper writes both ``SELECT ... GROUPBY ...
+WHERE ...`` and ``SELECT ... FROM ... WHERE ...``); each clause may
+appear at most once.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Dotted,
+    Expr,
+    FoldDef,
+    If,
+    JoinQuery,
+    Name,
+    Number,
+    Program,
+    Query,
+    SelectItem,
+    SelectQuery,
+    Star,
+    Stmt,
+    UnaryOp,
+)
+from .errors import ParseError
+from .lexer import DEDENT, EOF, IDENT, INDENT, NEWLINE, NUMBER, OP, Token, tokenize
+
+RESULT_NAME = "__result__"
+
+
+class Parser:
+    """Single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type != EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, type_: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if token.type != type_ or (value is not None and token.value != value):
+            want = value if value is not None else type_
+            raise ParseError(f"expected {want!r}, found {token.value!r}", token.line, token.column)
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word!r}, found {token.value!r}", token.line, token.column)
+        return self.advance()
+
+    def at_keyword(self, word: str) -> bool:
+        return self.peek().is_keyword(word)
+
+    def at_op(self, op: str) -> bool:
+        token = self.peek()
+        return token.type == OP and token.value == op
+
+    def skip_newlines(self) -> None:
+        while self.peek().type == NEWLINE:
+            self.advance()
+
+    # -- program --------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        """Parse a complete program; the last query becomes the result."""
+        folds: dict[str, FoldDef] = {}
+        queries: dict[str, Query] = {}
+        last_name: str | None = None
+
+        self.skip_newlines()
+        while self.peek().type != EOF:
+            if self.at_keyword("def"):
+                fold = self.parse_fold_def()
+                if fold.name in folds:
+                    raise ParseError(f"fold {fold.name!r} defined twice")
+                folds[fold.name] = fold
+            elif self.at_keyword("SELECT"):
+                queries[RESULT_NAME] = self.parse_query()
+                last_name = RESULT_NAME
+            elif self.peek().type == IDENT and self.peek(1).type == OP and self.peek(1).value == "=":
+                name_token = self.advance()
+                self.advance()  # '='
+                name = str(name_token.value)
+                if name in queries:
+                    raise ParseError(f"query {name!r} defined twice", name_token.line, name_token.column)
+                queries[name] = self.parse_query()
+                last_name = name
+            else:
+                token = self.peek()
+                raise ParseError(f"expected 'def', 'SELECT' or a named query, found {token.value!r}",
+                                 token.line, token.column)
+            self.skip_newlines()
+
+        if last_name is None:
+            raise ParseError("program contains no query")
+        return Program(folds=folds, queries=queries, result=last_name)
+
+    # -- fold functions ---------------------------------------------------------
+
+    def parse_fold_def(self) -> FoldDef:
+        self.expect_keyword("def")
+        name = str(self.expect(IDENT).value)
+        self.expect(OP, "(")
+        state_params = self.parse_params()
+        self.expect(OP, ",")
+        packet_params = self.parse_params()
+        self.expect(OP, ")")
+        self.expect(OP, ":")
+        body = self.parse_block()
+        return FoldDef(name=name, state_params=state_params, packet_params=packet_params, body=body)
+
+    def parse_params(self) -> tuple[str, ...]:
+        if self.at_op("("):
+            self.advance()
+            names = [str(self.expect(IDENT).value)]
+            while self.at_op(","):
+                self.advance()
+                names.append(str(self.expect(IDENT).value))
+            self.expect(OP, ")")
+            return tuple(names)
+        return (str(self.expect(IDENT).value),)
+
+    def parse_block(self) -> tuple[Stmt, ...]:
+        """Parse either an inline statement list or an indented block."""
+        if self.peek().type != NEWLINE:
+            stmts = self.parse_simple_stmts()
+            if self.peek().type == NEWLINE:
+                self.advance()
+            return stmts
+        self.advance()  # NEWLINE
+        self.expect(INDENT)
+        stmts: list[Stmt] = []
+        while self.peek().type != DEDENT:
+            stmts.extend(self.parse_statement())
+        self.expect(DEDENT)
+        if not stmts:
+            raise ParseError("empty block", self.peek().line, self.peek().column)
+        return tuple(stmts)
+
+    def parse_statement(self) -> tuple[Stmt, ...]:
+        if self.at_keyword("if"):
+            return (self.parse_if(),)
+        stmts = self.parse_simple_stmts()
+        if self.peek().type == NEWLINE:
+            self.advance()
+        return stmts
+
+    def parse_simple_stmts(self) -> tuple[Stmt, ...]:
+        """One or more semicolon-free assignments on a single line.
+
+        The paper writes single assignments per line; we additionally
+        accept ``a = e1`` followed by more assignments on later lines of
+        the same indent level (handled by the block loop), so this parses
+        exactly one assignment.
+        """
+        target_token = self.expect(IDENT)
+        if target_token.is_keyword("def"):
+            raise ParseError("nested 'def' not allowed in fold body",
+                             target_token.line, target_token.column)
+        self.expect(OP, "=")
+        value = self.parse_expr()
+        return (Assign(target=str(target_token.value), value=value),)
+
+    def parse_if(self) -> If:
+        self.expect_keyword("if")
+        pred = self.parse_expr()
+        if self.at_keyword("then"):
+            self.advance()
+            then_body = self.parse_simple_stmts()
+            orelse: tuple[Stmt, ...] = ()
+            if self.at_keyword("else"):
+                self.advance()
+                orelse = self.parse_simple_stmts()
+            if self.peek().type == NEWLINE:
+                self.advance()
+            return If(pred=pred, then=then_body, orelse=orelse)
+        self.expect(OP, ":")
+        then_body = self.parse_block()
+        orelse = ()
+        if self.at_keyword("else"):
+            self.advance()
+            self.expect(OP, ":")
+            orelse = self.parse_block()
+        return If(pred=pred, then=then_body, orelse=orelse)
+
+    # -- queries -----------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect_keyword("SELECT")
+        items = self.parse_select_items()
+        source: str | None = None
+        join_right: str | None = None
+        join_on: tuple[str, ...] | None = None
+        groupby: tuple[str, ...] | None = None
+        where: Expr | None = None
+
+        while True:
+            if self.at_keyword("FROM"):
+                if source is not None:
+                    raise ParseError("duplicate FROM clause", self.peek().line, self.peek().column)
+                self.advance()
+                source = str(self.expect(IDENT).value)
+                if self.at_keyword("JOIN"):
+                    self.advance()
+                    join_right = str(self.expect(IDENT).value)
+                    self.expect_keyword("ON")
+                    join_on = self.parse_key_list()
+            elif self.at_keyword("GROUPBY"):
+                if groupby is not None:
+                    raise ParseError("duplicate GROUPBY clause", self.peek().line, self.peek().column)
+                self.advance()
+                groupby = self.parse_key_list()
+            elif self.at_keyword("WHERE"):
+                if where is not None:
+                    raise ParseError("duplicate WHERE clause", self.peek().line, self.peek().column)
+                self.advance()
+                where = self.parse_expr()
+            else:
+                break
+
+        if join_right is not None:
+            if groupby is not None:
+                raise ParseError("JOIN query cannot carry a GROUPBY clause")
+            assert source is not None and join_on is not None
+            return JoinQuery(items=items, left=source, right=join_right, on=join_on, where=where)
+        return SelectQuery(items=items, source=source, groupby=groupby, where=where)
+
+    def parse_select_items(self) -> tuple[SelectItem, ...] | Star:
+        if self.at_op("*"):
+            self.advance()
+            return Star()
+        items = [self.parse_select_item()]
+        while self.at_op(","):
+            self.advance()
+            items.append(self.parse_select_item())
+        return tuple(items)
+
+    def parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias: str | None = None
+        if self.at_keyword("AS"):
+            self.advance()
+            alias = str(self.expect(IDENT).value)
+        return SelectItem(expr=expr, alias=alias)
+
+    def parse_key_list(self) -> tuple[str, ...]:
+        keys = [str(self.expect(IDENT).value)]
+        while self.at_op(","):
+            self.advance()
+            keys.append(str(self.expect(IDENT).value))
+        return tuple(keys)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at_keyword("or"):
+            self.advance()
+            left = BinOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.at_keyword("and"):
+            self.advance()
+            left = BinOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.at_keyword("not"):
+            self.advance()
+            return UnaryOp("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.type == OP and token.value in ("==", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_additive()
+            return BinOp(str(token.value), left, right)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.type == OP and token.value in ("+", "-"):
+                self.advance()
+                left = BinOp(str(token.value), left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.type == OP and token.value in ("*", "/"):
+                self.advance()
+                left = BinOp(str(token.value), left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.at_op("-"):
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type == NUMBER:
+            self.advance()
+            return Number(token.value)  # type: ignore[arg-type]
+        if token.type == OP and token.value == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(OP, ")")
+            return inner
+        if token.type == IDENT:
+            self.advance()
+            name = str(token.value)
+            if self.at_op("("):
+                self.advance()
+                args: list[Expr] = []
+                if not self.at_op(")"):
+                    args.append(self.parse_expr())
+                    while self.at_op(","):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect(OP, ")")
+                return Call(name, tuple(args))
+            if self.at_op("."):
+                self.advance()
+                attr = str(self.expect(IDENT).value)
+                if self.at_op("("):
+                    # Qualified aggregation reference, e.g. R2.SUM(pkt_len):
+                    # canonicalise to the sugar column name on that table.
+                    from .ast_nodes import format_expr
+                    self.advance()
+                    args: list[Expr] = []
+                    if not self.at_op(")"):
+                        args.append(self.parse_expr())
+                        while self.at_op(","):
+                            self.advance()
+                            args.append(self.parse_expr())
+                    self.expect(OP, ")")
+                    rendered = ", ".join(format_expr(a) for a in args)
+                    return Dotted(name, f"{attr}({rendered})")
+                return Dotted(name, attr)
+            return Name(name)
+        raise ParseError(f"expected an expression, found {token.value!r}", token.line, token.column)
+
+
+def parse_program(source: str) -> Program:
+    """Parse query-language source text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_query(source: str) -> Query:
+    """Parse a single query (no folds, no named results)."""
+    program = Parser(tokenize(source)).parse_program()
+    return program.result_query()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone expression (useful in tests)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.skip_newlines()
+    token = parser.peek()
+    if token.type != EOF:
+        raise ParseError(f"unexpected trailing input {token.value!r}", token.line, token.column)
+    return expr

@@ -1,0 +1,138 @@
+"""The performance-oriented packet-observation schema (paper §2).
+
+The query language operates over an abstract table ``T`` whose rows are
+*packet observations*: one row per packet per queue traversed.  The paper
+gives the schema as::
+
+    (pkt_hdr, qid, tin, tout, qsize, pkt_path)
+
+where ``pkt_hdr`` stands for all parseable packet headers.  This module
+pins down the concrete field set used throughout the reproduction, the
+bit width of each field (used by the compiler for key/value layout and
+by the area model), and the built-in named constants (``TCP``,
+``infinity``, ...) that query text may reference.
+
+Field widths follow the paper's §4 accounting: the transport 5-tuple is
+104 bits (32 + 32 + 16 + 16 + 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Static description of one observation-table field.
+
+    Attributes:
+        name: Field name as written in query text.
+        bits: Width in bits when stored in a hardware key or value.
+        kind: ``"header"`` for parsed packet headers, ``"perf"`` for
+            queue-performance metadata attached by the switch.
+        dtype: ``"int"`` or ``"float"`` — the Python-level carrier type.
+        doc: One-line description.
+    """
+
+    name: str
+    bits: int
+    kind: str
+    dtype: str
+    doc: str
+
+
+#: All concrete fields, in canonical order.  ``tin``/``tout`` are kept in
+#: nanoseconds as integers in the simulator, but queries may treat them
+#: arithmetically, so their carrier type is ``float`` after subtraction.
+FIELDS: tuple[FieldSpec, ...] = (
+    FieldSpec("srcip", 32, "header", "int", "IPv4 source address"),
+    FieldSpec("dstip", 32, "header", "int", "IPv4 destination address"),
+    FieldSpec("srcport", 16, "header", "int", "Transport source port"),
+    FieldSpec("dstport", 16, "header", "int", "Transport destination port"),
+    FieldSpec("proto", 8, "header", "int", "IP protocol number"),
+    FieldSpec("pkt_len", 16, "header", "int", "Total packet length in bytes"),
+    FieldSpec("payload_len", 16, "header", "int", "Transport payload length in bytes"),
+    FieldSpec("tcpseq", 32, "header", "int", "TCP sequence number"),
+    FieldSpec("pkt_id", 64, "header", "int", "Unique per-packet identifier"),
+    FieldSpec("qid", 32, "perf", "int", "Queue identifier (switch, port, queue)"),
+    FieldSpec("tin", 64, "perf", "int", "Enqueue timestamp (ns)"),
+    FieldSpec("tout", 64, "perf", "float", "Dequeue timestamp (ns); +inf if dropped"),
+    FieldSpec("qin", 32, "perf", "int", "Queue depth (packets) observed at enqueue"),
+    FieldSpec("qout", 32, "perf", "int", "Queue depth (packets) observed at dequeue"),
+    FieldSpec("qsize", 32, "perf", "int", "Alias of qin: queue length seen when enqueued"),
+    FieldSpec("pkt_path", 64, "perf", "int", "Opaque path identifier (e.g. tunnel label)"),
+)
+
+FIELDS_BY_NAME: dict[str, FieldSpec] = {f.name: f for f in FIELDS}
+
+#: The transport five-tuple, which the paper abbreviates ``5tuple``.
+FIVE_TUPLE: tuple[str, ...] = ("srcip", "dstip", "srcport", "dstport", "proto")
+
+#: Width of the 5-tuple key, quoted as 104 bits in §4.
+FIVE_TUPLE_BITS: int = sum(FIELDS_BY_NAME[f].bits for f in FIVE_TUPLE)
+
+#: Aliases expanded during parsing/semantic analysis.  ``5tuple`` is the
+#: only multi-field alias; ``qsize`` maps onto the same simulator column
+#: as ``qin``.
+FIELD_ALIASES: dict[str, tuple[str, ...]] = {
+    "5tuple": FIVE_TUPLE,
+    "pkt_5tuple": FIVE_TUPLE,
+    # §2: "pkt_uniq is a tuple of packet fields that includes the 5tuple,
+    # and determines each packet uniquely".
+    "pkt_uniq": FIVE_TUPLE + ("pkt_id",),
+}
+
+#: Named constants available in query text.  ``infinity`` encodes a
+#: dropped packet's ``tout`` (paper §2).  Time-unit suffixes are handled
+#: by the lexer; the canonical time unit is nanoseconds.
+CONSTANTS: dict[str, float | int] = {
+    "infinity": math.inf,
+    "TCP": 6,
+    "UDP": 17,
+    "ICMP": 1,
+    "true": 1,
+    "false": 0,
+}
+
+#: Multipliers converting time-suffixed literals to nanoseconds.
+TIME_UNITS_NS: dict[str, int] = {
+    "ns": 1,
+    "us": 1_000,
+    "ms": 1_000_000,
+    "s": 1_000_000_000,
+}
+
+
+def is_field(name: str) -> bool:
+    """Return True if ``name`` is a concrete schema field or alias."""
+    return name in FIELDS_BY_NAME or name in FIELD_ALIASES
+
+
+def expand_field(name: str) -> tuple[str, ...]:
+    """Expand ``name`` to the tuple of concrete fields it denotes.
+
+    ``expand_field("5tuple")`` returns the five transport fields;
+    a concrete field expands to a 1-tuple of itself.
+
+    Raises:
+        KeyError: if ``name`` is not a schema field or alias.
+    """
+    if name in FIELD_ALIASES:
+        return FIELD_ALIASES[name]
+    if name in FIELDS_BY_NAME:
+        return (name,)
+    raise KeyError(name)
+
+
+def field_bits(name: str) -> int:
+    """Total bit width of a field or alias (sum over expansion)."""
+    return sum(FIELDS_BY_NAME[f].bits for f in expand_field(name))
+
+
+def key_bits(fields: tuple[str, ...] | list[str]) -> int:
+    """Bit width of a hardware key formed by concatenating ``fields``."""
+    total = 0
+    for name in fields:
+        total += field_bits(name)
+    return total

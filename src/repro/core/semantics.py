@@ -1,0 +1,738 @@
+"""Semantic analysis for performance queries.
+
+Takes the parser's :class:`~repro.core.ast_nodes.Program` and produces a
+:class:`ResolvedProgram` in which
+
+* every identifier is resolved (packet field, state variable, upstream
+  result column, query parameter, or named constant),
+* every aggregation — user fold or ``COUNT``/``SUM``/... sugar — is
+  instantiated as a :class:`FoldInstance` with its body rewritten over
+  the query's input row,
+* every query has a computed output :class:`TableSchema`, and
+* the static rules of §2 are enforced, most importantly the join-key
+  safety condition (footnote 3): a ``JOIN ... ON key`` is accepted only
+  when both inputs are grouped tables whose grouping key equals the
+  join key, which guarantees the key uniquely identifies records on
+  both sides.
+
+The ``WHERE`` clause uniformly filters the *input* records of a query
+(packets for queries on ``T``, rows for queries on upstream results);
+this matches every example in the paper, e.g. ``WHERE proto == TCP``
+pre-filters packets while ``WHERE lat > L`` filters the rows of ``R1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from . import schema as sch
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Cond,
+    Dotted,
+    Expr,
+    FieldRef,
+    FoldDef,
+    If,
+    JoinQuery,
+    Name,
+    Number,
+    ColumnRef,
+    ParamRef,
+    Program,
+    Query,
+    SelectItem,
+    SelectQuery,
+    Star,
+    StateRef,
+    Stmt,
+    UnaryOp,
+    format_expr,
+)
+from .builtins import AGGREGATE_SUGAR, ARG, make_sugar_fold, sugar_column_name
+from .errors import SemanticError
+
+#: Scalar builtin functions allowed anywhere in expressions.
+SCALAR_BUILTINS = frozenset({"max", "min", "abs"})
+
+#: Name of the implicit base table of packet observations.
+BASE_TABLE = "T"
+
+#: Default bit width for fold state variables (value layout); the §4
+#: evaluation uses a 24-bit counter, which the compiler configures
+#: explicitly for COUNT-style folds.
+DEFAULT_STATE_BITS = 32
+
+
+# ---------------------------------------------------------------------------
+# Resolved structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FoldInstance:
+    """A fold function instantiated inside one ``GROUPBY`` query.
+
+    ``body`` is the fold body with state variables rewritten to
+    :class:`StateRef` and packet parameters substituted by their bound
+    input expressions (over :class:`FieldRef`/:class:`ColumnRef`).
+    """
+
+    column: str                      # base output-column name
+    fold_name: str                   # original fold or sugar name
+    state_vars: tuple[str, ...]
+    inits: dict[str, int | float]
+    body: tuple[Stmt, ...]
+    read_expr: Expr | None = None    # derived read-time value (e.g. AVG)
+
+    def initial_state(self) -> dict[str, int | float]:
+        return {v: self.inits.get(v, 0) for v in self.state_vars}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One output column of a query result table."""
+
+    name: str
+    kind: str                        # "field" | "key" | "agg" | "expr" | "derived"
+    dtype: str = "float"
+    bits: int = DEFAULT_STATE_BITS
+    source: str | None = None        # key/field: concrete input column name
+    fold: str | None = None          # agg/derived: owning FoldInstance column
+    state_var: str | None = None     # agg: which state variable
+    expr: Expr | None = None         # expr: resolved over the input row
+    read_expr: Expr | None = None    # derived: over this fold's StateRefs
+    aliases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a query result (or of the base observation table)."""
+
+    name: str
+    keyed: bool
+    key_columns: tuple[str, ...]
+    columns: tuple[Column, ...]
+
+    def column_index(self) -> dict[str, Column]:
+        """Name → column map including unambiguous aliases."""
+        index: dict[str, Column] = {}
+        ambiguous: set[str] = set()
+        for col in self.columns:
+            index[col.name] = col
+        for col in self.columns:
+            for alias in col.aliases:
+                if alias in index and index[alias] is not col:
+                    ambiguous.add(alias)
+                else:
+                    index[alias] = col
+        for name in ambiguous:
+            if all(c.name != name for c in self.columns):
+                del index[name]
+        return index
+
+    def resolve(self, name: str) -> Column | None:
+        return self.column_index().get(name)
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+
+@dataclass(frozen=True)
+class ResolvedQuery:
+    """A fully resolved query node."""
+
+    name: str
+    kind: str                                  # "select" | "groupby" | "join"
+    source: str | None                         # upstream query name; None = base table
+    join_left: str | None = None
+    join_right: str | None = None
+    join_on: tuple[str, ...] = ()
+    where: Expr | None = None                  # over the input row
+    groupby_keys: tuple[str, ...] = ()         # concrete input column names
+    folds: tuple[FoldInstance, ...] = ()
+    output: TableSchema = None                 # type: ignore[assignment]
+    select_exprs: tuple[Column, ...] = ()      # expr-kind output columns
+
+
+@dataclass(frozen=True)
+class ResolvedProgram:
+    """A resolved program: queries in dependency order plus metadata."""
+
+    queries: tuple[ResolvedQuery, ...]
+    result: str
+    params: frozenset[str]
+    source: Program
+
+    def by_name(self, name: str) -> ResolvedQuery:
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise KeyError(name)
+
+    def result_query(self) -> ResolvedQuery:
+        return self.by_name(self.result)
+
+
+def base_table_schema() -> TableSchema:
+    """Schema of the packet-observation table ``T`` (paper §2)."""
+    columns = tuple(
+        Column(name=f.name, kind="field", dtype=f.dtype, bits=f.bits, source=f.name)
+        for f in sch.FIELDS
+    )
+    return TableSchema(name=BASE_TABLE, keyed=False, key_columns=(), columns=columns)
+
+
+# ---------------------------------------------------------------------------
+# Expression resolution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Scope:
+    """Resolution context for one expression.
+
+    ``table`` is ``None`` when the input is the raw packet stream;
+    ``tables`` is populated instead inside a join.  ``state_vars`` and
+    ``packet_bindings`` are set only inside fold bodies.
+    """
+
+    table: TableSchema | None = None
+    tables: dict[str, TableSchema] | None = None
+    state_vars: frozenset[str] = frozenset()
+    packet_bindings: dict[str, Expr] = field(default_factory=dict)
+    params: set[str] = field(default_factory=set)
+
+    @property
+    def is_base(self) -> bool:
+        return self.table is None and self.tables is None
+
+
+class Resolver:
+    """Resolves one program; stateless between programs."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.schemas: dict[str, TableSchema] = {}
+        self.resolved: list[ResolvedQuery] = []
+        self.params: set[str] = set()
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> ResolvedProgram:
+        for name, query in self.program.queries.items():
+            self.resolved.append(self._resolve_query(name, query))
+            self.schemas[name] = self.resolved[-1].output
+        return ResolvedProgram(
+            queries=tuple(self.resolved),
+            result=self.program.result,
+            params=frozenset(self.params),
+            source=self.program,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _input_schema(self, source: str | None) -> TableSchema | None:
+        """Schema of a query's input; ``None`` means the base table."""
+        if source is None or source == BASE_TABLE:
+            return None
+        if source not in self.schemas:
+            raise SemanticError(
+                f"query references {source!r} which is not defined earlier"
+            )
+        return self.schemas[source]
+
+    def _expand_key(self, key: str, table: TableSchema | None) -> tuple[str, ...]:
+        """Expand a grouping/join key name to concrete column names."""
+        if table is None:
+            if not sch.is_field(key):
+                raise SemanticError(f"unknown field {key!r} in key list")
+            return sch.expand_field(key)
+        expanded = sch.FIELD_ALIASES.get(key)
+        if expanded is not None:
+            missing = [f for f in expanded if table.resolve(f) is None]
+            if missing:
+                raise SemanticError(
+                    f"key {key!r} expands to columns missing from {table.name!r}: {missing}"
+                )
+            return expanded
+        if table.resolve(key) is None:
+            raise SemanticError(f"unknown column {key!r} in key list over {table.name!r}")
+        return (table.resolve(key).name,)
+
+    # -- expression resolution --------------------------------------------------
+
+    def resolve_expr(self, expr: Expr, scope: Scope) -> Expr:
+        """Resolve every name in ``expr`` against ``scope``."""
+        if isinstance(expr, Number):
+            return expr
+        if isinstance(expr, Name):
+            return self._resolve_name(expr.ident, scope)
+        if isinstance(expr, Dotted):
+            return self._resolve_dotted(expr, scope)
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, self.resolve_expr(expr.left, scope),
+                         self.resolve_expr(expr.right, scope))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self.resolve_expr(expr.operand, scope))
+        if isinstance(expr, Cond):
+            return Cond(self.resolve_expr(expr.pred, scope),
+                        self.resolve_expr(expr.then, scope),
+                        self.resolve_expr(expr.orelse, scope))
+        if isinstance(expr, Call):
+            return self._resolve_call(expr, scope)
+        if isinstance(expr, (FieldRef, StateRef, ParamRef, ColumnRef)):
+            return expr  # already resolved (builder API)
+        raise SemanticError(f"cannot resolve expression node {expr!r}")
+
+    def _resolve_name(self, ident: str, scope: Scope) -> Expr:
+        if ident in scope.state_vars:
+            return StateRef(ident)
+        if ident in scope.packet_bindings:
+            return scope.packet_bindings[ident]
+        if scope.is_base:
+            if ident in sch.FIELD_ALIASES:
+                raise SemanticError(
+                    f"{ident!r} names {len(sch.expand_field(ident))} fields and cannot "
+                    "be used as a scalar expression"
+                )
+            if sch.is_field(ident):
+                return FieldRef(ident)
+        elif scope.table is not None:
+            col = scope.table.resolve(ident)
+            if col is not None:
+                return ColumnRef(col.name)
+        elif scope.tables is not None:
+            hits = [(tname, t.resolve(ident)) for tname, t in scope.tables.items()
+                    if t.resolve(ident) is not None]
+            if len(hits) == 1:
+                tname, col = hits[0]
+                return ColumnRef(col.name, table=tname)
+            if len(hits) > 1:
+                raise SemanticError(f"column {ident!r} is ambiguous across join inputs")
+        if ident in sch.CONSTANTS:
+            return Number(sch.CONSTANTS[ident])
+        # Free names become query parameters (alpha, L, K in the paper).
+        scope.params.add(ident)
+        self.params.add(ident)
+        return ParamRef(ident)
+
+    def _resolve_dotted(self, expr: Dotted, scope: Scope) -> Expr:
+        if scope.tables is not None and expr.base in scope.tables:
+            table = scope.tables[expr.base]
+            col = table.resolve(expr.attr)
+            if col is None:
+                raise SemanticError(f"table {expr.base!r} has no column {expr.attr!r}")
+            return ColumnRef(col.name, table=expr.base)
+        if scope.table is not None:
+            col = scope.table.resolve(f"{expr.base}.{expr.attr}")
+            if col is not None:
+                return ColumnRef(col.name)
+        raise SemanticError(f"cannot resolve {expr.base}.{expr.attr}")
+
+    def _resolve_call(self, expr: Call, scope: Scope) -> Expr:
+        if expr.func in SCALAR_BUILTINS:
+            return Call(expr.func, tuple(self.resolve_expr(a, scope) for a in expr.args))
+        if expr.func in AGGREGATE_SUGAR:
+            # Outside a SELECT list, sugar refers to an upstream column:
+            # ``WHERE SUM(tout-tin) > L`` over R1 names R1's SUM column.
+            if scope.table is not None:
+                canonical = sugar_column_name(expr.func, expr.args[0] if expr.args else None)
+                col = scope.table.resolve(canonical)
+                if col is not None:
+                    return ColumnRef(col.name)
+                raise SemanticError(
+                    f"{canonical!r} does not name a column of {scope.table.name!r}"
+                )
+            raise SemanticError(
+                f"aggregation {expr.func!r} is only allowed in a SELECT list "
+                "or as a reference to an upstream aggregation column"
+            )
+        raise SemanticError(f"unknown function {expr.func!r}")
+
+    # -- fold instantiation ------------------------------------------------------
+
+    def _instantiate_fold(self, fold: FoldDef, column: str,
+                          bindings: dict[str, Expr], scope: Scope) -> FoldInstance:
+        """Rewrite ``fold``'s body over the query input row."""
+        state_vars = frozenset(fold.state_params)
+        body_scope = Scope(
+            table=scope.table,
+            tables=scope.tables,
+            state_vars=state_vars,
+            packet_bindings=bindings,
+            params=scope.params,
+        )
+        body = tuple(self._resolve_stmt(s, body_scope, state_vars) for s in fold.body)
+        read_expr = None
+        if fold.name != column and len(fold.state_params) > 1:
+            read_expr = None  # multi-var user folds expose per-var columns
+        return FoldInstance(
+            column=column,
+            fold_name=fold.name,
+            state_vars=fold.state_params,
+            inits=dict(fold.inits),
+            body=body,
+            read_expr=read_expr,
+        )
+
+    def _resolve_stmt(self, stmt: Stmt, scope: Scope, state_vars: frozenset[str]) -> Stmt:
+        if isinstance(stmt, Assign):
+            if stmt.target not in state_vars:
+                raise SemanticError(
+                    f"assignment to {stmt.target!r} which is not a declared state "
+                    f"variable of this fold"
+                )
+            return Assign(stmt.target, self.resolve_expr(stmt.value, scope))
+        if isinstance(stmt, If):
+            return If(
+                pred=self.resolve_expr(stmt.pred, scope),
+                then=tuple(self._resolve_stmt(s, scope, state_vars) for s in stmt.then),
+                orelse=tuple(self._resolve_stmt(s, scope, state_vars) for s in stmt.orelse),
+            )
+        raise SemanticError(f"unknown statement {stmt!r}")
+
+    def _bind_user_fold(self, fold: FoldDef, scope: Scope) -> dict[str, Expr]:
+        """Bind a user fold's packet parameters by name to input columns."""
+        bindings: dict[str, Expr] = {}
+        for param in fold.packet_params:
+            bindings[param] = self._resolve_name(param, scope)
+            if isinstance(bindings[param], ParamRef):
+                raise SemanticError(
+                    f"fold {fold.name!r} consumes packet field {param!r}, which is not "
+                    "a field/column of the query input"
+                )
+        return bindings
+
+    # -- query resolution ---------------------------------------------------------
+
+    def _resolve_query(self, name: str, query: Query) -> ResolvedQuery:
+        if isinstance(query, SelectQuery):
+            if query.groupby is not None:
+                return self._resolve_groupby(name, query)
+            return self._resolve_select(name, query)
+        if isinstance(query, JoinQuery):
+            return self._resolve_join(name, query)
+        raise SemanticError(f"unknown query node {query!r}")
+
+    # .. plain SELECT ..
+
+    def _resolve_select(self, name: str, query: SelectQuery) -> ResolvedQuery:
+        table = self._input_schema(query.source)
+        scope = Scope(table=table, params=self.params)
+        where = self.resolve_expr(query.where, scope) if query.where is not None else None
+
+        columns: list[Column] = []
+        if isinstance(query.items, Star):
+            if table is None:
+                columns = list(base_table_schema().columns)
+                columns = [replace(c, kind="expr", expr=FieldRef(c.name)) for c in columns]
+            else:
+                columns = [
+                    replace(c, kind="expr", expr=ColumnRef(c.name),
+                            source=None, fold=None, state_var=None, read_expr=None)
+                    if c.kind != "key" else replace(c, expr=ColumnRef(c.name))
+                    for c in table.columns
+                ]
+        else:
+            for item in query.items:
+                columns.extend(self._select_item_columns(item, scope, table))
+
+        # A filtered/projected keyed table stays keyed when all its key
+        # columns survive the projection.
+        keyed = False
+        key_columns: tuple[str, ...] = ()
+        if table is not None and table.keyed:
+            names = {c.name for c in columns}
+            if all(k in names for k in table.key_columns):
+                keyed = True
+                key_columns = table.key_columns
+        output = TableSchema(name=name, keyed=keyed, key_columns=key_columns,
+                             columns=tuple(columns))
+        return ResolvedQuery(
+            name=name, kind="select", source=self._canonical_source(query.source),
+            where=where, output=output,
+            select_exprs=tuple(c for c in columns if c.kind == "expr"),
+        )
+
+    def _select_item_columns(self, item: SelectItem, scope: Scope,
+                             table: TableSchema | None) -> list[Column]:
+        """Columns contributed by one plain-SELECT item."""
+        expr = item.expr
+        if isinstance(expr, Name) and expr.ident in sch.FIELD_ALIASES and scope.is_base:
+            if item.alias:
+                raise SemanticError(f"cannot alias multi-field {expr.ident!r}")
+            return [
+                Column(name=f, kind="expr", dtype=sch.FIELDS_BY_NAME[f].dtype,
+                       bits=sch.FIELDS_BY_NAME[f].bits, expr=FieldRef(f))
+                for f in sch.expand_field(expr.ident)
+            ]
+        if isinstance(expr, Name) and table is not None and expr.ident in sch.FIELD_ALIASES:
+            return [
+                Column(name=f, kind="expr", dtype="int",
+                       bits=sch.FIELDS_BY_NAME[f].bits, expr=ColumnRef(f))
+                for f in self._expand_key(expr.ident, table)
+            ]
+        resolved = self.resolve_expr(expr, scope)
+        name = item.alias or self._derive_column_name(expr, resolved)
+        dtype, bits = self._infer_type(resolved, table)
+        return [Column(name=name, kind="expr", dtype=dtype, bits=bits, expr=resolved)]
+
+    @staticmethod
+    def _derive_column_name(original: Expr, resolved: Expr) -> str:
+        if isinstance(resolved, FieldRef):
+            return resolved.name
+        if isinstance(resolved, ColumnRef):
+            return resolved.name
+        return format_expr(original)
+
+    def _infer_type(self, expr: Expr, table: TableSchema | None) -> tuple[str, int]:
+        """Crude dtype/bit-width inference for layout purposes."""
+        if isinstance(expr, FieldRef):
+            spec = sch.FIELDS_BY_NAME[expr.name]
+            return spec.dtype, spec.bits
+        if isinstance(expr, ColumnRef) and table is not None:
+            col = table.resolve(expr.name)
+            if col is not None:
+                return col.dtype, col.bits
+        if isinstance(expr, Number):
+            return ("int", 64) if isinstance(expr.value, int) else ("float", 64)
+        if isinstance(expr, BinOp) and expr.op == "/":
+            return "float", 64
+        if isinstance(expr, BinOp) and expr.op in ("==", "!=", "<", "<=", ">", ">=",
+                                                   "and", "or"):
+            return "int", 1
+        return "float", 64
+
+    # .. GROUPBY ..
+
+    def _resolve_groupby(self, name: str, query: SelectQuery) -> ResolvedQuery:
+        table = self._input_schema(query.source)
+        scope = Scope(table=table, params=self.params)
+        where = self.resolve_expr(query.where, scope) if query.where is not None else None
+
+        assert query.groupby is not None
+        keys: list[str] = []
+        for key in query.groupby:
+            keys.extend(self._expand_key(key, table))
+        if len(set(keys)) != len(keys):
+            raise SemanticError(f"duplicate GROUPBY key in {keys}")
+
+        columns: list[Column] = [
+            Column(name=k, kind="key", source=k,
+                   dtype=self._key_dtype(k, table), bits=self._key_bits(k, table))
+            for k in keys
+        ]
+        folds: list[FoldInstance] = []
+
+        if isinstance(query.items, Star):
+            raise SemanticError("SELECT * is not meaningful in a GROUPBY query")
+        for item in query.items:
+            expr = item.expr
+            # Key fields (possibly multi-field aliases) pass through.
+            if isinstance(expr, Name) and self._is_key_item(expr.ident, keys, table):
+                continue  # keys are always emitted; listing them is allowed
+            fold_cols, fold = self._group_item(expr, item.alias, scope, table)
+            if fold is not None:
+                folds.append(fold)
+            columns.extend(fold_cols)
+
+        # Register bare state-variable aliases when unambiguous
+        # (``WHERE lat > L`` refers to sum_lat's only state variable).
+        output = TableSchema(name=name, keyed=True, key_columns=tuple(keys),
+                             columns=tuple(columns))
+        return ResolvedQuery(
+            name=name, kind="groupby", source=self._canonical_source(query.source),
+            where=where, groupby_keys=tuple(keys), folds=tuple(folds), output=output,
+        )
+
+    def _is_key_item(self, ident: str, keys: list[str], table: TableSchema | None) -> bool:
+        try:
+            expanded = self._expand_key(ident, table)
+        except SemanticError:
+            return False
+        if ident in self.program.folds:
+            return False
+        return all(k in keys for k in expanded)
+
+    def _key_dtype(self, key: str, table: TableSchema | None) -> str:
+        if table is None:
+            return sch.FIELDS_BY_NAME[key].dtype
+        col = table.resolve(key)
+        return col.dtype if col else "int"
+
+    def _key_bits(self, key: str, table: TableSchema | None) -> int:
+        if table is None:
+            return sch.FIELDS_BY_NAME[key].bits
+        col = table.resolve(key)
+        return col.bits if col else DEFAULT_STATE_BITS
+
+    def _group_item(self, expr: Expr, alias: str | None, scope: Scope,
+                    table: TableSchema | None) -> tuple[list[Column], FoldInstance | None]:
+        """Columns + fold instance for a non-key GROUPBY select item."""
+        # User-defined fold reference.
+        if isinstance(expr, Name) and expr.ident in self.program.folds:
+            fold_def = self.program.folds[expr.ident]
+            bindings = self._bind_user_fold(fold_def, scope)
+            column = alias or fold_def.name
+            instance = self._instantiate_fold(fold_def, column, bindings, scope)
+            return self._fold_columns(instance, fold_def), instance
+
+        # Aggregation sugar: bare COUNT or CALL form.
+        func: str | None = None
+        arg: Expr | None = None
+        if isinstance(expr, Name) and expr.ident in AGGREGATE_SUGAR:
+            func = expr.ident
+        elif isinstance(expr, Call) and expr.func in AGGREGATE_SUGAR:
+            func = expr.func
+            if len(expr.args) != 1:
+                raise SemanticError(f"{func} takes exactly one argument")
+            arg = expr.args[0]
+        if func is not None:
+            if func != "COUNT" and arg is None:
+                raise SemanticError(f"{func} requires an argument")
+            if func == "COUNT" and arg is not None:
+                raise SemanticError("COUNT takes no argument")
+            column = alias or sugar_column_name(func, arg)
+            fold_def = make_sugar_fold(func, column)
+            bindings: dict[str, Expr] = {}
+            if arg is not None:
+                bindings[ARG] = self.resolve_expr(arg, scope)
+            instance = self._instantiate_fold(fold_def, column, bindings, scope)
+            if func == "AVG":
+                sum_var, cnt_var = fold_def.state_params
+                instance = replace(
+                    instance,
+                    read_expr=BinOp("/", StateRef(sum_var), StateRef(cnt_var)),
+                )
+                cols = [
+                    Column(name=column, kind="derived", dtype="float", bits=64,
+                           fold=column, read_expr=instance.read_expr),
+                    Column(name=f"{column}.sum", kind="agg", fold=column,
+                           state_var=sum_var, dtype="float", bits=DEFAULT_STATE_BITS),
+                    Column(name=f"{column}.count", kind="agg", fold=column,
+                           state_var=cnt_var, dtype="int", bits=DEFAULT_STATE_BITS),
+                ]
+                return cols, instance
+            state_var = fold_def.state_params[0]
+            col = Column(name=column, kind="agg", fold=column, state_var=state_var,
+                         dtype="float" if func in ("SUM", "AVG") else "int",
+                         bits=DEFAULT_STATE_BITS)
+            return [col], instance
+
+        raise SemanticError(
+            f"GROUPBY select item {format_expr(expr)!r} must be a grouping key, "
+            "a fold function, or aggregation sugar (COUNT/SUM/AVG/MAX/MIN)"
+        )
+
+    def _fold_columns(self, instance: FoldInstance, fold_def: FoldDef) -> list[Column]:
+        """Output columns for a user fold: one per state variable.
+
+        Single-variable folds export the variable under its own name
+        with the fold name as alias (the paper writes both ``lat`` and
+        ``perc.high``); multi-variable folds export ``fold.var`` columns
+        with the bare variable name as alias.
+        """
+        cols: list[Column] = []
+        if len(instance.state_vars) == 1:
+            var = instance.state_vars[0]
+            cols.append(Column(
+                name=var, kind="agg", fold=instance.column, state_var=var,
+                dtype="float", bits=DEFAULT_STATE_BITS,
+                aliases=(instance.column,) if instance.column != var else (),
+            ))
+            return cols
+        for var in instance.state_vars:
+            cols.append(Column(
+                name=f"{instance.column}.{var}", kind="agg", fold=instance.column,
+                state_var=var, dtype="float", bits=DEFAULT_STATE_BITS,
+                aliases=(var,),
+            ))
+        return cols
+
+    # .. JOIN ..
+
+    def _resolve_join(self, name: str, query: JoinQuery) -> ResolvedQuery:
+        left = self._input_schema(query.left)
+        right = self._input_schema(query.right)
+        if left is None or right is None:
+            raise SemanticError("JOIN inputs must be named upstream queries, not T")
+
+        on: list[str] = []
+        for key in query.on:
+            left_cols = self._expand_key(key, left)
+            right_cols = self._expand_key(key, right)
+            if left_cols != right_cols:
+                raise SemanticError(
+                    f"join key {key!r} expands differently on the two sides"
+                )
+            on.extend(left_cols)
+
+        # §2 footnote 3: the key must uniquely identify records in both
+        # tables.  Sufficient static condition: both sides are keyed
+        # tables grouped exactly by the join key.
+        for side_name, side in ((query.left, left), (query.right, right)):
+            if not side.keyed:
+                raise SemanticError(
+                    f"JOIN input {side_name!r} is not a grouped table; the join key "
+                    "cannot be proven unique (paper §2, footnote 3)"
+                )
+            if set(side.key_columns) != set(on):
+                raise SemanticError(
+                    f"JOIN key {on} must equal the grouping key "
+                    f"{list(side.key_columns)} of input {side_name!r}"
+                )
+
+        tables = {query.left: left, query.right: right}
+        scope = Scope(tables=tables, params=self.params)
+        where = self.resolve_expr(query.where, scope) if query.where is not None else None
+
+        columns: list[Column] = [
+            Column(name=k, kind="key", source=k,
+                   dtype=self._key_dtype(k, left), bits=self._key_bits(k, left))
+            for k in on
+        ]
+        if isinstance(query.items, Star):
+            for tname, tschema in tables.items():
+                for col in tschema.columns:
+                    if col.name in on:
+                        continue
+                    columns.append(Column(
+                        name=f"{tname}.{col.name}", kind="expr", dtype=col.dtype,
+                        bits=col.bits, expr=ColumnRef(col.name, table=tname),
+                    ))
+        else:
+            for item in query.items:
+                resolved = self.resolve_expr(item.expr, scope)
+                cname = item.alias or self._derive_join_name(item.expr, resolved)
+                dtype, bits = self._infer_type(resolved, None)
+                columns.append(Column(name=cname, kind="expr", dtype=dtype,
+                                      bits=bits, expr=resolved))
+
+        output = TableSchema(name=name, keyed=True, key_columns=tuple(on),
+                             columns=tuple(columns))
+        return ResolvedQuery(
+            name=name, kind="join", source=None,
+            join_left=query.left, join_right=query.right, join_on=tuple(on),
+            where=where, output=output,
+            select_exprs=tuple(c for c in columns if c.kind == "expr"),
+        )
+
+    @staticmethod
+    def _derive_join_name(original: Expr, resolved: Expr) -> str:
+        if isinstance(resolved, ColumnRef):
+            if resolved.table:
+                return f"{resolved.table}.{resolved.name}"
+            return resolved.name
+        return format_expr(original)
+
+    @staticmethod
+    def _canonical_source(source: str | None) -> str | None:
+        return None if source in (None, BASE_TABLE) else source
+
+
+def resolve_program(program: Program) -> ResolvedProgram:
+    """Resolve and check ``program`` (see module docstring)."""
+    return Resolver(program).run()

@@ -1,0 +1,23 @@
+"""Network substrate: queues, topologies, and the event-driven
+simulator that produces the paper's packet-observation table (§2).
+"""
+
+from .queues import Departure, Drop, OutputQueue
+from .records import ObservationTable, PacketRecord
+from .simulator import NetworkSimulator, SimPacket
+from .topology import LinkSpec, Topology, leaf_spine, linear_chain, single_switch
+
+__all__ = [
+    "Departure",
+    "Drop",
+    "LinkSpec",
+    "NetworkSimulator",
+    "ObservationTable",
+    "OutputQueue",
+    "PacketRecord",
+    "SimPacket",
+    "Topology",
+    "leaf_spine",
+    "linear_chain",
+    "single_switch",
+]

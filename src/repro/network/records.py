@@ -1,0 +1,167 @@
+"""Packet-observation records — the rows of the abstract table ``T``.
+
+The paper's schema (§2)::
+
+    (pkt_hdr, qid, tin, tout, qsize, pkt_path)
+
+Each record describes one packet's transit of one queue; a packet that
+traverses multiple queues contributes one record per queue (footnote
+2).  A dropped packet has ``tout == +inf`` (§2).
+
+Two representations are provided:
+
+* :class:`PacketRecord` — a slotted per-row object, convenient for the
+  interpreter, the switch pipeline, and tests;
+* :class:`ObservationTable` — a thin list wrapper with columnar
+  (numpy) import/export for large synthetic traces, plus ``.npz``
+  persistence so generated workloads can be cached between benchmark
+  runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core import schema as sch
+
+INFINITY = math.inf
+
+
+@dataclass(slots=True)
+class PacketRecord:
+    """One packet observation at one queue.
+
+    All times are integer nanoseconds except ``tout`` which is ``+inf``
+    for dropped packets.  Field names match :mod:`repro.core.schema`
+    exactly — queries access them by name.
+    """
+
+    srcip: int = 0
+    dstip: int = 0
+    srcport: int = 0
+    dstport: int = 0
+    proto: int = 6
+    pkt_len: int = 64
+    payload_len: int = 0
+    tcpseq: int = 0
+    pkt_id: int = 0
+    qid: int = 0
+    tin: int = 0
+    tout: float = 0.0
+    qin: int = 0
+    qout: int = 0
+    qsize: int = 0
+    pkt_path: int = 0
+
+    @property
+    def dropped(self) -> bool:
+        return math.isinf(self.tout)
+
+    @property
+    def queueing_delay(self) -> float:
+        """``tout - tin``; ``+inf`` for drops."""
+        return self.tout - self.tin
+
+    def five_tuple(self) -> tuple[int, int, int, int, int]:
+        return (self.srcip, self.dstip, self.srcport, self.dstport, self.proto)
+
+    def key(self, key_fields: Sequence[str]) -> tuple:
+        """Aggregation key for ``key_fields`` (hardware key extraction)."""
+        return tuple(getattr(self, f) for f in key_fields)
+
+
+RECORD_FIELDS: tuple[str, ...] = tuple(f.name for f in dc_fields(PacketRecord))
+
+#: numpy dtypes used by the columnar representation.
+_COLUMN_DTYPES: dict[str, str] = {name: "int64" for name in RECORD_FIELDS}
+_COLUMN_DTYPES["tout"] = "float64"
+
+
+class ObservationTable:
+    """A materialised observation table with columnar conversion.
+
+    Iterating yields :class:`PacketRecord` objects in arrival order
+    (the order matters: the language supports order-dependent folds).
+    """
+
+    def __init__(self, records: Iterable[PacketRecord] | None = None):
+        self.records: list[PacketRecord] = list(records) if records is not None else []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> PacketRecord:
+        return self.records[index]
+
+    def append(self, record: PacketRecord) -> None:
+        self.records.append(record)
+
+    # -- columnar conversion -------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar copy: one numpy array per field."""
+        out: dict[str, np.ndarray] = {}
+        n = len(self.records)
+        for name in RECORD_FIELDS:
+            column = np.empty(n, dtype=_COLUMN_DTYPES[name])
+            for i, record in enumerate(self.records):
+                column[i] = getattr(record, name)
+            out[name] = column
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "ObservationTable":
+        """Build a table from columnar data; missing columns default."""
+        lengths = {len(a) for a in arrays.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"column length mismatch: {lengths}")
+        n = lengths.pop() if lengths else 0
+        table = cls()
+        names = [name for name in RECORD_FIELDS if name in arrays]
+        converted = {
+            name: arrays[name].tolist() for name in names
+        }
+        for i in range(n):
+            table.append(PacketRecord(**{name: converted[name][i] for name in names}))
+        return table
+
+    def key_array(self, key_fields: Sequence[str]) -> np.ndarray:
+        """Collapse the per-record key tuples into one int64 array of
+        mixed hashes — the fast path used by large cache simulations
+        where only key identity matters (e.g. the Fig. 5 sweep)."""
+        arrays = [np.asarray([getattr(r, f) for r in self.records], dtype=np.int64)
+                  for f in key_fields]
+        mixed = np.zeros(len(self.records), dtype=np.int64)
+        for arr in arrays:
+            mixed = mixed * np.int64(1_000_003) + arr
+        return mixed
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(path, **self.to_arrays())
+
+    @classmethod
+    def load(cls, path: str) -> "ObservationTable":
+        with np.load(path) as data:
+            return cls.from_arrays({k: data[k] for k in data.files})
+
+    # -- conveniences ------------------------------------------------------------
+
+    def unique_keys(self, key_fields: Sequence[str]) -> int:
+        return len({r.key(key_fields) for r in self.records})
+
+    def duration_ns(self) -> int:
+        if not self.records:
+            return 0
+        return self.records[-1].tin - self.records[0].tin
+
+    def drop_count(self) -> int:
+        return sum(1 for r in self.records if r.dropped)

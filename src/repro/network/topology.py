@@ -1,0 +1,139 @@
+"""Network topologies for the simulator.
+
+A topology is a directed graph (networkx) of *hosts* and *switches*;
+each directed edge is a link with a rate, propagation delay, and buffer
+size.  Every (switch → neighbour) edge owns one output queue, which is
+where packet observations are produced (the paper's schema is
+per-queue, footnote 2).
+
+Constructors cover the scenarios the paper's motivation cites:
+single-switch incast fan-in, a leaf-spine datacenter fabric, and a
+linear chain for multi-hop latency queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Directed link parameters."""
+
+    rate_gbps: float = 10.0
+    prop_delay_ns: int = 1000
+    buffer_packets: int = 64
+
+
+class Topology:
+    """A typed wrapper over a directed networkx graph.
+
+    Node naming conventions: hosts are ``h<i>``, switches ``s<i>``.
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self._qid_counter = 0
+        self._qids: dict[tuple[str, str], int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_host(self, name: str) -> str:
+        self.graph.add_node(name, kind="host")
+        return name
+
+    def add_switch(self, name: str) -> str:
+        self.graph.add_node(name, kind="switch")
+        return name
+
+    def add_link(self, a: str, b: str, spec: LinkSpec | None = None,
+                 bidirectional: bool = True) -> None:
+        """Add a link; each switch-egress direction gets a queue id."""
+        spec = spec or LinkSpec()
+        directions = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for u, v in directions:
+            self.graph.add_edge(u, v, spec=spec)
+            if self.graph.nodes[u].get("kind") == "switch":
+                self._qids[(u, v)] = self._qid_counter
+                self._qid_counter += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_switch(self, name: str) -> bool:
+        return self.graph.nodes[name].get("kind") == "switch"
+
+    def hosts(self) -> list[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d.get("kind") == "host"]
+
+    def switches(self) -> list[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d.get("kind") == "switch"]
+
+    def link(self, u: str, v: str) -> LinkSpec:
+        return self.graph.edges[u, v]["spec"]
+
+    def qid(self, u: str, v: str) -> int:
+        """Queue id of the (switch u → v) egress queue."""
+        return self._qids[(u, v)]
+
+    def qid_name(self, qid: int) -> tuple[str, str]:
+        for edge, q in self._qids.items():
+            if q == qid:
+                return edge
+        raise KeyError(qid)
+
+    def queue_edges(self) -> list[tuple[str, str]]:
+        return list(self._qids)
+
+    def path(self, src: str, dst: str) -> list[str]:
+        """Shortest path (hop count) from src to dst."""
+        return nx.shortest_path(self.graph, src, dst)
+
+
+# ---------------------------------------------------------------------------
+# Canned topologies
+# ---------------------------------------------------------------------------
+
+
+def single_switch(n_hosts: int, link: LinkSpec | None = None) -> Topology:
+    """``n_hosts`` hosts on one switch — the incast scenario (§1: many
+    senders converging on one egress queue)."""
+    topo = Topology()
+    topo.add_switch("s0")
+    for i in range(n_hosts):
+        host = topo.add_host(f"h{i}")
+        topo.add_link(host, "s0", link)
+    return topo
+
+
+def linear_chain(n_switches: int, link: LinkSpec | None = None) -> Topology:
+    """h0 - s0 - s1 - ... - s(n-1) - h1: multi-hop latency queries."""
+    topo = Topology()
+    topo.add_host("h0")
+    topo.add_host("h1")
+    prev = "h0"
+    for i in range(n_switches):
+        sw = topo.add_switch(f"s{i}")
+        topo.add_link(prev, sw, link)
+        prev = sw
+    topo.add_link(prev, "h1", link)
+    return topo
+
+
+def leaf_spine(n_leaves: int, n_spines: int, hosts_per_leaf: int,
+               edge_link: LinkSpec | None = None,
+               fabric_link: LinkSpec | None = None) -> Topology:
+    """Two-tier datacenter fabric: hosts → leaves → spines."""
+    topo = Topology()
+    fabric_link = fabric_link or LinkSpec(rate_gbps=40.0)
+    for spine in range(n_spines):
+        topo.add_switch(f"spine{spine}")
+    for leaf in range(n_leaves):
+        leaf_name = topo.add_switch(f"leaf{leaf}")
+        for spine in range(n_spines):
+            topo.add_link(leaf_name, f"spine{spine}", fabric_link)
+        for h in range(hosts_per_leaf):
+            host = topo.add_host(f"h{leaf}_{h}")
+            topo.add_link(host, leaf_name, edge_link)
+    return topo

@@ -1,0 +1,5 @@
+"""The Fig. 2 query catalog (plus §2 running-text examples)."""
+
+from .catalog import ALL_QUERIES, CATALOG, FIG2_QUERIES, CatalogEntry, get
+
+__all__ = ["ALL_QUERIES", "CATALOG", "FIG2_QUERIES", "CatalogEntry", "get"]

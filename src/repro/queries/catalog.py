@@ -1,0 +1,179 @@
+"""The Fig. 2 query catalog.
+
+Every example query of the paper's Fig. 2, as source text in the query
+language, with the paper's stated linear-in-state verdict and the
+parameters each query needs.  The catalog drives:
+
+* the FIG2 bench (``benchmarks/bench_fig2_queries.py``), which runs
+  each query end-to-end and checks the linearity column;
+* the expressiveness tests (``tests/test_catalog.py``);
+* the examples, which pull queries by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.eval_expr import Numeric
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One Fig. 2 row."""
+
+    name: str
+    description: str
+    source: str
+    linear_in_state: bool                       # the Fig. 2 verdict
+    default_params: dict[str, Numeric] = field(default_factory=dict)
+    result_columns: tuple[str, ...] = ()        # spot-check columns
+
+
+PER_FLOW_COUNTERS = CatalogEntry(
+    name="per_flow_counters",
+    description="Count packets and bytes for each src-dst IP pair.",
+    source="SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
+    linear_in_state=True,
+    result_columns=("COUNT", "SUM(pkt_len)"),
+)
+
+LATENCY_EWMA = CatalogEntry(
+    name="latency_ewma",
+    description="Maintain a per-flow EWMA over queueing latencies of packets.",
+    source="""
+def ewma (lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+SELECT 5tuple, ewma GROUPBY 5tuple
+""",
+    linear_in_state=True,
+    default_params={"alpha": 0.1},
+    result_columns=("lat_est",),
+)
+
+TCP_OUT_OF_SEQUENCE = CatalogEntry(
+    name="tcp_out_of_sequence",
+    description="Count packets with non-consecutive sequence numbers in "
+                "each TCP stream.",
+    source="""
+def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):
+    if lastseq + 1 != tcpseq:
+        oos_count = oos_count + 1
+    lastseq = tcpseq + payload_len
+
+SELECT 5tuple, outofseq GROUPBY 5tuple WHERE proto == TCP
+""",
+    linear_in_state=True,
+    result_columns=("outofseq.oos_count",),
+)
+
+TCP_NON_MONOTONIC = CatalogEntry(
+    name="tcp_non_monotonic",
+    description="Count packet retransmissions and reorderings in each "
+                "TCP stream.",
+    source="""
+def nonmt ((maxseq, nm_count), tcpseq):
+    if maxseq > tcpseq:
+        nm_count = nm_count + 1
+    maxseq = max(maxseq, tcpseq)
+
+SELECT 5tuple, nonmt GROUPBY 5tuple WHERE proto == TCP
+""",
+    linear_in_state=False,
+    result_columns=("nonmt.nm_count",),
+)
+
+PER_FLOW_HIGH_LATENCY = CatalogEntry(
+    name="per_flow_high_latency",
+    description="Count packets with high end-to-end latency per flow.",
+    source="""
+def sum_lat (lat, (tin, tout)):
+    lat = lat + tout - tin
+
+R1 = SELECT pkt_uniq, sum_lat GROUPBY pkt_uniq
+R2 = SELECT 5tuple, COUNT FROM R1 GROUPBY 5tuple WHERE lat > L
+""",
+    linear_in_state=True,
+    default_params={"L": 1_000_000},  # 1 ms end-to-end
+    result_columns=("COUNT",),
+)
+
+PER_FLOW_LOSS_RATE = CatalogEntry(
+    name="per_flow_loss_rate",
+    description="Determine loss rates per flow.",
+    source="""
+R1 = SELECT COUNT GROUPBY 5tuple
+R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
+R3 = SELECT R2.COUNT/R1.COUNT AS loss_rate FROM R1 JOIN R2 ON 5tuple
+""",
+    linear_in_state=True,
+    result_columns=("loss_rate",),
+)
+
+HIGH_P99_QUEUE_SIZE = CatalogEntry(
+    name="high_p99_queue_size",
+    description="Identify queues with a 99th percentile queue size (over "
+                "packet samples) higher than a threshold K.",
+    source="""
+def perc ((tot, high), qin):
+    if qin > K:
+        high = high + 1
+    tot = tot + 1
+
+R1 = SELECT qid, perc GROUPBY qid
+R2 = SELECT * FROM R1 WHERE perc.high/perc.tot > 0.01
+""",
+    linear_in_state=True,
+    default_params={"K": 20},
+    result_columns=("qid", "perc.high", "perc.tot"),
+)
+
+#: All Fig. 2 rows in table order.
+FIG2_QUERIES: tuple[CatalogEntry, ...] = (
+    PER_FLOW_COUNTERS,
+    LATENCY_EWMA,
+    TCP_OUT_OF_SEQUENCE,
+    TCP_NON_MONOTONIC,
+    PER_FLOW_HIGH_LATENCY,
+    PER_FLOW_LOSS_RATE,
+    HIGH_P99_QUEUE_SIZE,
+)
+
+CATALOG: dict[str, CatalogEntry] = {q.name: q for q in FIG2_QUERIES}
+
+
+def get(name: str) -> CatalogEntry:
+    """Look a catalog query up by name."""
+    return CATALOG[name]
+
+
+# -- additional queries from the running text (§2), not in Fig. 2 ------------
+
+HIGH_LATENCY_PACKETS = CatalogEntry(
+    name="high_latency_packets",
+    description="Source IPs of packets with queueing latency over 1 ms, "
+                "with the queue where it happened (§2 SELECT/WHERE example).",
+    source="SELECT srcip, qid FROM T WHERE tout - tin > 1ms",
+    linear_in_state=True,  # no state at all
+    result_columns=("srcip", "qid"),
+)
+
+BYTES_PER_SRC_DST = CatalogEntry(
+    name="bytes_per_src_dst",
+    description="Bytes per source-destination pair via a user fold "
+                "(§2 sumlen example).",
+    source="""
+def sumlen (result, (pkt_len)):
+    result = result + pkt_len
+
+SELECT srcip, dstip, sumlen GROUPBY srcip, dstip
+""",
+    linear_in_state=True,
+    result_columns=("result",),
+)
+
+EXTRA_QUERIES: tuple[CatalogEntry, ...] = (HIGH_LATENCY_PACKETS, BYTES_PER_SRC_DST)
+
+ALL_QUERIES: dict[str, CatalogEntry] = {
+    **CATALOG, **{q.name: q for q in EXTRA_QUERIES}
+}

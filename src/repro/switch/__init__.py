@@ -1,0 +1,31 @@
+"""The paper's hardware half: the switch model.
+
+:mod:`.parser_model` — programmable parser (§3.1);
+:mod:`.pipeline` — match-action pipeline executing compiled programs;
+:mod:`.alu` — single-cycle state-update ALU;
+:mod:`.kvstore` — the split SRAM/DRAM key-value store (§3.2);
+:mod:`.area` — area/feasibility arithmetic (§3.3, §4).
+"""
+
+from .alu import compile_predicate, compile_update
+from .area import AreaReport, area_fraction, effective_packet_rate
+from .kvstore import BackingStore, CacheGeometry, CacheStats, KeyValueCache, SplitKeyValueStore
+from .parser_model import ParserConfig, configure_parser
+from .pipeline import DEFAULT_GEOMETRY, SwitchPipeline
+
+__all__ = [
+    "AreaReport",
+    "BackingStore",
+    "CacheGeometry",
+    "CacheStats",
+    "DEFAULT_GEOMETRY",
+    "KeyValueCache",
+    "ParserConfig",
+    "SplitKeyValueStore",
+    "SwitchPipeline",
+    "area_fraction",
+    "compile_predicate",
+    "compile_update",
+    "configure_parser",
+    "effective_packet_rate",
+]

@@ -1,0 +1,151 @@
+"""Area and feasibility model (paper §3.3 and §4).
+
+Back-of-the-envelope accounting the paper uses to argue the design is
+practical:
+
+* SRAM density ~7000 Kbit/mm² [ARM, ref 13];
+* the smallest switching chips occupy ~200 mm² [Gibb et al., ref 20];
+* a 32-Mbit cache therefore costs < 2.5% additional die area;
+* key-value pairs for ``SELECT COUNT GROUPBY 5tuple`` are 128 bits
+  (104-bit 5-tuple key + 24-bit counter);
+* storing the trace's 3.8 M flows on-chip would need ~486 Mbit ≈ 38%
+  of the chip — hence the split design;
+* a 1 GHz switch (10⁹ 64-byte packets/s) at 850-byte average packets
+  and 30% utilisation processes ~22.6 M packets/s, converting eviction
+  fractions into backing-store write rates (Fig. 5, right);
+* scale-out stores sustain "a few hundred thousand operations per
+  second per core" [refs 1, 5, 10, 24].
+
+Digital logic (LRU, hash, fused multiply-add update) is ignored
+"relative to the SRAM" (§3.3), so area here is memory area only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: SRAM density, Kbit per mm² (§4, ref [13]).
+SRAM_KBIT_PER_MM2 = 7000.0
+
+#: Die area of the smallest switching chips, mm² (§4, ref [20]).
+CHIP_AREA_MM2 = 200.0
+
+#: Switch pipeline clock (§3: "typically 1 GHz", one packet per ns).
+CLOCK_HZ = 1e9
+
+#: Minimum-size packet assumed at full clock rate (§4: "a billion
+#: 64-byte packets per second").
+BASE_PACKET_BYTES = 64
+
+#: Typical datacenter conditions (§4, from Benson et al. [16]).
+AVG_PACKET_BYTES = 850
+UTILIZATION = 0.30
+
+#: Backing-store capability quoted by the paper (order of magnitude):
+#: "a few hundred thousand requests per second per core".
+BACKING_STORE_OPS_PER_CORE = 300_000.0
+
+MBIT = 1 << 20
+
+
+def sram_area_mm2(bits: float) -> float:
+    """Die area of ``bits`` of SRAM at the §4 density."""
+    kbits = bits / 1000.0
+    return kbits / SRAM_KBIT_PER_MM2
+
+
+def area_fraction(bits: float, chip_mm2: float = CHIP_AREA_MM2) -> float:
+    """Cache area as a fraction of the chip die."""
+    return sram_area_mm2(bits) / chip_mm2
+
+
+def cache_bits(n_pairs: int, pair_bits: int) -> int:
+    """Total SRAM bits for ``n_pairs`` key-value pairs."""
+    return n_pairs * pair_bits
+
+
+def pairs_in_cache(total_bits: float, pair_bits: int) -> int:
+    """Key-value pairs that fit in ``total_bits`` of SRAM."""
+    return int(total_bits // pair_bits)
+
+
+def effective_packet_rate(
+    clock_hz: float = CLOCK_HZ,
+    base_packet_bytes: int = BASE_PACKET_BYTES,
+    avg_packet_bytes: int = AVG_PACKET_BYTES,
+    utilization: float = UTILIZATION,
+) -> float:
+    """Average packets/s under typical conditions (§4: ≈22.6 M/s).
+
+    The switch forwards ``clock_hz`` minimum-size packets per second at
+    line rate; capacity in bytes/s is scaled by utilisation and divided
+    by the average packet size.
+    """
+    bytes_per_second = clock_hz * base_packet_bytes
+    return bytes_per_second * utilization / avg_packet_bytes
+
+
+def evictions_per_second(eviction_fraction: float,
+                         packet_rate: float | None = None) -> float:
+    """Backing-store write rate implied by an eviction fraction —
+    the Fig. 5 right-hand plot's y-axis."""
+    rate = effective_packet_rate() if packet_rate is None else packet_rate
+    return eviction_fraction * rate
+
+
+def backing_store_cores(eviction_rate: float,
+                        ops_per_core: float = BACKING_STORE_OPS_PER_CORE) -> float:
+    """Cores of a scale-out key-value store needed to absorb
+    ``eviction_rate`` writes/s."""
+    return eviction_rate / ops_per_core
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area accounting for one cache configuration."""
+
+    pair_bits: int
+    n_pairs: int
+
+    @property
+    def total_bits(self) -> int:
+        return cache_bits(self.n_pairs, self.pair_bits)
+
+    @property
+    def total_mbit(self) -> float:
+        return self.total_bits / MBIT
+
+    @property
+    def area_mm2(self) -> float:
+        return sram_area_mm2(self.total_bits)
+
+    @property
+    def chip_fraction(self) -> float:
+        return area_fraction(self.total_bits)
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_pairs} pairs x {self.pair_bits} b = {self.total_mbit:.1f} Mbit; "
+            f"{self.area_mm2:.2f} mm2 = {100 * self.chip_fraction:.2f}% of a "
+            f"{CHIP_AREA_MM2:.0f} mm2 die"
+        )
+
+
+def paper_headline_numbers() -> dict[str, float]:
+    """The §4 in-text figures, recomputed from the model (bench T-AREA).
+
+    Returns a dict with:
+        ``cache_32mbit_area_pct``  — <2.5 claimed;
+        ``all_flows_mbit``         — ~486 claimed (3.8 M flows);
+        ``all_flows_area_pct``     — ~38 claimed;
+        ``packet_rate_mpps``       — ~22.6 claimed;
+        ``evictions_at_3p55_pct``  — ~802 K claimed (3.55% of packets).
+    """
+    pair_bits = 128  # 104-bit 5-tuple + 24-bit counter
+    return {
+        "cache_32mbit_area_pct": 100 * area_fraction(32 * MBIT),
+        "all_flows_mbit": cache_bits(3_800_000, pair_bits) / MBIT,
+        "all_flows_area_pct": 100 * area_fraction(cache_bits(3_800_000, pair_bits)),
+        "packet_rate_mpps": effective_packet_rate() / 1e6,
+        "evictions_at_3p55_pct": evictions_per_second(0.0355),
+    }

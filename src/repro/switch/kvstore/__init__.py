@@ -1,0 +1,35 @@
+"""The programmable key-value store: split cache/backing design (§3.2).
+
+:mod:`.cache` — n×m bucketed LRU SRAM cache (Fig. 4);
+:mod:`.backing` — DRAM store with merge / value-list semantics;
+:mod:`.split` — the combined engine for one ``GROUPBY`` stage (Fig. 3).
+"""
+
+from .backing import BackingStore, KeyEntry
+from .sketch import CountMinSketch, SketchGeometry
+from .cache import (
+    CacheGeometry,
+    CacheStats,
+    Entry,
+    KeyValueCache,
+    mix_key,
+    simulate_eviction_count,
+    splitmix64,
+)
+from .split import CacheValue, SplitKeyValueStore
+
+__all__ = [
+    "BackingStore",
+    "CacheGeometry",
+    "CacheStats",
+    "CacheValue",
+    "CountMinSketch",
+    "SketchGeometry",
+    "Entry",
+    "KeyEntry",
+    "KeyValueCache",
+    "SplitKeyValueStore",
+    "mix_key",
+    "simulate_eviction_count",
+    "splitmix64",
+]

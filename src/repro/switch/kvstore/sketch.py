@@ -1,0 +1,139 @@
+"""Count-Min sketch — the baseline the paper's related work positions
+against (§5).
+
+Sketch-based systems (OpenSketch, UnivMon, counter braids — refs [39,
+29, 30]) track flow counters in sub-linear memory at the price of
+over-estimation error.  The paper argues its split key-value store
+"sidesteps the accuracy-memory tradeoff of sketches for the broad
+class of queries that are linear-in-state": same SRAM budget, exact
+answers (in the backing store), at the cost of an eviction stream.
+
+This module implements the classic Count-Min sketch [Cormode &
+Muthukrishnan 2005] with the *conservative update* optimisation, plus
+an area accounting compatible with :mod:`repro.switch.area`, so the
+``bench_baseline_sketch`` experiment can compare the two designs at
+equal on-chip memory.
+
+Count-Min guarantees, for width ``w = ⌈e/ε⌉`` and depth ``d =
+⌈ln 1/δ⌉``: estimates never under-count, and over-count by at most
+``ε·N`` with probability ``1−δ`` (``N`` = total stream count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.core.errors import HardwareError
+
+from .cache import splitmix64
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class SketchGeometry:
+    """``depth`` rows × ``width`` counters of ``counter_bits`` each."""
+
+    width: int
+    depth: int
+    counter_bits: int = 24   # §4's counter width, for a fair comparison
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.depth < 1:
+            raise HardwareError(
+                f"invalid sketch geometry {self.width}x{self.depth}")
+
+    @property
+    def total_bits(self) -> int:
+        return self.width * self.depth * self.counter_bits
+
+    @classmethod
+    def for_bits(cls, total_bits: int, depth: int = 4,
+                 counter_bits: int = 24) -> "SketchGeometry":
+        """Largest sketch fitting in ``total_bits`` at fixed depth —
+        how an architect would spend the same SRAM the cache uses."""
+        width = max(1, total_bits // (depth * counter_bits))
+        return cls(width=width, depth=depth, counter_bits=counter_bits)
+
+
+class CountMinSketch:
+    """Count-Min sketch over hashable keys.
+
+    Args:
+        geometry: Row/column layout.
+        conservative: Enable conservative update (only raise the
+            minimal counters), which tightens over-estimation at no
+            memory cost — the variant hardware implementations favour.
+        seed: Base hash seed; rows use derived seeds.
+    """
+
+    def __init__(self, geometry: SketchGeometry, conservative: bool = False,
+                 seed: int = 0):
+        self.geometry = geometry
+        self.conservative = conservative
+        self._rows: list[list[int]] = [
+            [0] * geometry.width for _ in range(geometry.depth)
+        ]
+        self._seeds = [splitmix64((seed + row + 1) & _MASK64)
+                       for row in range(geometry.depth)]
+        self.total = 0
+        self._saturated = (1 << geometry.counter_bits) - 1
+
+    # -- operations ----------------------------------------------------------
+
+    def _indices(self, key: Hashable) -> list[int]:
+        if isinstance(key, tuple):
+            base = 0
+            for part in key:
+                base = splitmix64((base ^ int(part)) & _MASK64)
+        else:
+            base = splitmix64(int(key) & _MASK64)
+        return [splitmix64(base ^ s) % self.geometry.width for s in self._seeds]
+
+    def update(self, key: Hashable, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key`` (one per packet in the
+        Fig. 2 per-flow-counter use)."""
+        self.total += count
+        indices = self._indices(key)
+        if self.conservative:
+            current = min(self._rows[r][i] for r, i in enumerate(indices))
+            target = min(current + count, self._saturated)
+            for row, index in enumerate(indices):
+                if self._rows[row][index] < target:
+                    self._rows[row][index] = target
+        else:
+            for row, index in enumerate(indices):
+                cell = self._rows[row][index] + count
+                self._rows[row][index] = min(cell, self._saturated)
+
+    def estimate(self, key: Hashable) -> int:
+        """Point estimate — never an under-count (absent saturation)."""
+        indices = self._indices(key)
+        return min(self._rows[row][index] for row, index in enumerate(indices))
+
+    # -- evaluation helpers ----------------------------------------------------
+
+    def relative_errors(self, truth: dict[Hashable, int]) -> list[float]:
+        """Per-key relative over-estimation against exact counts."""
+        errors = []
+        for key, exact in truth.items():
+            if exact <= 0:
+                continue
+            errors.append((self.estimate(key) - exact) / exact)
+        return errors
+
+    def occupied_fraction(self) -> float:
+        occupied = sum(1 for row in self._rows for cell in row if cell)
+        return occupied / (self.geometry.width * self.geometry.depth)
+
+
+def run_count_query(keys: Iterable[Hashable], geometry: SketchGeometry,
+                    conservative: bool = False, seed: int = 0) -> CountMinSketch:
+    """Stream ``keys`` through a sketch (the SELECT COUNT GROUPBY
+    workload of §4, on the baseline design)."""
+    sketch = CountMinSketch(geometry, conservative=conservative, seed=seed)
+    update = sketch.update
+    for key in keys:
+        update(key)
+    return sketch

@@ -1,0 +1,111 @@
+"""Programmable packet parser model (paper §3.1).
+
+Emerging programmable switches parse "standard headers, metadata and
+user-defined ones" [Gibb et al., ANCS'13].  This module models the
+parser as a parse graph: the compiler's required field set is mapped to
+the headers that must be walked, yielding a parser configuration with a
+simple cost model (graph nodes visited, bits extracted) used in plan
+diagnostics.
+
+Performance metadata (``tin``, ``tout``, ``qin``, ``qout``, ``qsize``,
+``qid``, ``pkt_path``) is not parsed from the wire — it is attached by
+the switch's queueing subsystem, "provided by metadata available on
+programmable switches" (§3.1) — so it appears in every configuration at
+zero parse cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import schema as sch
+from repro.core.errors import CompileError
+
+#: Parse-graph nodes: header → (fields it supplies, parent header).
+_HEADERS: dict[str, tuple[tuple[str, ...], str | None]] = {
+    "ethernet": ((), None),
+    "ipv4": (("srcip", "dstip", "proto", "pkt_len"), "ethernet"),
+    "tcp": (("srcport", "dstport", "tcpseq", "payload_len"), "ipv4"),
+    "udp": (("srcport", "dstport", "payload_len"), "ipv4"),
+}
+
+#: Header lengths in bits (for the extraction cost model).
+_HEADER_BITS = {"ethernet": 112, "ipv4": 160, "tcp": 160, "udp": 64}
+
+#: Fields attached by the switch itself rather than parsed.
+_METADATA_FIELDS = frozenset(
+    f.name for f in sch.FIELDS if f.kind == "perf"
+) | {"pkt_id"}
+
+
+@dataclass(frozen=True)
+class ParserConfig:
+    """A configured parse path for one compiled program."""
+
+    fields: tuple[str, ...]
+    headers: tuple[str, ...]
+    metadata_fields: tuple[str, ...]
+
+    @property
+    def graph_nodes(self) -> int:
+        return len(self.headers)
+
+    @property
+    def extracted_bits(self) -> int:
+        return sum(
+            sch.FIELDS_BY_NAME[f].bits for f in self.fields
+            if f not in self.metadata_fields
+        )
+
+    def describe(self) -> str:
+        path = " -> ".join(self.headers) if self.headers else "(metadata only)"
+        return (f"parse path {path}; extract {self.extracted_bits} header bits; "
+                f"metadata: {', '.join(self.metadata_fields) or 'none'}")
+
+
+def configure_parser(fields: tuple[str, ...]) -> ParserConfig:
+    """Derive the parse path covering ``fields``.
+
+    Raises:
+        CompileError: if a field is not parseable by any known header
+            and is not switch metadata.
+    """
+    needed_headers: set[str] = set()
+    metadata: list[str] = []
+    for name in fields:
+        if name not in sch.FIELDS_BY_NAME:
+            raise CompileError(f"unknown field {name!r} in parser configuration")
+        if name in _METADATA_FIELDS:
+            metadata.append(name)
+            continue
+        owner = _header_for(name)
+        if owner is None:
+            raise CompileError(f"field {name!r} is not supplied by any header")
+        needed_headers.add(owner)
+
+    # Close over parents so the parse path is connected.
+    closed: set[str] = set()
+    for header in needed_headers:
+        node: str | None = header
+        while node is not None:
+            closed.add(node)
+            node = _HEADERS[node][1]
+    # TCP and UDP are alternatives on the same branch; keep both when a
+    # transport field is needed (the parser branches on proto).
+    if "tcp" in closed or "udp" in closed:
+        transport_fields = {"srcport", "dstport", "payload_len"}
+        if any(f in transport_fields for f in fields):
+            closed.update({"tcp", "udp"})
+    order = [h for h in ("ethernet", "ipv4", "tcp", "udp") if h in closed]
+    return ParserConfig(
+        fields=tuple(fields),
+        headers=tuple(order),
+        metadata_fields=tuple(metadata),
+    )
+
+
+def _header_for(field_name: str) -> str | None:
+    for header, (supplied, _parent) in _HEADERS.items():
+        if field_name in supplied:
+            return header
+    return None

@@ -1,0 +1,164 @@
+"""Switch pipeline model: executes a compiled program over a packet
+stream (paper §3.1-3.2).
+
+The pipeline mirrors a match-action architecture [Bosshart et al.,
+SIGCOMM'13]: the parser extracts the configured fields, ``WHERE``
+predicates run as match stages, per-packet ``SELECT`` stages mirror
+matching records to the collection layer, and each ``GROUPBY`` stage
+drives one split key-value store.
+
+One :class:`SwitchPipeline` models one switch.  The telemetry runtime
+(:mod:`repro.telemetry`) installs pipelines on the simulated network's
+switches, streams observations through them, and evaluates the
+program's software stages over the collected results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.core.errors import CompileError, InterpreterError
+from repro.core.eval_expr import Numeric
+from repro.core.interpreter import ResultTable, Row
+from repro.core.plan import GroupByStage, SelectStage, SwitchProgram
+
+from .alu import compile_predicate, compile_scalar
+from .kvstore.cache import CacheGeometry, CacheStats
+from .kvstore.split import SplitKeyValueStore
+from .parser_model import ParserConfig, configure_parser
+
+#: Default cache geometry: the paper's target configuration — 32 Mbit
+#: at 128 bits/pair is 2^18 pairs, 8-way associative (§4).
+DEFAULT_GEOMETRY = CacheGeometry.set_associative(1 << 18, ways=8)
+
+GeometrySpec = CacheGeometry | Mapping[str, CacheGeometry]
+
+
+class _SelectRunner:
+    """Per-packet filter + projection stage."""
+
+    def __init__(self, stage: SelectStage, params: Mapping[str, Numeric]):
+        self.stage = stage
+        self.predicate = compile_predicate(stage.where, params)
+        self.extractors: list[tuple[str, Callable]] = [
+            (col.name, compile_scalar(col.expr, params)) for col in stage.columns
+        ]
+        self.rows: list[Row] = []
+
+    def process(self, record: object) -> None:
+        if not self.predicate(record):
+            return
+        self.rows.append({name: fn(record) for name, fn in self.extractors})
+
+    def result_table(self) -> ResultTable:
+        return ResultTable(schema=self.stage.output, rows=self.rows)
+
+
+class _GroupByRunner:
+    """Match stage + split key-value store."""
+
+    def __init__(self, stage: GroupByStage, geometry: CacheGeometry,
+                 params: Mapping[str, Numeric], policy: str, seed: int,
+                 refresh_interval: int | None = None):
+        self.stage = stage
+        self.predicate = compile_predicate(stage.where, params)
+        self.store = SplitKeyValueStore(
+            stage, geometry, params=params, policy=policy, seed=seed,
+            refresh_interval=refresh_interval,
+        )
+
+    def process(self, record: object) -> None:
+        if self.predicate(record):
+            self.store.process(record)
+
+
+class SwitchPipeline:
+    """One switch running one compiled program.
+
+    Args:
+        program: Output of :func:`repro.core.compiler.compile_program`.
+        params: Bindings for the program's free parameters.
+        geometry: Cache geometry for every ``GROUPBY`` stage, or a
+            per-query-name mapping.
+        policy: Cache eviction policy.
+        seed: Hash seed.
+    """
+
+    def __init__(
+        self,
+        program: SwitchProgram,
+        params: Mapping[str, Numeric] | None = None,
+        geometry: GeometrySpec = DEFAULT_GEOMETRY,
+        policy: str = "lru",
+        seed: int = 0,
+        refresh_interval: int | None = None,
+    ):
+        self.program = program
+        self.params = dict(params or {})
+        missing = set(program.params) - set(self.params)
+        if missing:
+            raise InterpreterError(f"unbound query parameters: {sorted(missing)}")
+        self.parser: ParserConfig = configure_parser(program.parse_fields)
+        self._selects = [_SelectRunner(s, self.params) for s in program.select_stages]
+        self._groupbys = [
+            _GroupByRunner(s, self._geometry_for(s.query_name, geometry),
+                           self.params, policy, seed,
+                           refresh_interval=refresh_interval)
+            for s in program.groupby_stages
+        ]
+        self.packets_seen = 0
+
+    @staticmethod
+    def _geometry_for(name: str, spec: GeometrySpec) -> CacheGeometry:
+        if isinstance(spec, CacheGeometry):
+            return spec
+        if name not in spec:
+            raise CompileError(f"no cache geometry supplied for stage {name!r}")
+        return spec[name]
+
+    # -- execution -----------------------------------------------------------
+
+    def process(self, record: object) -> None:
+        """Run one observation through every stage."""
+        self.packets_seen += 1
+        for select in self._selects:
+            select.process(record)
+        for groupby in self._groupbys:
+            groupby.process(record)
+
+    def run(self, records: Iterable[object]) -> "SwitchPipeline":
+        process = self.process
+        for record in records:
+            process(record)
+        return self
+
+    def finalize(self) -> None:
+        for groupby in self._groupbys:
+            groupby.store.finalize()
+
+    # -- results ---------------------------------------------------------------
+
+    def results(self, include_invalid: bool = False) -> dict[str, ResultTable]:
+        """On-switch stage outputs, keyed by query name.  ``GROUPBY``
+        outputs come from the backing store (after a flush)."""
+        self.finalize()
+        out: dict[str, ResultTable] = {}
+        for select in self._selects:
+            out[select.stage.query_name] = select.result_table()
+        for groupby in self._groupbys:
+            out[groupby.stage.query_name] = groupby.store.result_table(
+                include_invalid=include_invalid
+            )
+        return out
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        return {g.stage.query_name: g.store.stats for g in self._groupbys}
+
+    def backing_writes(self) -> dict[str, int]:
+        return {g.stage.query_name: g.store.backing.writes for g in self._groupbys}
+
+    def store_for(self, query_name: str) -> SplitKeyValueStore:
+        for groupby in self._groupbys:
+            if groupby.stage.query_name == query_name:
+                return groupby.store
+        raise KeyError(query_name)

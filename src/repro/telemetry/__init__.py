@@ -1,0 +1,17 @@
+"""End-to-end telemetry runtime and result comparison utilities."""
+
+from .deploy import NetworkDeployment, NetworkRunReport
+from .results import TableDiff, assert_tables_match, compare_tables
+from .runtime import QueryEngine, QueryInfo, RunReport, run
+
+__all__ = [
+    "NetworkDeployment",
+    "NetworkRunReport",
+    "QueryEngine",
+    "QueryInfo",
+    "RunReport",
+    "TableDiff",
+    "assert_tables_match",
+    "compare_tables",
+    "run",
+]

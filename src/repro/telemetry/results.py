@@ -1,0 +1,99 @@
+"""Result-comparison utilities.
+
+Used by tests and the accuracy benches to compare hardware-path results
+(backing store after merges) against reference-interpreter ground
+truth, row by row and column by column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.interpreter import ResultTable
+
+
+@dataclass
+class TableDiff:
+    """Difference between a hardware table and its ground truth."""
+
+    missing_keys: int = 0          # in truth, absent from hardware
+    extra_keys: int = 0            # in hardware, absent from truth
+    compared_cells: int = 0
+    exact_cells: int = 0
+    max_abs_error: float = 0.0
+    max_rel_error: float = 0.0
+    worst_column: str | None = None
+
+    @property
+    def key_complete(self) -> bool:
+        return self.missing_keys == 0 and self.extra_keys == 0
+
+    @property
+    def exact(self) -> bool:
+        return self.key_complete and self.exact_cells == self.compared_cells
+
+    @property
+    def cell_accuracy(self) -> float:
+        if self.compared_cells == 0:
+            return 1.0
+        return self.exact_cells / self.compared_cells
+
+    def describe(self) -> str:
+        return (
+            f"keys: -{self.missing_keys}/+{self.extra_keys}; "
+            f"cells exact {self.exact_cells}/{self.compared_cells}; "
+            f"max |err| {self.max_abs_error:.3g} "
+            f"(rel {self.max_rel_error:.3g}, col {self.worst_column})"
+        )
+
+
+def compare_tables(hardware: ResultTable, truth: ResultTable,
+                   rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> TableDiff:
+    """Compare two keyed tables cell-by-cell.
+
+    Cells are "exact" when within ``rel_tol``/``abs_tol`` (the EWMA
+    merge reassociates floating-point arithmetic, so bitwise equality
+    is not expected even for correct merges).
+    """
+    diff = TableDiff()
+    hw_rows = hardware.by_key()
+    truth_rows = truth.by_key()
+    diff.missing_keys = sum(1 for k in truth_rows if k not in hw_rows)
+    diff.extra_keys = sum(1 for k in hw_rows if k not in truth_rows)
+
+    key_cols = set(truth.schema.key_columns)
+    for key, t_row in truth_rows.items():
+        h_row = hw_rows.get(key)
+        if h_row is None:
+            continue
+        for column, t_val in t_row.items():
+            if column in key_cols or column not in h_row:
+                continue
+            h_val = h_row[column]
+            diff.compared_cells += 1
+            err = _abs_error(h_val, t_val)
+            rel = err / max(abs(t_val), 1e-300) if not math.isnan(err) else math.inf
+            if err <= abs_tol or rel <= rel_tol:
+                diff.exact_cells += 1
+            if err > diff.max_abs_error:
+                diff.max_abs_error = err
+                diff.worst_column = column
+            diff.max_rel_error = max(diff.max_rel_error, rel)
+    return diff
+
+
+def _abs_error(a: float, b: float) -> float:
+    if math.isinf(a) and math.isinf(b) and (a > 0) == (b > 0):
+        return 0.0
+    try:
+        return abs(a - b)
+    except TypeError:
+        return math.inf
+
+
+def assert_tables_match(hardware: ResultTable, truth: ResultTable,
+                        rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> None:
+    """Raise ``AssertionError`` with a readable diff when tables differ."""
+    diff = compare_tables(hardware, truth, rel_tol=rel_tol, abs_tol=abs_tol)
+    assert diff.exact, f"tables differ: {diff.describe()}"

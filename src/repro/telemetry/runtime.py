@@ -1,0 +1,190 @@
+"""End-to-end telemetry runtime: the system a network operator uses.
+
+Ties the whole reproduction together (the paper's Fig. 3 workflow plus
+the compiler it leaves as future work):
+
+1. parse + resolve + compile the query text;
+2. install the compiled program on a (simulated) switch pipeline with a
+   configured cache geometry;
+3. stream an observation table through the pipeline;
+4. pull on-switch results from the backing store, then evaluate the
+   program's *software stages* (downstream composed queries, joins)
+   over them;
+5. expose results, cache/eviction statistics, and an optional exact
+   ground-truth comparison computed by the reference interpreter.
+
+Typical use::
+
+    from repro import telemetry
+    engine = telemetry.QueryEngine('''
+        R1 = SELECT COUNT GROUPBY 5tuple
+        R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
+        R3 = SELECT R2.COUNT/R1.COUNT FROM R1 JOIN R2 ON 5tuple
+    ''')
+    report = engine.run(table)
+    report.result.rows
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.ast_nodes import Program
+from repro.core.compiler import CompileOptions, compile_program
+from repro.core.eval_expr import Numeric
+from repro.core.interpreter import Interpreter, ResultTable
+from repro.core.linearity import analyze_fold
+from repro.core.parser import parse_program
+from repro.core.plan import SwitchProgram
+from repro.core.semantics import ResolvedProgram, resolve_program
+from repro.switch.kvstore.cache import CacheGeometry, CacheStats
+from repro.switch.pipeline import DEFAULT_GEOMETRY, GeometrySpec, SwitchPipeline
+
+
+@dataclass
+class RunReport:
+    """Everything one run produced."""
+
+    tables: dict[str, ResultTable]
+    result_name: str
+    cache_stats: dict[str, CacheStats]
+    backing_writes: dict[str, int]
+    accuracy: dict[str, float]          # per groupby stage (% valid keys)
+    ground_truth: dict[str, ResultTable] | None = None
+
+    @property
+    def result(self) -> ResultTable:
+        return self.tables[self.result_name]
+
+    def eviction_fractions(self) -> dict[str, float]:
+        return {name: s.eviction_fraction for name, s in self.cache_stats.items()}
+
+
+@dataclass(frozen=True)
+class QueryInfo:
+    """Static facts about a compiled query (for operators and tests)."""
+
+    params: frozenset[str]
+    on_switch_stages: tuple[str, ...]
+    software_stages: tuple[str, ...]
+    linear_by_fold: dict[str, bool]
+    pair_bits: dict[str, int]
+
+    @property
+    def fully_linear(self) -> bool:
+        return all(self.linear_by_fold.values())
+
+
+class QueryEngine:
+    """Compile once, run on many traces.
+
+    Args:
+        source: Query text (or a pre-parsed :class:`Program`).
+        params: Parameter bindings (``alpha``, ``L``, ...).
+        geometry: Cache geometry for groupby stages.
+        policy: Cache eviction policy.
+        exact_history: Enable the exact-history merge extension.
+        seed: Hash seed for the caches.
+    """
+
+    def __init__(
+        self,
+        source: str | Program,
+        params: Mapping[str, Numeric] | None = None,
+        geometry: GeometrySpec = DEFAULT_GEOMETRY,
+        policy: str = "lru",
+        exact_history: bool = False,
+        seed: int = 0,
+        refresh_interval: int | None = None,
+    ):
+        program = parse_program(source) if isinstance(source, str) else source
+        self.resolved: ResolvedProgram = resolve_program(program)
+        self.compiled: SwitchProgram = compile_program(
+            self.resolved, CompileOptions(exact_history=exact_history)
+        )
+        self.params = dict(params or {})
+        self.geometry = geometry
+        self.policy = policy
+        self.seed = seed
+        self.refresh_interval = refresh_interval
+
+    # -- introspection -------------------------------------------------------
+
+    def info(self) -> QueryInfo:
+        linear = {}
+        pair_bits = {}
+        for stage in self.compiled.groupby_stages:
+            for fold in stage.folds:
+                linear[f"{stage.query_name}/{fold.column}"] = fold.linearity.linear
+            pair_bits[stage.query_name] = stage.pair_bits
+        return QueryInfo(
+            params=self.compiled.params,
+            on_switch_stages=tuple(
+                s.query_name for s in
+                self.compiled.select_stages + self.compiled.groupby_stages
+            ),
+            software_stages=tuple(
+                s.query.name for s in self.compiled.software_stages
+            ),
+            linear_by_fold=linear,
+            pair_bits=pair_bits,
+        )
+
+    def describe_plan(self) -> str:
+        return self.compiled.describe()
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        records: Iterable[object],
+        include_invalid: bool = False,
+        with_ground_truth: bool = False,
+    ) -> RunReport:
+        """Stream ``records`` through a fresh pipeline and collect
+        every query's result (hardware + software stages)."""
+        stream = records if isinstance(records, list) else list(records)
+        pipeline = SwitchPipeline(
+            self.compiled, params=self.params, geometry=self.geometry,
+            policy=self.policy, seed=self.seed,
+            refresh_interval=self.refresh_interval,
+        )
+        pipeline.run(stream)
+        tables = pipeline.results(include_invalid=include_invalid)
+
+        # Software stages run over the hardware-produced tables, in
+        # program (dependency) order.
+        interpreter = Interpreter(self.resolved, params=self.params)
+        for stage in self.compiled.software_stages:
+            tables[stage.query.name] = interpreter.evaluate_stage(
+                stage.query.name, stream, tables
+            )
+
+        accuracy = {
+            s.query_name: pipeline.store_for(s.query_name).accuracy()
+            for s in self.compiled.groupby_stages
+        }
+        report = RunReport(
+            tables=tables,
+            result_name=self.compiled.result,
+            cache_stats=pipeline.cache_stats(),
+            backing_writes=pipeline.backing_writes(),
+            accuracy=accuracy,
+        )
+        if with_ground_truth:
+            report.ground_truth = Interpreter(
+                self.resolved, params=self.params
+            ).run(stream)
+        return report
+
+    def run_exact(self, records: Iterable[object]) -> dict[str, ResultTable]:
+        """Reference-interpreter evaluation only (no hardware model)."""
+        return Interpreter(self.resolved, params=self.params).run(records)
+
+
+def run(source: str, records: Iterable[object],
+        params: Mapping[str, Numeric] | None = None,
+        geometry: GeometrySpec = DEFAULT_GEOMETRY, **kwargs) -> RunReport:
+    """One-shot convenience: build an engine and run it."""
+    return QueryEngine(source, params=params, geometry=geometry, **kwargs).run(records)

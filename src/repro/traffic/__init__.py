@@ -1,0 +1,34 @@
+"""Workload generators and trace I/O.
+
+:mod:`.caida` — synthetic CAIDA-like WAN trace (the §4 substitution);
+:mod:`.datacenter` — Benson-style datacenter workload;
+:mod:`.incast` — the incast scenario the paper's motivation cites;
+:mod:`.tcpgen` — TCP sequence anomaly injection;
+:mod:`.trace_io` — CSV/NPZ serialisation.
+"""
+
+from .caida import CaidaTraceConfig, generate_caida_like, generate_key_stream
+from .datacenter import DatacenterConfig, DatacenterWorkload, InjectionEvent
+from .incast import IncastConfig, IncastResult, generate_incast
+from .tcpgen import TcpAnomalyConfig, clean_sequence_table, inject_tcp_anomalies
+from .trace_io import read_csv, read_npz, validate_table, write_csv, write_npz
+
+__all__ = [
+    "CaidaTraceConfig",
+    "DatacenterConfig",
+    "DatacenterWorkload",
+    "IncastConfig",
+    "IncastResult",
+    "InjectionEvent",
+    "TcpAnomalyConfig",
+    "clean_sequence_table",
+    "generate_caida_like",
+    "generate_incast",
+    "generate_key_stream",
+    "inject_tcp_anomalies",
+    "read_csv",
+    "read_npz",
+    "validate_table",
+    "write_csv",
+    "write_npz",
+]

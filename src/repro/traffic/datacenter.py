@@ -1,0 +1,176 @@
+"""Datacenter workload generator (Benson et al. [16] style).
+
+§4 derives its "typical datacenter conditions" from Benson et al.:
+850-byte average packets, 30% network utilisation.  This generator
+produces rack-structured traffic with those aggregates:
+
+* hosts are grouped into racks; most traffic stays intra-rack with a
+  configurable fraction crossing the aggregation layer (locality);
+* flows arrive as an on/off process per host pair with heavy-tailed
+  sizes (query/response mice plus storage/shuffle elephants);
+* packet sizes are bimodal around the 850 B mean.
+
+Output is either an observation table for a single monitored uplink
+queue, or *injection events* for the network simulator
+(:mod:`repro.network.simulator`) when a multi-switch view is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.records import ObservationTable, PacketRecord
+from .distributions import bimodal_packet_sizes, bounded_zipf
+from .flows import expand_flows_to_packets
+
+
+@dataclass(frozen=True)
+class DatacenterConfig:
+    """Datacenter workload parameters (defaults per §4 / Benson)."""
+
+    n_racks: int = 4
+    hosts_per_rack: int = 16
+    n_flows: int = 4000
+    duration_ns: int = 1_000_000_000  # 1 s
+    intra_rack_fraction: float = 0.6
+    mean_packet_bytes: float = 850.0
+    utilization: float = 0.30
+    link_gbps: float = 10.0
+    zipf_alpha: float = 1.1
+    max_flow_packets: int = 50_000
+    seed: int = 16
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One packet to inject into the network simulator."""
+
+    time_ns: int
+    src_host: int
+    dst_host: int
+    srcport: int
+    dstport: int
+    proto: int
+    pkt_len: int
+    payload_len: int
+    tcpseq: int
+
+
+def _host_ip(host: int) -> int:
+    """Map host index to a 10.rack.host.1-style address."""
+    return 0x0A000001 + host * 256
+
+
+class DatacenterWorkload:
+    """Generates flows/packets for the configured datacenter."""
+
+    def __init__(self, config: DatacenterConfig | None = None):
+        self.config = config or DatacenterConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    @property
+    def n_hosts(self) -> int:
+        return self.config.n_racks * self.config.hosts_per_rack
+
+    def _draw_host_pairs(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        rng = self._rng
+        src = rng.integers(0, self.n_hosts, n)
+        intra = rng.random(n) < cfg.intra_rack_fraction
+        src_rack = src // cfg.hosts_per_rack
+        dst_rack = np.where(
+            intra, src_rack, rng.integers(0, cfg.n_racks, n)
+        )
+        dst = dst_rack * cfg.hosts_per_rack + rng.integers(0, cfg.hosts_per_rack, n)
+        # Avoid self-talk.
+        clash = dst == src
+        dst[clash] = (dst[clash] + 1) % self.n_hosts
+        return src, dst
+
+    def packet_schedule(self) -> tuple[dict[str, np.ndarray], np.ndarray, np.ndarray]:
+        """Flow identity arrays plus (flow_index, time) packet arrays."""
+        cfg = self.config
+        rng = self._rng
+        n = cfg.n_flows
+        src_hosts, dst_hosts = self._draw_host_pairs(n)
+        ids = {
+            "src_host": src_hosts,
+            "dst_host": dst_hosts,
+            "srcip": np.array([_host_ip(h) for h in src_hosts], dtype=np.int64),
+            "dstip": np.array([_host_ip(h) for h in dst_hosts], dtype=np.int64),
+            "srcport": rng.integers(1024, 65535, n),
+            "dstport": rng.choice(np.array([80, 443, 9092, 6379, 50010]), n),
+            "proto": np.full(n, 6, dtype=np.int64),
+        }
+        sizes = bounded_zipf(rng, n, cfg.zipf_alpha, 1, cfg.max_flow_packets)
+        # Scale total bytes to hit the utilisation target on one uplink.
+        capacity_bytes = cfg.link_gbps / 8.0 * cfg.duration_ns  # bytes over run
+        target_bytes = capacity_bytes * cfg.utilization
+        scale = target_bytes / float(sizes.sum() * cfg.mean_packet_bytes)
+        sizes = np.maximum(1, np.round(sizes * scale)).astype(np.int64)
+
+        starts = rng.integers(0, int(cfg.duration_ns * 0.9), n)
+        active = rng.exponential(cfg.duration_ns * 0.1, n) + 1e4
+        mean_gaps = np.maximum(1.0, active / np.maximum(1, sizes))
+        flow_of, times = expand_flows_to_packets(rng, sizes, starts, mean_gaps)
+        return ids, flow_of, times
+
+    # -- output forms ---------------------------------------------------------
+
+    def injection_events(self) -> list[InjectionEvent]:
+        """Per-packet events for the network simulator, time-ordered."""
+        cfg = self.config
+        ids, flow_of, times = self.packet_schedule()
+        pkt_lens = bimodal_packet_sizes(self._rng, len(flow_of),
+                                        mean=cfg.mean_packet_bytes)
+        seq_next: dict[int, int] = {}
+        events: list[InjectionEvent] = []
+        src_host = ids["src_host"]
+        dst_host = ids["dst_host"]
+        srcport = ids["srcport"]
+        dstport = ids["dstport"]
+        for i, (f, t) in enumerate(zip(flow_of.tolist(), times.tolist())):
+            payload = max(0, int(pkt_lens[i]) - 40)
+            seq = seq_next.get(f, 1000)
+            seq_next[f] = seq + payload + 1
+            events.append(InjectionEvent(
+                time_ns=t,
+                src_host=int(src_host[f]), dst_host=int(dst_host[f]),
+                srcport=int(srcport[f]), dstport=int(dstport[f]), proto=6,
+                pkt_len=int(pkt_lens[i]), payload_len=payload, tcpseq=seq,
+            ))
+        return events
+
+    def observation_table(self, qid: int = 0) -> ObservationTable:
+        """Single monitored queue view (uplink), M/D/1-ish timings."""
+        cfg = self.config
+        ids, flow_of, times = self.packet_schedule()
+        n = len(flow_of)
+        pkt_lens = bimodal_packet_sizes(self._rng, n, mean=cfg.mean_packet_bytes)
+        ns_per_byte = 8.0 / cfg.link_gbps
+        service = (pkt_lens * ns_per_byte).astype(np.int64)
+
+        table = ObservationTable()
+        busy_until = 0
+        depth_times: list[int] = []  # departure times of queued packets
+        seq_next: dict[int, int] = {}
+        for i, (f, t) in enumerate(zip(flow_of.tolist(), times.tolist())):
+            depth_times = [d for d in depth_times if d > t]
+            start = max(t, busy_until)
+            finish = start + int(service[i])
+            busy_until = finish
+            depth_times.append(finish)
+            payload = max(0, int(pkt_lens[i]) - 40)
+            seq = seq_next.get(f, 1000)
+            seq_next[f] = seq + payload + 1
+            table.append(PacketRecord(
+                srcip=int(ids["srcip"][f]), dstip=int(ids["dstip"][f]),
+                srcport=int(ids["srcport"][f]), dstport=int(ids["dstport"][f]),
+                proto=6, pkt_len=int(pkt_lens[i]), payload_len=payload,
+                tcpseq=seq, pkt_id=i, qid=qid, tin=t, tout=float(finish),
+                qin=len(depth_times) - 1, qout=0, qsize=len(depth_times) - 1,
+                pkt_path=qid,
+            ))
+        return table

@@ -1,0 +1,96 @@
+"""Observation-table serialisation.
+
+Two formats:
+
+* **CSV** — human-inspectable, header row of field names; ``tout`` of a
+  dropped packet is written as ``inf``;
+* **NPZ** — compressed columnar numpy (via
+  :meth:`repro.network.records.ObservationTable.save`), the fast format
+  the benches use to cache generated traces between runs.
+
+The CSV reader tolerates column subsets (missing fields default), so
+externally produced traces can be imported with whatever fields they
+have.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.network.records import RECORD_FIELDS, ObservationTable, PacketRecord
+
+#: Fields written to CSV, in canonical order.
+CSV_FIELDS: tuple[str, ...] = RECORD_FIELDS
+
+
+def write_csv(table: ObservationTable, path: str | Path) -> None:
+    """Write ``table`` to ``path`` in CSV format."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for record in table:
+            writer.writerow([getattr(record, f) for f in CSV_FIELDS])
+
+
+def read_csv(path: str | Path) -> ObservationTable:
+    """Read an observation table from CSV.
+
+    Unknown columns are ignored; missing columns take the record
+    defaults.  ``tout`` accepts ``inf`` for drops.
+    """
+    table = ObservationTable()
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            return table
+        known = [f for f in reader.fieldnames if f in RECORD_FIELDS]
+        for row in reader:
+            kwargs: dict[str, float | int] = {}
+            for name in known:
+                raw = row[name]
+                if name == "tout":
+                    kwargs[name] = float(raw)
+                else:
+                    kwargs[name] = int(float(raw))
+            table.append(PacketRecord(**kwargs))
+    return table
+
+
+def write_npz(table: ObservationTable, path: str | Path) -> None:
+    """Write ``table`` in compressed columnar form."""
+    table.save(str(path))
+
+
+def read_npz(path: str | Path) -> ObservationTable:
+    """Read a columnar table written by :func:`write_npz`."""
+    return ObservationTable.load(str(path))
+
+
+def validate_table(table: ObservationTable) -> list[str]:
+    """Sanity checks on an (imported) table; returns a list of
+    human-readable problems, empty when clean.
+
+    Checks the schema invariants the simulator guarantees:
+    ``tout >= tin`` (or ``inf``), nonnegative depths and lengths,
+    nondecreasing ``tin`` per queue.
+    """
+    problems: list[str] = []
+    last_tin: dict[int, int] = {}
+    for i, record in enumerate(table):
+        if not math.isinf(record.tout) and record.tout < record.tin:
+            problems.append(f"record {i}: tout {record.tout} < tin {record.tin}")
+        if record.qin < 0 or record.pkt_len < 0 or record.payload_len < 0:
+            problems.append(f"record {i}: negative qin/pkt_len/payload_len")
+        prev = last_tin.get(record.qid)
+        if prev is not None and record.tin < prev:
+            problems.append(
+                f"record {i}: tin decreases within queue {record.qid}"
+            )
+        last_tin[record.qid] = record.tin
+        if len(problems) > 20:
+            problems.append("... (truncated)")
+            break
+    return problems

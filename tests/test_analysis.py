@@ -1,0 +1,80 @@
+"""Analysis-driver tests: tiny Fig. 5 / Fig. 6 sweeps and shape checks."""
+
+import pytest
+
+from repro.analysis.accuracy import run_accuracy_sweep
+from repro.analysis.accuracy import shape_checks as accuracy_shape_checks
+from repro.analysis.eviction import run_eviction_sweep
+from repro.analysis.eviction import shape_checks as eviction_shape_checks
+from repro.analysis.report import banner, format_percent, format_table
+
+#: A very small scale keeps these tests fast; the benches run larger.
+SCALE = 1.0 / 4096.0
+CAPS = (1 << 16, 1 << 18, 1 << 20)
+
+
+@pytest.fixture(scope="module")
+def eviction_sweep():
+    return run_eviction_sweep(scale=SCALE, capacities=CAPS)
+
+
+@pytest.fixture(scope="module")
+def accuracy_sweep():
+    return run_accuracy_sweep(scale=SCALE, capacities=CAPS)
+
+
+class TestEvictionSweep:
+    def test_all_points_present(self, eviction_sweep):
+        assert len(eviction_sweep.points) == len(CAPS) * 3
+
+    def test_fractions_in_range(self, eviction_sweep):
+        for point in eviction_sweep.points:
+            assert 0.0 <= point.eviction_fraction < 1.0
+
+    def test_fig5_shape_holds(self, eviction_sweep):
+        assert eviction_shape_checks(eviction_sweep) == []
+
+    def test_evictions_per_sec_conversion(self, eviction_sweep):
+        point = eviction_sweep.points[0]
+        assert point.evictions_per_sec == pytest.approx(
+            point.eviction_fraction * 22.588e6, rel=0.01)
+
+    def test_paper_mbits_axis(self, eviction_sweep):
+        point = eviction_sweep.point("8way", 1 << 18)
+        assert point.paper_mbits == pytest.approx(32.0)
+
+
+class TestAccuracySweep:
+    def test_fig6_shape_holds(self, accuracy_sweep):
+        assert accuracy_shape_checks(accuracy_sweep) == []
+
+    def test_accuracies_in_range(self, accuracy_sweep):
+        for point in accuracy_sweep.points:
+            assert 0.0 <= point.accuracy <= 1.0
+
+    def test_windows_present(self, accuracy_sweep):
+        assert {p.window for p in accuracy_sweep.points} == \
+            {"1min", "3min", "5min"}
+
+    def test_shorter_window_more_accurate_at_operating_point(self, accuracy_sweep):
+        # The 32-Mbit point is where the paper quotes 74% -> 84%; the
+        # ordering below it is not asserted (prefix length-bias, see
+        # shape_checks docstring).
+        point = 1 << 18
+        series = {p.window: p.accuracy for p in accuracy_sweep.points
+                  if p.paper_pairs == point}
+        assert series["1min"] >= series["5min"] - 0.01
+
+
+class TestReportFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_format_percent(self):
+        assert format_percent(0.0355) == "3.55%"
+
+    def test_banner(self):
+        assert "hello" in banner("hello")

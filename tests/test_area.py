@@ -1,0 +1,71 @@
+"""Area-model tests: the §3.3/§4 back-of-the-envelope numbers."""
+
+import pytest
+
+from repro.switch.area import (
+    AreaReport,
+    MBIT,
+    area_fraction,
+    backing_store_cores,
+    cache_bits,
+    effective_packet_rate,
+    evictions_per_second,
+    paper_headline_numbers,
+    pairs_in_cache,
+    sram_area_mm2,
+)
+
+
+class TestHeadlineNumbers:
+    """Every in-text figure of §4, recomputed."""
+
+    def test_32mbit_cache_under_2_5_percent(self):
+        assert 100 * area_fraction(32 * MBIT) < 2.5
+
+    def test_all_flows_need_about_486_mbit(self):
+        bits = cache_bits(3_800_000, 128)
+        assert bits / MBIT == pytest.approx(486, rel=0.05)
+
+    def test_all_flows_cost_about_38_percent(self):
+        bits = cache_bits(3_800_000, 128)
+        assert 100 * area_fraction(bits) == pytest.approx(38, rel=0.1)
+
+    def test_packet_rate_22_6_mpps(self):
+        assert effective_packet_rate() / 1e6 == pytest.approx(22.6, rel=0.01)
+
+    def test_eviction_rate_802k_at_3_55_percent(self):
+        # §4: 3.55% eviction fraction at 32 Mbit ⇒ 802 K writes/s.
+        assert evictions_per_second(0.0355) == pytest.approx(802_000, rel=0.01)
+
+    def test_headline_dict_consistent(self):
+        numbers = paper_headline_numbers()
+        assert numbers["cache_32mbit_area_pct"] < 2.5
+        assert numbers["packet_rate_mpps"] == pytest.approx(22.6, rel=0.01)
+
+
+class TestModelArithmetic:
+    def test_sram_area_linear(self):
+        assert sram_area_mm2(2 * MBIT) == pytest.approx(2 * sram_area_mm2(MBIT))
+
+    def test_pairs_in_cache_inverse_of_cache_bits(self):
+        assert pairs_in_cache(cache_bits(1000, 128), 128) == 1000
+
+    def test_32mbit_holds_2_18_pairs_at_128b(self):
+        # §4 sweep: 8 Mbit = 2^16 pairs ... 32 Mbit = 2^18 pairs.
+        assert pairs_in_cache(32 * MBIT, 128) == 1 << 18
+
+    def test_backing_store_cores(self):
+        assert backing_store_cores(802_000, ops_per_core=300_000) == \
+            pytest.approx(2.67, rel=0.01)
+
+
+class TestAreaReport:
+    def test_fig5_target_configuration(self):
+        report = AreaReport(pair_bits=128, n_pairs=1 << 18)
+        assert report.total_mbit == pytest.approx(32.0)
+        assert 100 * report.chip_fraction < 2.5
+        assert "32.0 Mbit" in report.describe()
+
+    def test_describe_mentions_chip_fraction(self):
+        report = AreaReport(pair_bits=128, n_pairs=1 << 16)
+        assert "%" in report.describe()

@@ -1,0 +1,101 @@
+"""Backing-store tests: merge path, segment lists, validity (§3.2)."""
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.core.merge_synthesis import init_aux
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+from repro.switch.kvstore.backing import BackingStore
+
+
+def stage_for(source):
+    rp = resolve_program(parse_program(source))
+    return compile_program(rp).groupby_stages[0]
+
+
+COUNT_STAGE = "SELECT COUNT GROUPBY srcip"
+MAX_STAGE = "SELECT MAX(tcpseq) GROUPBY srcip"
+MIXED_STAGE = "SELECT COUNT, MAX(tcpseq) GROUPBY srcip"
+
+
+def absorb(store, stage, key, **values):
+    state = {}
+    aux = {}
+    for fold in stage.folds:
+        var = fold.instance.state_vars[0]
+        state[fold.column] = {var: values[fold.column]}
+        aux[fold.column] = init_aux(fold.merge)
+    store.absorb(key, state, aux)
+
+
+class TestMergeablePath:
+    def test_single_eviction(self):
+        stage = stage_for(COUNT_STAGE)
+        store = BackingStore(stage.folds)
+        absorb(store, stage, (1,), COUNT=5)
+        assert store.value_of((1,), "COUNT") == {"COUNT": 5}
+        assert store.is_valid((1,))
+
+    def test_two_evictions_merge(self):
+        stage = stage_for(COUNT_STAGE)
+        store = BackingStore(stage.folds)
+        absorb(store, stage, (1,), COUNT=5)
+        absorb(store, stage, (1,), COUNT=3)
+        assert store.value_of((1,), "COUNT") == {"COUNT": 8}
+        assert store.is_valid((1,))          # mergeable keys never invalid
+        assert store.writes == 2
+
+
+class TestNonMergeablePath:
+    def test_single_segment_is_valid(self):
+        stage = stage_for(MAX_STAGE)
+        store = BackingStore(stage.folds)
+        absorb(store, stage, (1,), **{"MAX(tcpseq)": 100})
+        assert store.is_valid((1,))
+        assert store.value_of((1,), "MAX(tcpseq)") == {"MAX(tcpseq)": 100}
+
+    def test_multiple_segments_invalidate(self):
+        stage = stage_for(MAX_STAGE)
+        store = BackingStore(stage.folds)
+        absorb(store, stage, (1,), **{"MAX(tcpseq)": 100})
+        absorb(store, stage, (1,), **{"MAX(tcpseq)": 50})
+        assert not store.is_valid((1,))
+        assert store.value_of((1,), "MAX(tcpseq)") is None
+
+    def test_segments_remain_readable(self):
+        """§3.2: 'each value in the list is correct over a specific
+        time interval' — invalid keys still expose their segments."""
+        stage = stage_for(MAX_STAGE)
+        store = BackingStore(stage.folds)
+        absorb(store, stage, (1,), **{"MAX(tcpseq)": 100})
+        absorb(store, stage, (1,), **{"MAX(tcpseq)": 50})
+        segments = store.segments_of((1,), "MAX(tcpseq)")
+        assert [s["MAX(tcpseq)"] for s in segments] == [100, 50]
+
+    def test_validity_stats(self):
+        stage = stage_for(MAX_STAGE)
+        store = BackingStore(stage.folds)
+        absorb(store, stage, (1,), **{"MAX(tcpseq)": 1})
+        absorb(store, stage, (2,), **{"MAX(tcpseq)": 2})
+        absorb(store, stage, (2,), **{"MAX(tcpseq)": 3})
+        valid, total = store.validity_stats()
+        assert (valid, total) == (1, 2)
+        assert store.accuracy == pytest.approx(0.5)
+
+
+class TestMixedStage:
+    def test_linear_fold_merges_while_nonlinear_segments(self):
+        stage = stage_for(MIXED_STAGE)
+        store = BackingStore(stage.folds)
+        absorb(store, stage, (1,), COUNT=5, **{"MAX(tcpseq)": 10})
+        absorb(store, stage, (1,), COUNT=2, **{"MAX(tcpseq)": 20})
+        assert store.value_of((1,), "COUNT") == {"COUNT": 7}
+        assert store.value_of((1,), "MAX(tcpseq)") is None
+        assert not store.is_valid((1,))     # the non-linear fold poisons it
+
+    def test_empty_store_accuracy_is_one(self):
+        stage = stage_for(MIXED_STAGE)
+        store = BackingStore(stage.folds)
+        assert store.accuracy == 1.0
+        assert len(store) == 0

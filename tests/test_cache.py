@@ -1,0 +1,201 @@
+"""Cache tests: geometries, policies, LRU semantics, and a reference-
+model property check."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import HardwareError
+from repro.switch.kvstore.cache import (
+    CacheGeometry,
+    KeyValueCache,
+    mix_key,
+    simulate_eviction_count,
+    splitmix64,
+)
+
+
+class TestGeometry:
+    def test_hash_table(self):
+        g = CacheGeometry.hash_table(64)
+        assert (g.n_buckets, g.m_slots, g.capacity) == (64, 1, 64)
+
+    def test_fully_associative(self):
+        g = CacheGeometry.fully_associative(64)
+        assert (g.n_buckets, g.m_slots) == (1, 64)
+
+    def test_set_associative(self):
+        g = CacheGeometry.set_associative(64, ways=8)
+        assert (g.n_buckets, g.m_slots) == (8, 8)
+
+    def test_set_associative_requires_divisibility(self):
+        with pytest.raises(HardwareError):
+            CacheGeometry.set_associative(65, ways=8)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(HardwareError):
+            CacheGeometry(0, 4)
+
+    def test_describe(self):
+        assert "hash table" in CacheGeometry.hash_table(8).describe()
+        assert "fully associative" in CacheGeometry.fully_associative(8).describe()
+        assert "8-way" in CacheGeometry.set_associative(64, 8).describe()
+
+
+class TestHashing:
+    def test_splitmix_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_mix_key_tuple_vs_scalar(self):
+        assert mix_key((1, 2)) != mix_key((2, 1))
+
+    def test_seed_changes_placement(self):
+        assert mix_key((1, 2), seed=0) != mix_key((1, 2), seed=1)
+
+
+class TestLruSemantics:
+    def test_hit_refreshes_lru(self):
+        cache = KeyValueCache(CacheGeometry.fully_associative(2))
+        cache.access("a", lambda: 1)
+        cache.access("b", lambda: 2)
+        cache.access("a", lambda: 3)          # refresh a
+        _, evicted = cache.access("c", lambda: 4)
+        assert evicted.key == "b"             # LRU victim
+
+    def test_fifo_ignores_hits(self):
+        cache = KeyValueCache(CacheGeometry.fully_associative(2), policy="fifo")
+        cache.access("a", lambda: 1)
+        cache.access("b", lambda: 2)
+        cache.access("a", lambda: 3)          # hit does NOT refresh
+        _, evicted = cache.access("c", lambda: 4)
+        assert evicted.key == "a"             # oldest insertion
+
+    def test_hash_table_evicts_on_collision_only(self):
+        cache = KeyValueCache(CacheGeometry.hash_table(4))
+        for key in range(100):
+            cache.access(key, lambda: None)
+        assert cache.stats.evictions == cache.stats.insertions - len(cache)
+
+    def test_value_preserved_across_hits(self):
+        cache = KeyValueCache(CacheGeometry.fully_associative(4))
+        entry, _ = cache.access("k", lambda: {"count": 0})
+        entry.value["count"] += 1
+        entry2, _ = cache.access("k", lambda: {"count": 0})
+        assert entry2.value["count"] == 1
+
+    def test_evicted_key_reinserts_fresh(self):
+        """§3.2: 'a subsequent packet from the evicted key is treated as
+        a packet from a new key'."""
+        cache = KeyValueCache(CacheGeometry.fully_associative(1))
+        cache.access("a", lambda: {"v": 10})
+        cache.access("b", lambda: {"v": 0})   # evicts a
+        entry, _ = cache.access("a", lambda: {"v": 0})
+        assert entry.value == {"v": 0}
+
+
+class TestStats:
+    def test_counters_consistent(self):
+        cache = KeyValueCache(CacheGeometry.set_associative(8, 2))
+        for key in [1, 2, 1, 3, 4, 5, 1, 6, 7, 8, 9]:
+            cache.access(key, lambda: None)
+        stats = cache.stats
+        assert stats.accesses == 11
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.insertions == stats.misses
+        assert len(cache) == stats.insertions - stats.evictions
+
+    def test_eviction_fraction(self):
+        cache = KeyValueCache(CacheGeometry.fully_associative(1))
+        for key in [1, 2, 3, 4]:
+            cache.access(key, lambda: None)
+        assert cache.stats.eviction_fraction == pytest.approx(3 / 4)
+
+    def test_flush_not_counted_as_eviction(self):
+        cache = KeyValueCache(CacheGeometry.fully_associative(8))
+        for key in range(5):
+            cache.access(key, lambda: None)
+        flushed = cache.flush()
+        assert len(flushed) == 5
+        assert cache.stats.evictions == 0
+        assert len(cache) == 0
+
+    def test_occupancy(self):
+        cache = KeyValueCache(CacheGeometry.fully_associative(10))
+        for key in range(5):
+            cache.access(key, lambda: None)
+        assert cache.occupancy == pytest.approx(0.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_evictions(self):
+        keys = [(i * 7) % 50 for i in range(500)]
+        a = simulate_eviction_count(keys, CacheGeometry.set_associative(16, 8), seed=3)
+        b = simulate_eviction_count(keys, CacheGeometry.set_associative(16, 8), seed=3)
+        assert a.evictions == b.evictions
+
+    def test_random_policy_seeded(self):
+        keys = list(range(100)) * 2
+        a = simulate_eviction_count(keys, CacheGeometry.fully_associative(10),
+                                    policy="random", seed=5)
+        b = simulate_eviction_count(keys, CacheGeometry.fully_associative(10),
+                                    policy="random", seed=5)
+        assert a.evictions == b.evictions
+
+
+class _ReferenceLru:
+    """Textbook fully-associative LRU for the property check."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.data = OrderedDict()
+        self.evictions = 0
+        self.hits = 0
+
+    def access(self, key):
+        if key in self.data:
+            self.data.move_to_end(key)
+            self.hits += 1
+            return
+        if len(self.data) >= self.capacity:
+            self.data.popitem(last=False)
+            self.evictions += 1
+        self.data[key] = True
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=30), max_size=300),
+       capacity=st.integers(min_value=1, max_value=16))
+def test_fully_associative_matches_reference_lru(keys, capacity):
+    reference = _ReferenceLru(capacity)
+    for key in keys:
+        reference.access(key)
+    stats = simulate_eviction_count(keys, CacheGeometry.fully_associative(capacity))
+    assert stats.evictions == reference.evictions
+    assert stats.hits == reference.hits
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=100), max_size=300),
+       ways=st.sampled_from([1, 2, 4, 8]))
+def test_bucket_capacity_never_exceeded(keys, ways):
+    cache = KeyValueCache(CacheGeometry(n_buckets=4, m_slots=ways))
+    for key in keys:
+        cache.access(key, lambda: None)
+    for bucket in cache._buckets:
+        assert len(bucket) <= ways
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=200), max_size=400))
+def test_more_associativity_never_hurts_much(keys):
+    """Fig. 5's ordering: full LRU ≤ 8-way ≤ hash table (allowing tiny
+    deviations from hash placement luck)."""
+    capacity = 16
+    full = simulate_eviction_count(keys, CacheGeometry.fully_associative(capacity))
+    eight = simulate_eviction_count(keys, CacheGeometry.set_associative(capacity, 8))
+    hash_t = simulate_eviction_count(keys, CacheGeometry.hash_table(capacity))
+    slack = max(3, len(keys) // 20)
+    assert full.evictions <= eight.evictions + slack
+    assert eight.evictions <= hash_t.evictions + slack

@@ -1,0 +1,125 @@
+"""CLI tests: every subcommand end to end via ``main(argv)``."""
+
+import pytest
+
+from repro.cli import main
+from repro.traffic.trace_io import write_npz
+
+from tests.conftest import synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.npz"
+    write_npz(synthetic_trace(n_packets=1500, n_flows=20), path)
+    return str(path)
+
+
+class TestRun:
+    def test_inline_query(self, trace_file, capsys):
+        code = main(["run", "--query", "SELECT COUNT GROUPBY srcip",
+                     "--trace", trace_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "COUNT" in out and "cache:" in out
+
+    def test_check_flag_verifies(self, trace_file, capsys):
+        code = main(["run", "--query", "SELECT COUNT GROUPBY srcip",
+                     "--trace", trace_file, "--check",
+                     "--cache-pairs", "8", "--ways", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "vs exact interpreter" in out
+
+    def test_catalog_query_with_defaults(self, trace_file, capsys):
+        code = main(["run", "--catalog", "per_flow_loss_rate",
+                     "--trace", trace_file])
+        assert code == 0
+        assert "loss_rate" in capsys.readouterr().out
+
+    def test_param_binding(self, trace_file, capsys):
+        code = main(["run", "--query",
+                     "SELECT srcip FROM T WHERE pkt_len > L",
+                     "--param", "L=1000", "--trace", trace_file])
+        assert code == 0
+
+    def test_query_file(self, trace_file, tmp_path, capsys):
+        qfile = tmp_path / "q.pql"
+        qfile.write_text("SELECT COUNT GROUPBY qid")
+        code = main(["run", "--query-file", str(qfile), "--trace", trace_file])
+        assert code == 0
+        assert "qid" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, trace_file, capsys):
+        code = main(["run", "--query", "SELECT FROM WHERE",
+                     "--trace", trace_file])
+        assert code == 2
+        assert "query error" in capsys.readouterr().err
+
+    def test_unknown_catalog_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["run", "--catalog", "nope", "--trace", trace_file])
+
+
+class TestPlan:
+    def test_plan_prints_stages(self, capsys):
+        code = main(["plan", "--query", "SELECT COUNT GROUPBY 5tuple"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "switch groupby" in out
+        assert "linear in state" in out
+
+    def test_plan_catalog_nonlinear(self, capsys):
+        code = main(["plan", "--catalog", "tcp_non_monotonic"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NOT linear in state" in out
+
+
+class TestGenerate:
+    def test_datacenter_npz(self, tmp_path, capsys):
+        out_file = tmp_path / "dc.npz"
+        code = main(["generate", "datacenter", "--out", str(out_file),
+                     "--flows", "50", "--duration-ms", "10"])
+        assert code == 0
+        assert out_file.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_incast_csv_with_ground_truth(self, tmp_path, capsys):
+        out_file = tmp_path / "incast.csv"
+        code = main(["generate", "incast", "--out", str(out_file),
+                     "--senders", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hotspot qid" in out
+
+    def test_caida_with_anomalies(self, tmp_path, capsys):
+        out_file = tmp_path / "caida.npz"
+        code = main(["generate", "caida", "--out", str(out_file),
+                     "--scale", "0.0001", "--anomalies"])
+        assert code == 0
+        assert "planted anomalies" in capsys.readouterr().out
+
+    def test_generated_trace_runs(self, tmp_path, capsys):
+        out_file = tmp_path / "dc2.npz"
+        main(["generate", "datacenter", "--out", str(out_file),
+              "--flows", "40", "--duration-ms", "10"])
+        capsys.readouterr()
+        code = main(["run", "--query", "SELECT COUNT GROUPBY srcip, dstip",
+                     "--trace", str(out_file), "--check"])
+        assert code == 0
+
+
+class TestCatalog:
+    def test_list(self, capsys):
+        code = main(["catalog"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("per_flow_counters", "latency_ewma", "tcp_non_monotonic"):
+            assert name in out
+
+    def test_show(self, capsys):
+        code = main(["catalog", "--show", "latency_ewma"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "def ewma" in out

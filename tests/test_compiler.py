@@ -1,0 +1,144 @@
+"""Compiler tests: plan shapes, layouts, and the on/off-switch split."""
+
+import pytest
+
+from repro.core.compiler import CompileOptions, compile_program
+from repro.core.errors import CompileError
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+
+
+def compiled(source, **options):
+    rp = resolve_program(parse_program(source))
+    return compile_program(rp, CompileOptions(**options) if options else None)
+
+
+class TestStageSplit:
+    def test_base_groupby_goes_on_switch(self):
+        program = compiled("SELECT COUNT GROUPBY 5tuple")
+        assert len(program.groupby_stages) == 1
+        assert not program.software_stages
+
+    def test_base_select_goes_on_switch(self):
+        program = compiled("SELECT srcip, qid FROM T WHERE tout - tin > 1ms")
+        assert len(program.select_stages) == 1
+
+    def test_derived_stage_goes_to_software(self):
+        program = compiled(
+            "R1 = SELECT COUNT GROUPBY srcip\n"
+            "R2 = SELECT * FROM R1 WHERE COUNT > 10\n"
+        )
+        assert [s.query.name for s in program.software_stages] == ["R2"]
+
+    def test_join_reduces_to_groupbys_plus_software(self):
+        program = compiled(
+            "R1 = SELECT COUNT GROUPBY 5tuple\n"
+            "R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity\n"
+            "R3 = SELECT R2.COUNT/R1.COUNT FROM R1 JOIN R2 ON 5tuple\n"
+        )
+        assert len(program.groupby_stages) == 2      # the paper's reduction
+        assert [s.query.name for s in program.software_stages] == ["R3"]
+
+    def test_result_name_preserved(self):
+        program = compiled("R9 = SELECT COUNT GROUPBY srcip")
+        assert program.result == "R9"
+
+
+class TestKeyValueLayout:
+    def test_fig5_pair_is_128_bits(self):
+        """§4: 104-bit 5-tuple key + 24-bit counter = 128 bits/pair."""
+        program = compiled("SELECT COUNT GROUPBY 5tuple")
+        stage = program.groupby_stages[0]
+        assert stage.key.bits == 104
+        assert stage.value.bits == 24
+        assert stage.pair_bits == 128
+
+    def test_counter_width_override(self):
+        program = compiled("SELECT COUNT GROUPBY 5tuple",
+                           state_bits_override={("COUNT", "COUNT"): 32})
+        assert program.groupby_stages[0].value.bits == 32
+
+    def test_ewma_value_includes_aux_product(self):
+        program = compiled(
+            "def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
+            "SELECT 5tuple, ewma GROUPBY 5tuple"
+        )
+        value = program.groupby_stages[0].value
+        assert value.state_bits == 32
+        assert value.aux_bits == 32  # one product register
+
+    def test_multi_fold_value_concatenates(self):
+        program = compiled("SELECT COUNT, SUM(pkt_len) GROUPBY srcip")
+        value = program.groupby_stages[0].value
+        assert len(value.slots) == 2
+        assert value.bits == 24 + 32
+
+    def test_key_bits_sum_over_fields(self):
+        program = compiled("SELECT COUNT GROUPBY srcip, dstip")
+        assert program.groupby_stages[0].key.bits == 64
+
+
+class TestParserConfig:
+    def test_parse_fields_cover_query(self):
+        program = compiled(
+            "SELECT COUNT GROUPBY srcip, dstip WHERE tout - tin > 1ms")
+        for field in ("srcip", "dstip", "tin", "tout"):
+            assert field in program.parse_fields
+
+    def test_fold_fields_included(self):
+        program = compiled("SELECT SUM(pkt_len) GROUPBY srcip")
+        assert "pkt_len" in program.parse_fields
+
+    def test_software_only_fields_excluded(self):
+        program = compiled(
+            "R1 = SELECT COUNT GROUPBY srcip\n"
+            "R2 = SELECT * FROM R1 WHERE COUNT > 10\n"
+        )
+        # R2's filter runs in software; qid is never parsed.
+        assert "qid" not in program.parse_fields
+
+
+class TestAluAccounting:
+    def test_count_is_cheap(self):
+        program = compiled("SELECT COUNT GROUPBY srcip")
+        alu = program.groupby_stages[0].folds[0].alu
+        assert alu.op_count == 1
+        assert alu.depth >= 1
+
+    def test_budget_enforced_when_strict(self):
+        big_body = " + pkt_len".join(["    s = s"] + [""] * 40)
+        source = f"def f (s, pkt_len):\n{big_body}\nSELECT srcip, f GROUPBY srcip"
+        with pytest.raises(CompileError):
+            compiled(source, strict_alu=True, alu_op_budget=4)
+
+    def test_budget_not_enforced_by_default(self):
+        big_body = " + pkt_len".join(["    s = s"] + [""] * 40)
+        source = f"def f (s, pkt_len):\n{big_body}\nSELECT srcip, f GROUPBY srcip"
+        program = compiled(source)
+        assert program.groupby_stages[0].folds[0].alu.op_count == 40
+
+
+class TestMergeability:
+    def test_linear_stage_is_mergeable(self):
+        program = compiled("SELECT COUNT GROUPBY srcip")
+        assert program.groupby_stages[0].mergeable
+
+    def test_nonlinear_stage_is_not(self):
+        program = compiled("SELECT MAX(tcpseq) GROUPBY srcip")
+        assert not program.groupby_stages[0].mergeable
+
+    def test_mixed_stage_is_not_mergeable(self):
+        program = compiled("SELECT COUNT, MAX(tcpseq) GROUPBY srcip")
+        assert not program.groupby_stages[0].mergeable
+
+
+class TestDescribe:
+    def test_plan_description_mentions_stages(self):
+        program = compiled(
+            "R1 = SELECT COUNT GROUPBY 5tuple\n"
+            "R2 = SELECT * FROM R1 WHERE COUNT > 10\n"
+        )
+        text = program.describe()
+        assert "switch groupby R1" in text
+        assert "software select R2" in text
+        assert "104b" in text

@@ -1,0 +1,110 @@
+"""Expression-evaluator tests: semantics shared by interpreter, ALU,
+and merge runtime."""
+
+import math
+
+import pytest
+
+from repro.core.ast_nodes import (
+    BinOp,
+    Call,
+    ColumnRef,
+    Cond,
+    FieldRef,
+    Name,
+    Number,
+    ParamRef,
+    StateRef,
+    UnaryOp,
+)
+from repro.core.errors import InterpreterError
+from repro.core.eval_expr import EvalContext, evaluate, evaluate_predicate
+
+from tests.conftest import make_record
+
+
+def ev(expr, **ctx):
+    return evaluate(expr, EvalContext(**ctx))
+
+
+class TestLeaves:
+    def test_number(self):
+        assert ev(Number(42)) == 42
+
+    def test_field_from_record(self):
+        assert ev(FieldRef("pkt_len"), row=make_record(pkt_len=99)) == 99
+
+    def test_field_from_mapping(self):
+        assert ev(FieldRef("x"), row={"x": 7}) == 7
+
+    def test_column_qualified(self):
+        ctx = EvalContext(qualified_rows={"R1": {"COUNT": 5}})
+        assert evaluate(ColumnRef("COUNT", table="R1"), ctx) == 5
+
+    def test_state_var(self):
+        assert ev(StateRef("s"), state={"s": 3.5}) == 3.5
+
+    def test_param(self):
+        assert ev(ParamRef("alpha"), params={"alpha": 0.5}) == 0.5
+
+    def test_missing_field_raises(self):
+        with pytest.raises(InterpreterError):
+            ev(FieldRef("nope"), row={"x": 1})
+
+    def test_missing_param_raises_with_name(self):
+        with pytest.raises(InterpreterError) as excinfo:
+            ev(ParamRef("gamma"))
+        assert "gamma" in str(excinfo.value)
+
+    def test_unresolved_name_rejected(self):
+        with pytest.raises(InterpreterError):
+            ev(Name("raw"))
+
+
+class TestOperators:
+    def test_comparisons_return_int(self):
+        result = ev(BinOp("<", Number(1), Number(2)))
+        assert result == 1 and isinstance(result, int)
+
+    def test_division_is_true_division(self):
+        assert ev(BinOp("/", Number(1), Number(4))) == 0.25
+
+    def test_boolean_short_circuit_and(self):
+        # Right side would divide by zero; `and` must short-circuit.
+        expr = BinOp("and", Number(0), BinOp("/", Number(1), Number(0)))
+        assert ev(expr) == 0
+
+    def test_boolean_short_circuit_or(self):
+        expr = BinOp("or", Number(1), BinOp("/", Number(1), Number(0)))
+        assert ev(expr) == 1
+
+    def test_not(self):
+        assert ev(UnaryOp("not", Number(0))) == 1
+        assert ev(UnaryOp("not", Number(5))) == 0
+
+    def test_negation(self):
+        assert ev(UnaryOp("-", Number(3))) == -3
+
+    def test_infinity_comparison(self):
+        expr = BinOp("==", FieldRef("tout"), Number(math.inf))
+        assert ev(expr, row=make_record(tout=math.inf)) == 1
+
+    def test_cond_branches(self):
+        expr = Cond(BinOp(">", StateRef("s"), Number(0)), Number(10), Number(20))
+        assert ev(expr, state={"s": 1}) == 10
+        assert ev(expr, state={"s": -1}) == 20
+
+    def test_builtin_calls(self):
+        assert ev(Call("max", (Number(3), Number(7)))) == 7
+        assert ev(Call("min", (Number(3), Number(7)))) == 3
+        assert ev(Call("abs", (Number(-4),))) == 4
+
+
+class TestPredicates:
+    def test_none_is_pass_all(self):
+        assert evaluate_predicate(None, EvalContext())
+
+    def test_truthiness(self):
+        ctx = EvalContext(row=make_record(pkt_len=100))
+        assert evaluate_predicate(BinOp(">", FieldRef("pkt_len"), Number(50)), ctx)
+        assert not evaluate_predicate(BinOp(">", FieldRef("pkt_len"), Number(500)), ctx)

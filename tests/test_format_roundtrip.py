@@ -1,0 +1,66 @@
+"""Property test: pretty-printing is a faithful inverse of parsing.
+
+Random expression trees over the query grammar are formatted with
+``format_expr`` and re-parsed; the results must be identical ASTs.
+This pins the precedence/parenthesisation rules that the canonical
+sugar-column naming (``SUM(tout - tin)``) depends on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ast_nodes import (
+    BinOp,
+    Call,
+    Name,
+    Number,
+    UnaryOp,
+    format_expr,
+)
+from repro.core.parser import parse_expression
+
+_LEAVES = st.one_of(
+    st.integers(min_value=0, max_value=10_000).map(Number),
+    st.floats(min_value=0.001, max_value=1000.0,
+              allow_nan=False, allow_infinity=False).map(
+                  lambda f: Number(round(f, 4))),
+    st.sampled_from(["srcip", "tout", "tin", "pkt_len", "qin", "alpha", "L"])
+      .map(Name),
+)
+
+
+def _exprs(depth):
+    if depth <= 0:
+        return _LEAVES
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _LEAVES,
+        st.tuples(st.sampled_from(["+", "-", "*", "/"]), sub, sub).map(
+            lambda t: BinOp(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+                  sub, sub).map(lambda t: BinOp(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(["and", "or"]),
+                  st.tuples(st.sampled_from(["==", "<"]), sub, sub).map(
+                      lambda t: BinOp(t[0], t[1], t[2])),
+                  st.tuples(st.sampled_from(["!=", ">"]), sub, sub).map(
+                      lambda t: BinOp(t[0], t[1], t[2]))).map(
+            lambda t: BinOp(t[0], t[1], t[2])),
+        sub.map(lambda e: UnaryOp("-", e)),
+        st.tuples(st.sampled_from(["max", "min"]), sub, sub).map(
+            lambda t: Call(t[0], (t[1], t[2]))),
+        sub.map(lambda e: Call("abs", (e,))),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=_exprs(3))
+def test_format_parse_roundtrip(expr):
+    printed = format_expr(expr)
+    reparsed = parse_expression(printed)
+    assert reparsed == expr, printed
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=_exprs(2))
+def test_format_is_deterministic(expr):
+    assert format_expr(expr) == format_expr(expr)

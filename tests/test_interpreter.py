@@ -1,0 +1,187 @@
+"""Reference-interpreter tests: each query form, evaluated exactly."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InterpreterError
+from repro.core.interpreter import Interpreter, run_query
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+
+from tests.conftest import make_record
+
+
+def records_two_flows():
+    """Flow A: 3 packets (one dropped); flow B: 2 packets."""
+    a = dict(srcip=1, dstip=9, srcport=10, dstport=80, proto=6)
+    b = dict(srcip=2, dstip=9, srcport=20, dstport=80, proto=17)
+    return [
+        make_record(**a, pkt_id=0, pkt_len=100, tin=0, tout=50.0, qin=3),
+        make_record(**b, pkt_id=1, pkt_len=200, tin=10, tout=500.0, qin=9),
+        make_record(**a, pkt_id=2, pkt_len=300, tin=20, tout=math.inf, qin=30),
+        make_record(**a, pkt_id=3, pkt_len=400, tin=30, tout=90.0, qin=1),
+        make_record(**b, pkt_id=4, pkt_len=500, tin=40, tout=41.0, qin=0),
+    ]
+
+
+class TestSelect:
+    def test_projection(self):
+        table = run_query("SELECT srcip, qid FROM T", records_two_flows())
+        assert len(table) == 5
+        assert set(table.rows[0]) == {"srcip", "qid"}
+
+    def test_where_filters(self):
+        table = run_query("SELECT srcip FROM T WHERE pkt_len > 250",
+                          records_two_flows())
+        assert len(table) == 3
+
+    def test_where_drop_filter(self):
+        table = run_query("SELECT pkt_id FROM T WHERE tout == infinity",
+                          records_two_flows())
+        assert [r["pkt_id"] for r in table] == [2]
+
+    def test_expression_column(self):
+        table = run_query("SELECT tout - tin AS delay FROM T WHERE tout != infinity",
+                          records_two_flows())
+        assert table.rows[0]["delay"] == 50.0
+
+    def test_paper_latency_query(self):
+        # SELECT srcip, qid FROM T WHERE tout - tin > 1ms — nothing here
+        # exceeds 1 ms except the drop (inf).
+        table = run_query("SELECT srcip, qid FROM T WHERE tout - tin > 1ms",
+                          records_two_flows())
+        assert len(table) == 1
+
+
+class TestGroupBy:
+    def test_count(self):
+        table = run_query("SELECT COUNT GROUPBY srcip", records_two_flows())
+        counts = {r["srcip"]: r["COUNT"] for r in table}
+        assert counts == {1: 3, 2: 2}
+
+    def test_sum(self):
+        table = run_query("SELECT SUM(pkt_len) GROUPBY srcip", records_two_flows())
+        sums = {r["srcip"]: r["SUM(pkt_len)"] for r in table}
+        assert sums == {1: 800, 2: 700}
+
+    def test_avg_read_time_division(self):
+        table = run_query("SELECT AVG(pkt_len) GROUPBY srcip", records_two_flows())
+        avgs = {r["srcip"]: r["AVG(pkt_len)"] for r in table}
+        assert avgs[1] == pytest.approx(800 / 3)
+        assert avgs[2] == pytest.approx(350.0)
+
+    def test_max_min(self):
+        table = run_query("SELECT MAX(pkt_len), MIN(pkt_len) GROUPBY srcip",
+                          records_two_flows())
+        row = {r["srcip"]: r for r in table}[1]
+        assert row["MAX(pkt_len)"] == 400
+        assert row["MIN(pkt_len)"] == 100
+
+    def test_where_prefilters_input(self):
+        table = run_query("SELECT COUNT GROUPBY srcip WHERE proto == TCP",
+                          records_two_flows())
+        counts = {r["srcip"]: r["COUNT"] for r in table}
+        assert counts == {1: 3}
+
+    def test_order_dependent_fold(self):
+        source = (
+            "def last (v, pkt_len): v = pkt_len\n"
+            "SELECT srcip, last GROUPBY srcip"
+        )
+        table = run_query(source, records_two_flows())
+        values = {r["srcip"]: r["v"] for r in table}
+        assert values == {1: 400, 2: 500}  # the last packet's length
+
+    def test_ewma_order(self):
+        source = (
+            "def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
+            "SELECT srcip, ewma GROUPBY srcip WHERE tout != infinity"
+        )
+        table = run_query(source, records_two_flows(), params={"alpha": 0.5})
+        expected = 0.0
+        for lat in (50.0, 60.0):
+            expected = 0.5 * expected + 0.5 * lat
+        values = {r["srcip"]: r["e"] for r in table}
+        assert values[1] == pytest.approx(expected)
+
+    def test_multiple_folds_one_query(self):
+        table = run_query("SELECT COUNT, SUM(pkt_len), MAX(qin) GROUPBY dstip",
+                          records_two_flows())
+        row = table.rows[0]
+        assert row["COUNT"] == 5 and row["SUM(pkt_len)"] == 1500 and row["MAX(qin)"] == 30
+
+
+class TestComposition:
+    def test_two_stage_latency_program(self):
+        source = (
+            "def sum_lat (lat, (tin, tout)): lat = lat + tout - tin\n"
+            "R1 = SELECT pkt_uniq, sum_lat GROUPBY pkt_uniq\n"
+            "R2 = SELECT 5tuple, COUNT FROM R1 GROUPBY 5tuple WHERE lat > L\n"
+        )
+        table = run_query(source, records_two_flows(), params={"L": 100})
+        counts = {r["srcip"]: r["COUNT"] for r in table}
+        # Flow A has the inf-latency drop; flow B has the 490ns packet.
+        assert counts == {1: 1, 2: 1}
+
+    def test_filter_over_derived(self):
+        source = (
+            "R1 = SELECT COUNT GROUPBY srcip\n"
+            "R2 = SELECT * FROM R1 WHERE COUNT > 2\n"
+        )
+        table = run_query(source, records_two_flows())
+        assert [r["srcip"] for r in table] == [1]
+
+
+class TestJoin:
+    def test_loss_rate(self):
+        source = (
+            "R1 = SELECT COUNT GROUPBY srcip\n"
+            "R2 = SELECT COUNT GROUPBY srcip WHERE tout == infinity\n"
+            "R3 = SELECT R2.COUNT/R1.COUNT AS loss FROM R1 JOIN R2 ON srcip\n"
+        )
+        table = run_query(source, records_two_flows())
+        # Inner join: only flow 1 had drops.
+        assert len(table) == 1
+        assert table.rows[0]["loss"] == pytest.approx(1 / 3)
+
+    def test_join_where(self):
+        source = (
+            "R1 = SELECT COUNT GROUPBY srcip\n"
+            "R2 = SELECT SUM(pkt_len) GROUPBY srcip\n"
+            "R3 = SELECT R1.COUNT FROM R1 JOIN R2 ON srcip WHERE R2.SUM(pkt_len) > 750\n"
+        )
+        table = run_query(source, records_two_flows())
+        assert len(table) == 1 and table.rows[0]["R1.COUNT"] == 3
+
+
+class TestResultTable:
+    def test_by_key(self):
+        table = run_query("SELECT COUNT GROUPBY srcip", records_two_flows())
+        assert table.by_key()[(1,)]["COUNT"] == 3
+
+    def test_by_key_requires_keyed(self):
+        table = run_query("SELECT srcip FROM T", records_two_flows())
+        with pytest.raises(InterpreterError):
+            table.by_key()
+
+    def test_column_accessor_resolves_aliases(self):
+        source = (
+            "def sum_lat (lat, (tin, tout)): lat = lat + tout - tin\n"
+            "SELECT srcip, sum_lat GROUPBY srcip"
+        )
+        table = run_query(source, records_two_flows())
+        assert table.column("sum_lat") == table.column("lat")
+
+
+class TestParams:
+    def test_missing_param_raises_at_construction(self):
+        rp = resolve_program(parse_program("SELECT srcip FROM T WHERE pkt_len > L"))
+        with pytest.raises(InterpreterError) as excinfo:
+            Interpreter(rp)
+        assert "L" in str(excinfo.value)
+
+    def test_param_binding_used(self):
+        table = run_query("SELECT srcip FROM T WHERE pkt_len > L",
+                          records_two_flows(), params={"L": 450})
+        assert len(table) == 1

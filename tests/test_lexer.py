@@ -1,0 +1,141 @@
+"""Lexer unit tests: tokens, literals, layout, and error reporting."""
+
+import pytest
+
+from repro.core.errors import LexError
+from repro.core.lexer import DEDENT, EOF, IDENT, INDENT, NEWLINE, NUMBER, OP, tokenize
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source, type_filter=None):
+    layout = {NEWLINE, INDENT, DEDENT, EOF}
+    return [t.value for t in tokenize(source)
+            if (t.type == type_filter if type_filter else t.type not in layout)]
+
+
+class TestBasicTokens:
+    def test_idents_and_ops(self):
+        tokens = tokenize("SELECT srcip, qid FROM T")
+        assert [t.value for t in tokens[:-2]] == ["SELECT", "srcip", ",", "qid", "FROM", "T"]
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type == NUMBER and token.value == 42
+
+    def test_float_literal(self):
+        token = tokenize("0.01")[0]
+        assert token.type == NUMBER and token.value == pytest.approx(0.01)
+
+    def test_float_with_exponent(self):
+        token = tokenize("1.5e3")[0]
+        assert token.type == NUMBER and token.value == pytest.approx(1500.0)
+
+    def test_comparison_operators(self):
+        ops = values("a == b != c <= d >= e < f > g", OP)
+        assert ops == ["==", "!=", "<=", ">=", "<", ">"]
+
+    def test_arithmetic_operators(self):
+        ops = values("a + b - c * d / e", OP)
+        assert ops == ["+", "-", "*", "/"]
+
+    def test_eof_terminates(self):
+        assert kinds("x")[-1] == EOF
+
+
+class TestSpecialLiterals:
+    def test_5tuple_is_identifier(self):
+        token = tokenize("5tuple")[0]
+        assert token.type == IDENT and token.value == "5tuple"
+
+    def test_time_unit_ms(self):
+        token = tokenize("1ms")[0]
+        assert token.type == NUMBER and token.value == 1_000_000
+
+    def test_time_unit_us(self):
+        token = tokenize("250us")[0]
+        assert token.type == NUMBER and token.value == 250_000
+
+    def test_time_unit_ns(self):
+        token = tokenize("7ns")[0]
+        assert token.type == NUMBER and token.value == 7
+
+    def test_time_unit_seconds(self):
+        token = tokenize("2s")[0]
+        assert token.type == NUMBER and token.value == 2_000_000_000
+
+    def test_digit_leading_identifier_other(self):
+        token = tokenize("5tuples_x")[0]
+        assert token.type == IDENT and token.value == "5tuples_x"
+
+
+class TestComments:
+    def test_hash_comment_stripped(self):
+        assert values("x # comment here") == ["x"]
+
+    def test_slash_comment_stripped(self):
+        assert values("x // comment here") == ["x"]
+
+    def test_comment_only_line_skipped(self):
+        assert kinds("# nothing\nx")[:1] == [IDENT]
+
+
+class TestLayout:
+    def test_newline_between_statements(self):
+        assert NEWLINE in kinds("a = 1\nb = 2")
+
+    def test_indent_dedent_pairs(self):
+        source = "def f (s, x):\n    s = s + x\n"
+        token_kinds = kinds(source)
+        assert token_kinds.count(INDENT) == 1
+        assert token_kinds.count(DEDENT) == 1
+
+    def test_nested_blocks(self):
+        source = (
+            "def f ((a, b), x):\n"
+            "    if x > 1:\n"
+            "        a = a + 1\n"
+            "    b = b + x\n"
+        )
+        token_kinds = kinds(source)
+        assert token_kinds.count(INDENT) == 2
+        assert token_kinds.count(DEDENT) == 2
+
+    def test_continuation_on_clause_keyword(self):
+        source = "SELECT srcip FROM T\n    WHERE tout == 1"
+        token_kinds = kinds(source)
+        # The WHERE line is joined: no NEWLINE/INDENT between them.
+        assert INDENT not in token_kinds
+        assert token_kinds.count(NEWLINE) == 1  # only the final one
+
+    def test_continuation_after_trailing_operator(self):
+        source = "a = 1 +\n    2"
+        token_kinds = kinds(source)
+        assert INDENT not in token_kinds
+
+    def test_continuation_inside_parens(self):
+        source = "def f (s, (tin,\n    tout)): s = s + tin"
+        assert INDENT not in kinds(source)
+
+    def test_inconsistent_dedent_raises(self):
+        source = "def f (s, x):\n        s = s + x\n    s = s + 1\n"
+        with pytest.raises(LexError):
+            tokenize(source)
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a @ b")
+        assert "@" in str(excinfo.value)
+
+    def test_unbalanced_close_paren(self):
+        with pytest.raises(LexError):
+            tokenize("a ) b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ok = 1\nbad @")
+        assert excinfo.value.line == 2

@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis): the split store equals ground truth.
+
+The central §3.2 claim — for linear-in-state folds, merging evicted
+values preserves exactness regardless of when evictions happen — is
+checked here over randomly generated packet streams and randomly tiny
+caches (maximising eviction pressure), for a pool of linear fold
+programs spanning all three merge strategies.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import CompileOptions, compile_program
+from repro.core.interpreter import Interpreter
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.switch.pipeline import SwitchPipeline
+from repro.telemetry.results import compare_tables
+
+from tests.conftest import make_record
+
+#: Linear fold programs: (source, params) — additive, scale, matrix,
+#: multi-fold, predicated-increment, and history-coefficient cases.
+LINEAR_PROGRAMS = [
+    ("SELECT COUNT, SUM(pkt_len) GROUPBY srcip", {}),
+    ("def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
+     "SELECT srcip, ewma GROUPBY srcip", {"alpha": 0.3}),
+    ("def f ((a, b), pkt_len):\n"
+     "    a = a + b\n"
+     "    b = b + pkt_len\n"
+     "SELECT srcip, f GROUPBY srcip", {}),
+    ("def perc ((tot, high), qin):\n"
+     "    if qin > K: high = high + 1\n"
+     "    tot = tot + 1\n"
+     "SELECT srcip, perc GROUPBY srcip", {"K": 10}),
+    ("def g (s, (pkt_len, qin)):\n"
+     "    if qin > 5 then s = 2 * s + pkt_len else s = s + 1\n"
+     "SELECT srcip, g GROUPBY srcip", {}),
+]
+
+HISTORY_PROGRAM = (
+    "def outofseq ((lastseq, oos), (tcpseq, payload_len)):\n"
+    "    if lastseq + 1 != tcpseq: oos = oos + 1\n"
+    "    lastseq = tcpseq + payload_len\n"
+    "SELECT srcip, outofseq GROUPBY srcip"
+)
+
+
+@st.composite
+def packet_streams(draw):
+    """A stream of records over a handful of flows, adversarially
+    interleaved by hypothesis."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    records = []
+    t = 0
+    for i in range(n):
+        flow = draw(st.integers(min_value=0, max_value=n_flows - 1))
+        t += draw(st.integers(min_value=1, max_value=50))
+        records.append(make_record(
+            srcip=flow, pkt_id=i, tin=t,
+            tout=float(t + draw(st.integers(min_value=1, max_value=1000))),
+            pkt_len=draw(st.integers(min_value=40, max_value=1500)),
+            payload_len=draw(st.integers(min_value=0, max_value=1460)),
+            tcpseq=draw(st.integers(min_value=0, max_value=10_000)),
+            qin=draw(st.integers(min_value=0, max_value=30)),
+        ))
+    return records
+
+
+def run_both(source, params, records, capacity, ways, exact_history=False):
+    rp = resolve_program(parse_program(source))
+    truth = Interpreter(rp, params=params).run_result(records)
+    program = compile_program(rp, CompileOptions(exact_history=exact_history))
+    if ways == 0:
+        geometry = CacheGeometry.fully_associative(capacity)
+    elif ways == 1:
+        geometry = CacheGeometry.hash_table(capacity)
+    else:
+        capacity = max(ways, capacity // ways * ways)
+        geometry = CacheGeometry.set_associative(capacity, ways=ways)
+    pipeline = SwitchPipeline(program, params=params, geometry=geometry)
+    pipeline.run(records)
+    hardware = pipeline.results()[rp.result]
+    return hardware, truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stream=packet_streams(),
+    program_index=st.integers(min_value=0, max_value=len(LINEAR_PROGRAMS) - 1),
+    capacity=st.integers(min_value=1, max_value=8),
+    ways=st.sampled_from([0, 1, 2]),
+)
+def test_linear_folds_are_exact_under_any_eviction_schedule(
+        stream, program_index, capacity, ways):
+    source, params = LINEAR_PROGRAMS[program_index]
+    hardware, truth = run_both(source, params, stream, capacity, ways)
+    diff = compare_tables(hardware, truth, rel_tol=1e-9, abs_tol=1e-6)
+    assert diff.key_complete, diff.describe()
+    assert diff.exact, diff.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream=packet_streams(), capacity=st.integers(min_value=1, max_value=6))
+def test_history_fold_exact_with_replay_extension(stream, capacity):
+    hardware, truth = run_both(HISTORY_PROGRAM, {}, stream, capacity, ways=1,
+                               exact_history=True)
+    diff = compare_tables(hardware, truth, abs_tol=1e-9)
+    assert diff.exact, diff.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream=packet_streams(), capacity=st.integers(min_value=1, max_value=6))
+def test_history_fold_error_is_bounded_by_eviction_count(stream, capacity):
+    """Without the replay extension the paper's merge may miscount the
+    first packet of each epoch: |error| ≤ number of epochs."""
+    rp = resolve_program(parse_program(HISTORY_PROGRAM))
+    truth = Interpreter(rp).run_result(stream).by_key()
+    program = compile_program(rp)
+    pipeline = SwitchPipeline(program, geometry=CacheGeometry.hash_table(capacity))
+    pipeline.run(stream)
+    store = pipeline.store_for(rp.result)
+    hardware = store.result_table().by_key()
+    for key, hw_row in hardware.items():
+        t_row = truth[key]
+        error = abs(hw_row["outofseq.oos"] - t_row["outofseq.oos"])
+        epochs = store.backing.data[key].epochs
+        assert error <= epochs
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=packet_streams())
+def test_nonlinear_valid_keys_report_exact_values(stream):
+    """§3.2: for non-linear folds, keys never evicted-and-reinserted
+    stay valid and their reported value must equal ground truth."""
+    source = (
+        "def nonmt ((maxseq, nm), tcpseq):\n"
+        "    if maxseq > tcpseq: nm = nm + 1\n"
+        "    maxseq = max(maxseq, tcpseq)\n"
+        "SELECT srcip, nonmt GROUPBY srcip"
+    )
+    rp = resolve_program(parse_program(source))
+    truth = Interpreter(rp).run_result(stream).by_key()
+    pipeline = SwitchPipeline(compile_program(rp),
+                              geometry=CacheGeometry.hash_table(2))
+    pipeline.run(stream)
+    hardware = pipeline.results()[rp.result].by_key()  # valid keys only
+    for key, row in hardware.items():
+        assert row["nonmt.nm"] == truth[key]["nonmt.nm"]
+        assert row["nonmt.maxseq"] == truth[key]["nonmt.maxseq"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=packet_streams(),
+       seed_a=st.integers(min_value=0, max_value=2**32 - 1),
+       seed_b=st.integers(min_value=0, max_value=2**32 - 1))
+def test_results_independent_of_hash_seed(stream, seed_a, seed_b):
+    """Merged results must not depend on cache hash placement."""
+    source, params = LINEAR_PROGRAMS[0]
+    rp = resolve_program(parse_program(source))
+    program = compile_program(rp)
+    tables = []
+    for seed in (seed_a, seed_b):
+        pipeline = SwitchPipeline(
+            program, params=params,
+            geometry=CacheGeometry.set_associative(8, ways=2), seed=seed)
+        pipeline.run(stream)
+        tables.append(pipeline.results()[rp.result])
+    diff = compare_tables(tables[0], tables[1], abs_tol=1e-9)
+    assert diff.exact, diff.describe()

@@ -1,0 +1,161 @@
+"""Merge-synthesis unit tests: strategies, aux registers, merge math."""
+
+import pytest
+
+from repro.core.linearity import analyze_fold
+from repro.core.merge_synthesis import (
+    init_aux,
+    merge_values,
+    synthesize_merge,
+    update_aux,
+)
+from repro.core.errors import LinearityError
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+
+from tests.conftest import make_record
+
+
+def spec_for(source, exact_history=False):
+    rp = resolve_program(parse_program(source))
+    for query in rp.queries:
+        if query.folds:
+            return synthesize_merge(analyze_fold(query.folds[0]),
+                                    exact_history=exact_history)
+    raise AssertionError("no fold")
+
+
+COUNT_SRC = "SELECT COUNT GROUPBY srcip"
+EWMA_SRC = (
+    "def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
+    "SELECT 5tuple, ewma GROUPBY 5tuple"
+)
+NONMT_SRC = (
+    "def nonmt ((maxseq, nm), tcpseq):\n"
+    "    if maxseq > tcpseq: nm = nm + 1\n"
+    "    maxseq = max(maxseq, tcpseq)\n"
+    "SELECT 5tuple, nonmt GROUPBY 5tuple"
+)
+COUPLED_SRC = (
+    "def f ((a, b), pkt_len):\n"
+    "    a = a + b\n"
+    "    b = b + pkt_len\n"
+    "SELECT srcip, f GROUPBY srcip"
+)
+
+
+class TestStrategySelection:
+    def test_count_is_additive(self):
+        assert spec_for(COUNT_SRC).strategy == "additive"
+
+    def test_ewma_is_scale(self):
+        assert spec_for(EWMA_SRC).strategy == "scale"
+
+    def test_coupled_is_matrix(self):
+        assert spec_for(COUPLED_SRC).strategy == "matrix"
+
+    def test_nonlinear_is_list(self):
+        spec = spec_for(NONMT_SRC)
+        assert spec.strategy == "list"
+        assert not spec.mergeable
+        assert not spec.exact
+
+
+class TestAuxRegisters:
+    def test_additive_needs_no_aux(self):
+        assert spec_for(COUNT_SRC).aux_registers() == 0
+
+    def test_scale_needs_one_register_per_var(self):
+        assert spec_for(EWMA_SRC).aux_registers() == 1
+
+    def test_matrix_needs_k_squared(self):
+        assert spec_for(COUPLED_SRC).aux_registers() == 4
+
+    def test_exact_history_adds_log_registers(self):
+        source = (
+            "def outofseq ((lastseq, oos), (tcpseq, payload_len)):\n"
+            "    if lastseq + 1 != tcpseq: oos = oos + 1\n"
+            "    lastseq = tcpseq + payload_len\n"
+            "SELECT 5tuple, outofseq GROUPBY 5tuple"
+        )
+        plain = spec_for(source)
+        exact = spec_for(source, exact_history=True)
+        assert plain.aux_registers() == 0       # additive, no history log
+        assert exact.aux_registers() > 0
+        assert exact.exact and not plain.exact
+
+
+class TestMergeMath:
+    def test_additive_merge_adds_deltas(self):
+        spec = spec_for(COUNT_SRC)
+        merged = merge_values(
+            spec,
+            evicted={"COUNT": 5},
+            aux=init_aux(spec),
+            backing={"COUNT": 7},
+            init_state={"COUNT": 0},
+        )
+        assert merged["COUNT"] == 12
+
+    def test_merge_with_no_backing_returns_evicted(self):
+        spec = spec_for(COUNT_SRC)
+        merged = merge_values(spec, {"COUNT": 5}, init_aux(spec), None, {"COUNT": 0})
+        assert merged == {"COUNT": 5}
+
+    def test_scale_merge_matches_paper_formula(self):
+        """s_correct = s_new + (1-alpha)^N (s_d - s_0) for the EWMA (§3.2)."""
+        spec = spec_for(EWMA_SRC)
+        alpha = 0.25
+        params = {"alpha": alpha}
+        aux = init_aux(spec)
+        state = {"e": 0.0}
+        lat_values = [100.0, 200.0, 50.0]
+        for lat in lat_values:
+            record = make_record(tin=0, tout=lat)
+            update_aux(spec, aux, state, record, params)
+            state = {"e": (1 - alpha) * state["e"] + alpha * lat}
+        s_d = 40.0
+        merged = merge_values(spec, state, aux, {"e": s_d}, {"e": 0.0}, params)
+        expected = state["e"] + (1 - alpha) ** len(lat_values) * (s_d - 0.0)
+        assert merged["e"] == pytest.approx(expected)
+
+    def test_matrix_merge_composes(self):
+        """Cross-coupled fold: merged value equals replaying all packets."""
+        spec = spec_for(COUPLED_SRC)
+        params = {}
+
+        def step(state, x):
+            return {"a": state["a"] + state["b"], "b": state["b"] + x}
+
+        # "True" run: packets 1..6 in one pass.
+        true_state = {"a": 0, "b": 0}
+        for x in [1, 2, 3, 4, 5, 6]:
+            true_state = step(true_state, x)
+
+        # Split run: epoch 1 = packets 1-3 (evicted), epoch 2 = 4-6.
+        def run_epoch(xs):
+            aux = init_aux(spec)
+            state = {"a": 0, "b": 0}
+            for x in xs:
+                record = make_record(pkt_len=x)
+                update_aux(spec, aux, state, record, params)
+                state = step(state, x)
+            return state, aux
+
+        first, aux1 = run_epoch([1, 2, 3])
+        backing = merge_values(spec, first, aux1, None, {"a": 0, "b": 0}, params)
+        second, aux2 = run_epoch([4, 5, 6])
+        merged = merge_values(spec, second, aux2, backing, {"a": 0, "b": 0}, params)
+        assert merged["a"] == pytest.approx(true_state["a"])
+        assert merged["b"] == pytest.approx(true_state["b"])
+
+    def test_merge_on_list_strategy_raises(self):
+        spec = spec_for(NONMT_SRC)
+        with pytest.raises(LinearityError):
+            merge_values(spec, {}, {}, {}, {})
+
+
+class TestPacketFieldCollection:
+    def test_fields_collected_for_replay(self):
+        spec = spec_for(EWMA_SRC)
+        assert set(spec.packet_fields) == {"tin", "tout"}

@@ -1,0 +1,250 @@
+"""Parser unit tests: every Fig. 1 production plus error paths."""
+
+import pytest
+
+from repro.core.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Dotted,
+    If,
+    JoinQuery,
+    Name,
+    Number,
+    SelectQuery,
+    Star,
+    format_program,
+    format_query,
+)
+from repro.core.errors import ParseError
+from repro.core.parser import parse_expression, parse_program, parse_query
+
+
+class TestSelectQueries:
+    def test_plain_select(self):
+        query = parse_query("SELECT srcip, qid FROM T WHERE tout - tin > 1ms")
+        assert isinstance(query, SelectQuery)
+        assert query.source == "T"
+        assert query.groupby is None
+        assert isinstance(query.where, BinOp) and query.where.op == ">"
+
+    def test_select_star(self):
+        query = parse_query("SELECT * FROM R1")
+        assert isinstance(query.items, Star)
+
+    def test_select_without_from_defaults_to_base(self):
+        query = parse_query("SELECT srcip WHERE proto == 6")
+        assert query.source is None
+
+    def test_select_item_alias(self):
+        query = parse_query("SELECT tout - tin AS delay FROM T")
+        assert query.items[0].alias == "delay"
+
+    def test_clause_order_is_free(self):
+        a = parse_query("SELECT COUNT GROUPBY 5tuple WHERE proto == 6")
+        b = parse_query("SELECT COUNT WHERE proto == 6 GROUPBY 5tuple")
+        assert a == b
+
+    def test_duplicate_where_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT srcip WHERE a == 1 WHERE b == 2")
+
+    def test_duplicate_groupby_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNT GROUPBY srcip GROUPBY dstip")
+
+
+class TestGroupQueries:
+    def test_groupby_keys(self):
+        query = parse_query("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip")
+        assert query.groupby == ("srcip", "dstip")
+
+    def test_sugar_call_parsed_as_call(self):
+        query = parse_query("SELECT SUM(pkt_len) GROUPBY srcip")
+        assert isinstance(query.items[0].expr, Call)
+
+    def test_bare_count_parsed_as_name(self):
+        query = parse_query("SELECT COUNT GROUPBY srcip")
+        assert query.items[0].expr == Name("COUNT")
+
+
+class TestJoinQueries:
+    def test_join_shape(self):
+        query = parse_query("SELECT R2.COUNT/R1.COUNT FROM R1 JOIN R2 ON 5tuple")
+        assert isinstance(query, JoinQuery)
+        assert (query.left, query.right) == ("R1", "R2")
+        assert query.on == ("5tuple",)
+
+    def test_join_select_is_dotted_division(self):
+        query = parse_query("SELECT R2.COUNT/R1.COUNT FROM R1 JOIN R2 ON 5tuple")
+        expr = query.items[0].expr
+        assert isinstance(expr, BinOp) and expr.op == "/"
+        assert expr.left == Dotted("R2", "COUNT")
+
+    def test_join_with_groupby_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNT FROM R1 JOIN R2 ON srcip GROUPBY srcip")
+
+    def test_join_multi_key(self):
+        query = parse_query("SELECT R1.x FROM R1 JOIN R2 ON srcip, dstip")
+        assert query.on == ("srcip", "dstip")
+
+
+class TestFoldDefs:
+    def test_inline_fold(self):
+        program = parse_program(
+            "def sumlen (result, (pkt_len)): result = result + pkt_len\n"
+            "SELECT srcip, sumlen GROUPBY srcip"
+        )
+        fold = program.folds["sumlen"]
+        assert fold.state_params == ("result",)
+        assert fold.packet_params == ("pkt_len",)
+        assert isinstance(fold.body[0], Assign)
+
+    def test_block_fold_with_if(self):
+        program = parse_program(
+            "def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):\n"
+            "    if lastseq + 1 != tcpseq:\n"
+            "        oos_count = oos_count + 1\n"
+            "    lastseq = tcpseq + payload_len\n"
+            "SELECT 5tuple, outofseq GROUPBY 5tuple"
+        )
+        body = program.folds["outofseq"].body
+        assert isinstance(body[0], If)
+        assert body[0].orelse == ()
+        assert isinstance(body[1], Assign)
+
+    def test_if_else_blocks(self):
+        program = parse_program(
+            "def f (s, x):\n"
+            "    if x > 0:\n"
+            "        s = s + 1\n"
+            "    else:\n"
+            "        s = s - 1\n"
+            "SELECT srcip, f GROUPBY srcip"
+        )
+        stmt = program.folds["f"].body[0]
+        assert isinstance(stmt, If) and len(stmt.orelse) == 1
+
+    def test_inline_if_then_else(self):
+        program = parse_program(
+            "def f (s, x):\n"
+            "    if x > 0 then s = s + 1 else s = s - 1\n"
+            "SELECT srcip, f GROUPBY srcip"
+        )
+        stmt = program.folds["f"].body[0]
+        assert isinstance(stmt, If) and len(stmt.then) == 1 and len(stmt.orelse) == 1
+
+    def test_nested_if(self):
+        program = parse_program(
+            "def f ((a, b), (x, y)):\n"
+            "    if x > 0:\n"
+            "        if y > 0:\n"
+            "            a = a + 1\n"
+            "        b = b + 1\n"
+            "    a = a + y\n"
+            "SELECT srcip, f GROUPBY srcip"
+        )
+        outer = program.folds["f"].body[0]
+        assert isinstance(outer.then[0], If)
+
+    def test_duplicate_fold_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "def f (s, x): s = s + x\n"
+                "def f (s, x): s = s + 1\n"
+                "SELECT srcip, f GROUPBY srcip"
+            )
+
+
+class TestPrograms:
+    def test_named_queries_and_result(self):
+        program = parse_program(
+            "R1 = SELECT COUNT GROUPBY 5tuple\n"
+            "R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity\n"
+            "R3 = SELECT R2.COUNT/R1.COUNT FROM R1 JOIN R2 ON 5tuple\n"
+        )
+        assert list(program.queries) == ["R1", "R2", "R3"]
+        assert program.result == "R3"
+
+    def test_anonymous_final_query(self):
+        program = parse_program("SELECT COUNT GROUPBY srcip")
+        assert program.result == "__result__"
+
+    def test_multiline_query_continuation(self):
+        program = parse_program(
+            "R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple\n"
+            "    WHERE lat > L\n"
+        )
+        query = program.queries["R2"]
+        assert query.where is not None
+
+    def test_duplicate_query_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("R1 = SELECT COUNT GROUPBY srcip\n"
+                          "R1 = SELECT COUNT GROUPBY dstip")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_fold_only_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("def f (s, x): s = s + x")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + b")
+        assert expr.op == "+"
+
+    def test_boolean_precedence(self):
+        expr = parse_expression("a == 1 and b == 2 or c == 3")
+        assert expr.op == "or" and expr.left.op == "and"
+
+    def test_not(self):
+        expr = parse_expression("not a == 1")
+        assert expr.op == "not"
+
+    def test_call_args(self):
+        expr = parse_expression("max(a, b)")
+        assert isinstance(expr, Call) and len(expr.args) == 2
+
+    def test_number(self):
+        assert parse_expression("3") == Number(3)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b c")
+
+
+class TestRoundTrip:
+    SOURCES = [
+        "SELECT srcip, qid FROM T WHERE tout - tin > 1000000",
+        "SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
+        "R1 = SELECT COUNT GROUPBY 5tuple\n"
+        "R2 = SELECT R1.COUNT FROM R1 JOIN R1 ON 5tuple",
+        "def ewma (lat_est, (tin, tout)):\n"
+        "    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)\n"
+        "SELECT 5tuple, ewma GROUPBY 5tuple",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_format_then_reparse_is_identity(self, source):
+        program = parse_program(source)
+        printed = format_program(program)
+        reparsed = parse_program(printed)
+        assert reparsed == program
+
+    def test_format_query_text_mentions_clauses(self):
+        query = parse_query("SELECT COUNT GROUPBY srcip WHERE proto == 6")
+        text = format_query(query)
+        assert "GROUPBY srcip" in text and "WHERE" in text

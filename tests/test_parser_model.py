@@ -1,0 +1,49 @@
+"""Programmable-parser model tests (§3.1)."""
+
+import pytest
+
+from repro.core.errors import CompileError
+from repro.switch.parser_model import configure_parser
+
+
+class TestParsePaths:
+    def test_ip_fields_walk_to_ipv4(self):
+        config = configure_parser(("srcip", "dstip"))
+        assert config.headers == ("ethernet", "ipv4")
+
+    def test_transport_fields_branch_both(self):
+        config = configure_parser(("srcport",))
+        assert "tcp" in config.headers and "udp" in config.headers
+
+    def test_tcpseq_needs_tcp(self):
+        config = configure_parser(("tcpseq",))
+        assert "tcp" in config.headers
+
+    def test_metadata_only_needs_no_headers(self):
+        config = configure_parser(("tin", "tout", "qid"))
+        assert config.headers == ()
+        assert set(config.metadata_fields) == {"tin", "tout", "qid"}
+
+    def test_parents_closed_over(self):
+        config = configure_parser(("tcpseq",))
+        assert "ethernet" in config.headers and "ipv4" in config.headers
+
+
+class TestCostModel:
+    def test_extracted_bits_counts_headers_only(self):
+        config = configure_parser(("srcip", "tin"))
+        assert config.extracted_bits == 32  # tin is metadata
+
+    def test_graph_nodes(self):
+        config = configure_parser(("srcip",))
+        assert config.graph_nodes == 2
+
+    def test_describe_mentions_path(self):
+        text = configure_parser(("srcip",)).describe()
+        assert "ethernet -> ipv4" in text
+
+
+class TestErrors:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CompileError):
+            configure_parser(("nonsense",))

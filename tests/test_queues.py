@@ -1,0 +1,106 @@
+"""Output-queue model tests: FIFO service, drops, depth accounting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.queues import Departure, Drop, OutputQueue
+
+
+class TestService:
+    def test_idle_queue_serves_immediately(self):
+        queue = OutputQueue(qid=0, rate_gbps=10.0)
+        fate = queue.offer(1000, pkt_len=1250)
+        assert isinstance(fate, Departure)
+        # 1250 B at 10 Gb/s = 1 us.
+        assert fate.tout == 1000 + 1000
+        assert fate.qin == 0
+
+    def test_back_to_back_packets_queue_up(self):
+        queue = OutputQueue(qid=0, rate_gbps=10.0)
+        first = queue.offer(0, pkt_len=1250)
+        second = queue.offer(0, pkt_len=1250)
+        assert second.tout == first.tout + 1000
+        assert second.qin == 1
+
+    def test_queue_drains_when_idle(self):
+        queue = OutputQueue(qid=0, rate_gbps=10.0)
+        queue.offer(0, pkt_len=1250)
+        fate = queue.offer(10_000, pkt_len=1250)  # long gap: idle again
+        assert fate.qin == 0
+        assert fate.tout == 10_000 + 1000
+
+    def test_fifo_departures_monotonic(self):
+        queue = OutputQueue(qid=0, rate_gbps=10.0)
+        departures = [queue.offer(t * 10, pkt_len=500) for t in range(50)]
+        touts = [d.tout for d in departures if isinstance(d, Departure)]
+        assert touts == sorted(touts)
+
+
+class TestDrops:
+    def test_full_buffer_drops(self):
+        queue = OutputQueue(qid=0, rate_gbps=1.0, buffer_packets=2)
+        fates = [queue.offer(0, pkt_len=1500) for _ in range(5)]
+        drops = [f for f in fates if isinstance(f, Drop)]
+        assert len(drops) == 3
+        assert queue.drops == 3
+
+    def test_drop_has_infinite_tout(self):
+        queue = OutputQueue(qid=0, rate_gbps=1.0, buffer_packets=1)
+        queue.offer(0, pkt_len=1500)
+        queue.offer(0, pkt_len=1500)
+        fate = queue.offer(0, pkt_len=1500)
+        assert isinstance(fate, Drop)
+        assert math.isinf(fate.tout)
+
+    def test_drop_records_depth(self):
+        queue = OutputQueue(qid=0, rate_gbps=1.0, buffer_packets=3)
+        for _ in range(3):
+            queue.offer(0, pkt_len=1500)
+        fate = queue.offer(0, pkt_len=1500)
+        assert isinstance(fate, Drop) and fate.qin == 3
+
+    def test_drop_fraction(self):
+        queue = OutputQueue(qid=0, rate_gbps=1.0, buffer_packets=1)
+        for _ in range(4):
+            queue.offer(0, pkt_len=1500)
+        # The in-service packet occupies the single buffer slot, so the
+        # remaining three arrivals all drop.
+        assert queue.drop_fraction == pytest.approx(3 / 4)
+
+
+class TestValidation:
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            OutputQueue(qid=0, rate_gbps=0)
+
+    def test_peak_depth_tracked(self):
+        queue = OutputQueue(qid=0, rate_gbps=1.0, buffer_packets=100)
+        for _ in range(10):
+            queue.offer(0, pkt_len=1500)
+        assert queue.peak_depth == 9
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrivals=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1000),
+              st.integers(min_value=64, max_value=1500)),
+    max_size=100))
+def test_queue_invariants(arrivals):
+    """For any nondecreasing arrival sequence: tout > tin, FIFO order,
+    depth bounded by the buffer."""
+    queue = OutputQueue(qid=0, rate_gbps=10.0, buffer_packets=16)
+    now = 0
+    last_tout = 0
+    for gap, pkt_len in arrivals:
+        now += gap
+        fate = queue.offer(now, pkt_len)
+        if isinstance(fate, Departure):
+            assert fate.tout > fate.tin or pkt_len == 0
+            assert fate.tout >= last_tout
+            last_tout = fate.tout
+            assert 0 <= fate.qin <= 16
+        else:
+            assert fate.qin >= 16

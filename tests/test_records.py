@@ -1,0 +1,90 @@
+"""Observation-record and table tests: conversion, persistence, keys."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.records import ObservationTable, PacketRecord
+
+from tests.conftest import make_record, synthetic_trace
+
+
+class TestPacketRecord:
+    def test_dropped_property(self):
+        assert make_record(tout=math.inf).dropped
+        assert not make_record(tout=5.0).dropped
+
+    def test_queueing_delay(self):
+        assert make_record(tin=10, tout=35.0).queueing_delay == 25.0
+        assert math.isinf(make_record(tout=math.inf).queueing_delay)
+
+    def test_five_tuple(self):
+        record = make_record(srcip=1, dstip=2, srcport=3, dstport=4, proto=6)
+        assert record.five_tuple() == (1, 2, 3, 4, 6)
+
+    def test_key_extraction(self):
+        record = make_record(qid=7, srcip=1)
+        assert record.key(("qid", "srcip")) == (7, 1)
+
+
+class TestColumnarConversion:
+    def test_round_trip(self):
+        table = synthetic_trace(n_packets=200, n_flows=10)
+        arrays = table.to_arrays()
+        rebuilt = ObservationTable.from_arrays(arrays)
+        assert len(rebuilt) == len(table)
+        assert rebuilt[0] == table[0]
+        assert rebuilt[-1] == table[-1]
+
+    def test_inf_tout_survives(self):
+        table = ObservationTable([make_record(tout=math.inf)])
+        rebuilt = ObservationTable.from_arrays(table.to_arrays())
+        assert math.isinf(rebuilt[0].tout)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationTable.from_arrays({
+                "srcip": np.zeros(3, dtype=np.int64),
+                "dstip": np.zeros(4, dtype=np.int64),
+            })
+
+    def test_partial_columns_default(self):
+        rebuilt = ObservationTable.from_arrays(
+            {"srcip": np.array([5], dtype=np.int64)})
+        assert rebuilt[0].srcip == 5
+        assert rebuilt[0].proto == 6  # default
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, tmp_path):
+        table = synthetic_trace(n_packets=300, n_flows=12)
+        path = str(tmp_path / "trace.npz")
+        table.save(path)
+        loaded = ObservationTable.load(path)
+        assert len(loaded) == len(table)
+        assert loaded[42] == table[42]
+
+
+class TestAggregates:
+    def test_unique_keys(self):
+        table = synthetic_trace(n_packets=500, n_flows=20)
+        assert table.unique_keys(("srcip",)) <= 20
+
+    def test_drop_count(self):
+        table = ObservationTable([
+            make_record(tout=math.inf), make_record(tout=1.0),
+            make_record(tout=math.inf),
+        ])
+        assert table.drop_count() == 2
+
+    def test_duration(self):
+        table = ObservationTable([make_record(tin=100), make_record(tin=900)])
+        assert table.duration_ns() == 800
+
+    def test_key_array_distinct_flows(self):
+        table = synthetic_trace(n_packets=400, n_flows=15)
+        keys = table.key_array(("srcip", "dstip"))
+        assert len(keys) == 400
+        expected = table.unique_keys(("srcip", "dstip"))
+        assert len(np.unique(keys)) == expected

@@ -1,0 +1,73 @@
+"""Schema tests: field specs, aliases, and the §4 bit accounting."""
+
+import math
+
+import pytest
+
+from repro.core import schema as sch
+
+
+class TestFields:
+    def test_five_tuple_is_104_bits(self):
+        # §4: "The aggregation key (5-tuple) requires 104 bits".
+        assert sch.FIVE_TUPLE_BITS == 104
+
+    def test_all_fields_have_specs(self):
+        for field in sch.FIELDS:
+            assert field.bits > 0
+            assert field.kind in ("header", "perf")
+            assert field.dtype in ("int", "float")
+
+    def test_tout_is_float(self):
+        # tout must carry +inf for drops.
+        assert sch.FIELDS_BY_NAME["tout"].dtype == "float"
+
+    def test_is_field_accepts_aliases(self):
+        assert sch.is_field("5tuple")
+        assert sch.is_field("pkt_uniq")
+        assert sch.is_field("srcip")
+        assert not sch.is_field("nonsense")
+
+
+class TestAliases:
+    def test_5tuple_expansion(self):
+        assert sch.expand_field("5tuple") == (
+            "srcip", "dstip", "srcport", "dstport", "proto")
+
+    def test_pkt_uniq_includes_5tuple(self):
+        # §2: "pkt_uniq is a tuple of packet fields that includes the 5tuple".
+        expansion = sch.expand_field("pkt_uniq")
+        for field in sch.FIVE_TUPLE:
+            assert field in expansion
+        assert "pkt_id" in expansion
+
+    def test_concrete_field_expands_to_itself(self):
+        assert sch.expand_field("qid") == ("qid",)
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            sch.expand_field("bogus")
+
+
+class TestBitAccounting:
+    def test_field_bits_for_alias(self):
+        assert sch.field_bits("5tuple") == 104
+
+    def test_key_bits_concatenates(self):
+        assert sch.key_bits(("srcip", "dstip")) == 64
+
+    def test_key_bits_with_alias(self):
+        assert sch.key_bits(("5tuple",)) == 104
+
+
+class TestConstants:
+    def test_infinity(self):
+        assert math.isinf(sch.CONSTANTS["infinity"])
+
+    def test_protocol_numbers(self):
+        assert sch.CONSTANTS["TCP"] == 6
+        assert sch.CONSTANTS["UDP"] == 17
+
+    def test_time_units(self):
+        assert sch.TIME_UNITS_NS["ms"] == 1_000_000
+        assert sch.TIME_UNITS_NS["s"] == 1_000_000_000

@@ -1,0 +1,268 @@
+"""Semantic-analysis tests: resolution, schemas, and static rules."""
+
+import pytest
+
+from repro.core.ast_nodes import ColumnRef, FieldRef, Number, ParamRef, StateRef
+from repro.core.errors import SemanticError
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+
+
+def resolve(source):
+    return resolve_program(parse_program(source))
+
+
+class TestNameResolution:
+    def test_fields_resolve(self):
+        rp = resolve("SELECT srcip WHERE tout - tin > 5")
+        query = rp.result_query()
+        assert FieldRef("tout") in _walk_all(query.where)
+
+    def test_constants_fold_to_numbers(self):
+        rp = resolve("SELECT srcip WHERE proto == TCP")
+        assert Number(6) in _walk_all(rp.result_query().where)
+
+    def test_free_names_become_params(self):
+        rp = resolve("SELECT srcip WHERE tout - tin > L")
+        assert rp.params == frozenset({"L"})
+
+    def test_infinity_constant(self):
+        rp = resolve("SELECT srcip WHERE tout == infinity")
+        assert Number(float("inf")) in _walk_all(rp.result_query().where)
+
+    def test_5tuple_not_scalar(self):
+        with pytest.raises(SemanticError):
+            resolve("SELECT srcip WHERE 5tuple == 1")
+
+
+class TestSelectSchemas:
+    def test_expression_column_named_by_text(self):
+        rp = resolve("SELECT tout - tin FROM T")
+        assert rp.result_query().output.columns[0].name == "tout - tin"
+
+    def test_alias_naming(self):
+        rp = resolve("SELECT tout - tin AS delay FROM T")
+        assert rp.result_query().output.columns[0].name == "delay"
+
+    def test_5tuple_expands_in_select(self):
+        rp = resolve("SELECT 5tuple FROM T")
+        names = [c.name for c in rp.result_query().output.columns]
+        assert names == ["srcip", "dstip", "srcport", "dstport", "proto"]
+
+    def test_star_over_base(self):
+        rp = resolve("SELECT * FROM T WHERE proto == 6")
+        names = rp.result_query().output.column_names()
+        assert "srcip" in names and "qid" in names and "tout" in names
+
+
+class TestGroupBySchemas:
+    def test_keys_always_emitted(self):
+        rp = resolve("SELECT COUNT GROUPBY srcip, dstip")
+        names = rp.result_query().output.column_names()
+        assert names[:2] == ("srcip", "dstip")
+        assert "COUNT" in names
+
+    def test_output_is_keyed(self):
+        rp = resolve("SELECT COUNT GROUPBY 5tuple")
+        output = rp.result_query().output
+        assert output.keyed
+        assert output.key_columns == ("srcip", "dstip", "srcport", "dstport", "proto")
+
+    def test_single_var_fold_column_named_by_var(self):
+        rp = resolve(
+            "def sum_lat (lat, (tin, tout)): lat = lat + tout - tin\n"
+            "SELECT 5tuple, sum_lat GROUPBY 5tuple"
+        )
+        output = rp.result_query().output
+        assert output.resolve("lat") is not None
+        assert output.resolve("sum_lat") is not None  # fold-name alias
+
+    def test_multi_var_fold_dotted_columns(self):
+        rp = resolve(
+            "def perc ((tot, high), qin):\n"
+            "    if qin > K: high = high + 1\n"
+            "    tot = tot + 1\n"
+            "R1 = SELECT qid, perc GROUPBY qid"
+        )
+        output = rp.result_query().output
+        assert output.resolve("perc.tot") is not None
+        assert output.resolve("perc.high") is not None
+        assert output.resolve("high").name == "perc.high"  # bare alias
+
+    def test_sugar_column_canonical_name(self):
+        rp = resolve("SELECT SUM(tout - tin) GROUPBY pkt_uniq")
+        assert rp.result_query().output.resolve("SUM(tout - tin)") is not None
+
+    def test_duplicate_groupby_key_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve("SELECT COUNT GROUPBY srcip, srcip")
+
+    def test_arbitrary_expr_in_group_select_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve("SELECT tout - tin GROUPBY srcip")
+
+    def test_star_in_groupby_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve("SELECT * GROUPBY srcip")
+
+    def test_count_with_argument_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve("SELECT COUNT(pkt_len) GROUPBY srcip")
+
+    def test_sum_without_argument_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve("SELECT SUM GROUPBY srcip")
+
+
+class TestFolds:
+    def test_state_vars_resolve_to_staterefs(self):
+        rp = resolve(
+            "def f (s, pkt_len): s = s + pkt_len\n"
+            "SELECT srcip, f GROUPBY srcip"
+        )
+        fold = rp.result_query().folds[0]
+        assert StateRef("s") in _walk_stmt_exprs(fold.body)
+
+    def test_packet_params_bind_to_fields(self):
+        rp = resolve(
+            "def f (s, pkt_len): s = s + pkt_len\n"
+            "SELECT srcip, f GROUPBY srcip"
+        )
+        fold = rp.result_query().folds[0]
+        assert FieldRef("pkt_len") in _walk_stmt_exprs(fold.body)
+
+    def test_unknown_packet_param_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve(
+                "def f (s, nosuchfield): s = s + nosuchfield\n"
+                "SELECT srcip, f GROUPBY srcip"
+            )
+
+    def test_assign_to_undeclared_state_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve(
+                "def f (s, x): t = s + x\n"
+                "SELECT srcip, f GROUPBY srcip"
+            )
+
+    def test_fold_params_visible(self):
+        rp = resolve(
+            "def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
+            "SELECT 5tuple, ewma GROUPBY 5tuple"
+        )
+        assert "alpha" in rp.params
+
+
+class TestComposition:
+    SOURCE = (
+        "def sum_lat (lat, (tin, tout)): lat = lat + tout - tin\n"
+        "R1 = SELECT pkt_uniq, sum_lat GROUPBY pkt_uniq\n"
+        "R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE lat > L\n"
+    )
+
+    def test_downstream_groupby_over_derived(self):
+        rp = resolve(self.SOURCE)
+        r2 = rp.by_name("R2")
+        assert r2.source == "R1"
+        assert r2.groupby_keys == ("srcip", "dstip", "srcport", "dstport", "proto")
+
+    def test_where_over_derived_resolves_to_columns(self):
+        rp = resolve(self.SOURCE)
+        r2 = rp.by_name("R2")
+        assert ColumnRef("lat") in _walk_all(r2.where)
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve(
+                "R2 = SELECT srcip FROM R1 GROUPBY srcip\n"
+                "R1 = SELECT COUNT GROUPBY srcip\n"
+            )
+
+    def test_dotted_column_over_derived(self):
+        rp = resolve(
+            "def perc ((tot, high), qin):\n"
+            "    if qin > K: high = high + 1\n"
+            "    tot = tot + 1\n"
+            "R1 = SELECT qid, perc GROUPBY qid\n"
+            "R2 = SELECT * FROM R1 WHERE perc.high / perc.tot > 0.01\n"
+        )
+        r2 = rp.by_name("R2")
+        assert r2.output.keyed  # key column qid survives SELECT *
+
+    def test_sugar_reference_in_downstream_where(self):
+        rp = resolve(
+            "R1 = SELECT pkt_uniq, SUM(tout - tin) GROUPBY pkt_uniq\n"
+            "R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE SUM(tout - tin) > L\n"
+        )
+        assert ColumnRef("SUM(tout - tin)") in _walk_all(rp.by_name("R2").where)
+
+
+class TestJoins:
+    GOOD = (
+        "R1 = SELECT COUNT GROUPBY 5tuple\n"
+        "R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity\n"
+        "R3 = SELECT R2.COUNT/R1.COUNT FROM R1 JOIN R2 ON 5tuple\n"
+    )
+
+    def test_join_resolves(self):
+        rp = resolve(self.GOOD)
+        r3 = rp.by_name("R3")
+        assert r3.kind == "join"
+        assert r3.join_on == ("srcip", "dstip", "srcport", "dstport", "proto")
+        assert r3.output.keyed
+
+    def test_join_key_must_match_grouping(self):
+        source = (
+            "R1 = SELECT COUNT GROUPBY 5tuple\n"
+            "R2 = SELECT COUNT GROUPBY srcip\n"
+            "R3 = SELECT R1.COUNT FROM R1 JOIN R2 ON srcip\n"
+        )
+        with pytest.raises(SemanticError) as excinfo:
+            resolve(source)
+        assert "grouping key" in str(excinfo.value)
+
+    def test_join_against_base_rejected(self):
+        with pytest.raises(SemanticError):
+            resolve(
+                "R1 = SELECT COUNT GROUPBY srcip\n"
+                "R2 = SELECT R1.COUNT FROM R1 JOIN T ON srcip\n"
+            )
+
+    def test_join_on_nonkeyed_rejected(self):
+        source = (
+            "R1 = SELECT COUNT GROUPBY srcip\n"
+            "R2 = SELECT srcip FROM T WHERE proto == 6\n"
+            "R3 = SELECT R1.COUNT FROM R1 JOIN R2 ON srcip\n"
+        )
+        with pytest.raises(SemanticError) as excinfo:
+            resolve(source)
+        assert "not a grouped table" in str(excinfo.value)
+
+    def test_ambiguous_unqualified_column_rejected(self):
+        source = (
+            "R1 = SELECT COUNT GROUPBY srcip\n"
+            "R2 = SELECT COUNT GROUPBY srcip\n"
+            "R3 = SELECT COUNT FROM R1 JOIN R2 ON srcip\n"
+        )
+        with pytest.raises(SemanticError):
+            resolve(source)
+
+
+def _walk_all(expr):
+    from repro.core.ast_nodes import walk
+    return list(walk(expr))
+
+
+def _walk_stmt_exprs(body):
+    from repro.core.ast_nodes import Assign, If, walk
+    out = []
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, Assign):
+            out.extend(walk(stmt.value))
+        elif isinstance(stmt, If):
+            out.extend(walk(stmt.pred))
+            stack.extend(stmt.then)
+            stack.extend(stmt.orelse)
+    return out

@@ -1,0 +1,112 @@
+"""Count-Min sketch tests: guarantees, geometry, baseline behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import HardwareError
+from repro.switch.kvstore.sketch import (
+    CountMinSketch,
+    SketchGeometry,
+    run_count_query,
+)
+
+
+class TestGeometry:
+    def test_total_bits(self):
+        geometry = SketchGeometry(width=100, depth=4, counter_bits=24)
+        assert geometry.total_bits == 100 * 4 * 24
+
+    def test_for_bits_fits_budget(self):
+        geometry = SketchGeometry.for_bits(1 << 20, depth=4)
+        assert geometry.total_bits <= 1 << 20
+
+    def test_invalid_rejected(self):
+        with pytest.raises(HardwareError):
+            SketchGeometry(width=0, depth=4)
+
+
+class TestGuarantees:
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(SketchGeometry(width=4096, depth=4))
+        for key in range(10):
+            for _ in range(key + 1):
+                sketch.update(key)
+        for key in range(10):
+            assert sketch.estimate(key) == key + 1
+
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(SketchGeometry(width=8, depth=2))
+        truth: dict[int, int] = {}
+        for i in range(500):
+            key = i % 37
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, exact in truth.items():
+            assert sketch.estimate(key) >= exact
+
+    def test_conservative_no_worse(self):
+        keys = [(i * 13) % 101 for i in range(3000)]
+        geometry = SketchGeometry(width=32, depth=4)
+        plain = run_count_query(keys, geometry)
+        conservative = run_count_query(keys, geometry, conservative=True)
+        truth: dict[int, int] = {}
+        for key in keys:
+            truth[key] = truth.get(key, 0) + 1
+        for key in truth:
+            assert conservative.estimate(key) <= plain.estimate(key)
+            assert conservative.estimate(key) >= truth[key]
+
+    def test_smaller_sketch_larger_error(self):
+        keys = [(i * 7) % 500 for i in range(20_000)]
+        truth: dict[int, int] = {}
+        for key in keys:
+            truth[key] = truth.get(key, 0) + 1
+        small = run_count_query(keys, SketchGeometry(width=64, depth=4))
+        large = run_count_query(keys, SketchGeometry(width=2048, depth=4))
+        err_small = sum(small.relative_errors(truth))
+        err_large = sum(large.relative_errors(truth))
+        assert err_large <= err_small
+
+    def test_counter_saturation(self):
+        sketch = CountMinSketch(SketchGeometry(width=4, depth=1,
+                                               counter_bits=4))
+        for _ in range(100):
+            sketch.update(1)
+        assert sketch.estimate(1) == 15  # 4-bit ceiling
+
+
+class TestHelpers:
+    def test_relative_errors_nonnegative(self):
+        keys = list(range(50)) * 3
+        sketch = run_count_query(keys, SketchGeometry(width=16, depth=2))
+        truth = {k: 3 for k in range(50)}
+        assert all(e >= 0 for e in sketch.relative_errors(truth))
+
+    def test_occupied_fraction(self):
+        sketch = CountMinSketch(SketchGeometry(width=128, depth=2))
+        assert sketch.occupied_fraction() == 0.0
+        sketch.update(1)
+        assert sketch.occupied_fraction() > 0.0
+
+    def test_tuple_keys(self):
+        sketch = CountMinSketch(SketchGeometry(width=1024, depth=4))
+        sketch.update((10, 20, 30, 40, 6))
+        assert sketch.estimate((10, 20, 30, 40, 6)) == 1
+        assert sketch.estimate((10, 20, 30, 40, 17)) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=200), max_size=500),
+       width=st.sampled_from([8, 64, 512]),
+       depth=st.integers(min_value=1, max_value=5))
+def test_overcount_property(keys, width, depth):
+    """For any stream and geometry: estimates ≥ exact counts and the
+    stream total is preserved."""
+    sketch = run_count_query(keys, SketchGeometry(width=width, depth=depth))
+    truth: dict[int, int] = {}
+    for key in keys:
+        truth[key] = truth.get(key, 0) + 1
+    assert sketch.total == len(keys)
+    for key, exact in truth.items():
+        assert sketch.estimate(key) >= exact

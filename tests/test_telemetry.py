@@ -1,0 +1,113 @@
+"""Telemetry-runtime tests: end-to-end compile/run/collect."""
+
+import pytest
+
+from repro.core.errors import InterpreterError
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.telemetry.results import compare_tables
+from repro.telemetry.runtime import QueryEngine, run
+
+from tests.conftest import synthetic_trace
+
+GEOM = CacheGeometry.set_associative(64, ways=8)
+
+
+class TestEngineBasics:
+    def test_one_shot_run(self, trace):
+        report = run("SELECT COUNT GROUPBY srcip", trace.records, geometry=GEOM)
+        assert len(report.result) == trace.unique_keys(("srcip",))
+
+    def test_engine_reusable_across_traces(self):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        a = engine.run(synthetic_trace(n_packets=500, seed=1).records)
+        b = engine.run(synthetic_trace(n_packets=500, seed=2).records)
+        assert a.result.rows != b.result.rows  # fresh pipeline per run
+
+    def test_missing_params_raise(self, tiny_trace):
+        engine = QueryEngine("SELECT srcip FROM T WHERE pkt_len > L")
+        with pytest.raises(InterpreterError):
+            engine.run(tiny_trace.records)
+
+    def test_ground_truth_attached(self, tiny_trace):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        report = engine.run(tiny_trace.records, with_ground_truth=True)
+        diff = compare_tables(report.result,
+                              report.ground_truth[report.result_name])
+        assert diff.exact
+
+
+class TestStats:
+    def test_cache_stats_exposed(self, trace):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip",
+                             geometry=CacheGeometry.set_associative(8, ways=2))
+        report = engine.run(trace.records)
+        stats = report.cache_stats["__result__"]
+        assert stats.accesses == len(trace)
+        assert stats.evictions > 0
+        assert report.eviction_fractions()["__result__"] == \
+            stats.eviction_fraction
+
+    def test_backing_writes_counted(self, trace):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip",
+                             geometry=CacheGeometry.set_associative(8, ways=2))
+        report = engine.run(trace.records)
+        stats = report.cache_stats["__result__"]
+        # writes = capacity evictions + final flush of residents.
+        assert report.backing_writes["__result__"] == \
+            stats.evictions + (stats.insertions - stats.evictions)
+
+    def test_accuracy_reported_per_stage(self, trace):
+        engine = QueryEngine("SELECT MAX(tcpseq) GROUPBY srcip",
+                             geometry=CacheGeometry.hash_table(8))
+        report = engine.run(trace.records)
+        assert 0.0 <= report.accuracy["__result__"] <= 1.0
+
+
+class TestSoftwareStages:
+    LOSS = (
+        "R1 = SELECT COUNT GROUPBY 5tuple\n"
+        "R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity\n"
+        "R3 = SELECT R2.COUNT/R1.COUNT AS loss FROM R1 JOIN R2 ON 5tuple\n"
+    )
+
+    def test_join_over_hardware_tables(self, trace):
+        engine = QueryEngine(self.LOSS, geometry=GEOM)
+        report = engine.run(trace.records, with_ground_truth=True)
+        diff = compare_tables(report.result, report.ground_truth["R3"],
+                              rel_tol=1e-9)
+        assert diff.exact, diff.describe()
+
+    def test_intermediate_tables_visible(self, trace):
+        engine = QueryEngine(self.LOSS, geometry=GEOM)
+        report = engine.run(trace.records)
+        assert set(report.tables) == {"R1", "R2", "R3"}
+
+    def test_composed_downstream_stage(self, trace):
+        source = (
+            "R1 = SELECT COUNT GROUPBY srcip\n"
+            "R2 = SELECT * FROM R1 WHERE COUNT > 50\n"
+        )
+        engine = QueryEngine(source, geometry=GEOM)
+        report = engine.run(trace.records, with_ground_truth=True)
+        diff = compare_tables(report.result, report.ground_truth["R2"])
+        assert diff.exact
+
+
+class TestInfo:
+    def test_info_summarises_plan(self):
+        engine = QueryEngine(self.__class__.LOSS_SOURCE, geometry=GEOM)
+        info = engine.info()
+        assert set(info.on_switch_stages) == {"R1", "R2"}
+        assert info.software_stages == ("R3",)
+        assert info.fully_linear
+        assert info.pair_bits["R1"] == 128  # 104b 5-tuple + 24b counter
+
+    LOSS_SOURCE = (
+        "R1 = SELECT COUNT GROUPBY 5tuple\n"
+        "R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity\n"
+        "R3 = SELECT R2.COUNT/R1.COUNT FROM R1 JOIN R2 ON 5tuple\n"
+    )
+
+    def test_describe_plan_is_text(self):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip")
+        assert "switch groupby" in engine.describe_plan()

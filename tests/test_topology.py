@@ -1,0 +1,72 @@
+"""Topology tests: construction, queue ids, routing."""
+
+import pytest
+
+from repro.network.topology import LinkSpec, Topology, leaf_spine, linear_chain, single_switch
+
+
+class TestConstruction:
+    def test_single_switch(self):
+        topo = single_switch(4)
+        assert len(topo.hosts()) == 4
+        assert topo.switches() == ["s0"]
+
+    def test_linear_chain(self):
+        topo = linear_chain(3)
+        assert len(topo.switches()) == 3
+        assert topo.path("h0", "h1") == ["h0", "s0", "s1", "s2", "h1"]
+
+    def test_leaf_spine(self):
+        topo = leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=3)
+        assert len(topo.hosts()) == 6
+        assert len(topo.switches()) == 4
+
+
+class TestQueues:
+    def test_switch_egress_gets_qid(self):
+        topo = single_switch(2)
+        qid = topo.qid("s0", "h0")
+        assert isinstance(qid, int)
+
+    def test_host_egress_has_no_qid(self):
+        topo = single_switch(2)
+        with pytest.raises(KeyError):
+            topo.qid("h0", "s0")
+
+    def test_qids_unique(self):
+        topo = leaf_spine(2, 2, 2)
+        qids = [topo.qid(u, v) for u, v in topo.queue_edges()]
+        assert len(qids) == len(set(qids))
+
+    def test_qid_name_round_trip(self):
+        topo = single_switch(3)
+        for (u, v) in topo.queue_edges():
+            assert topo.qid_name(topo.qid(u, v)) == (u, v)
+
+    def test_qid_name_unknown(self):
+        with pytest.raises(KeyError):
+            single_switch(2).qid_name(10_000)
+
+
+class TestLinks:
+    def test_link_spec_stored(self):
+        topo = Topology()
+        topo.add_switch("s0")
+        topo.add_host("h0")
+        spec = LinkSpec(rate_gbps=40.0, buffer_packets=128)
+        topo.add_link("h0", "s0", spec)
+        assert topo.link("h0", "s0").rate_gbps == 40.0
+        assert topo.link("s0", "h0").buffer_packets == 128
+
+    def test_unidirectional_link(self):
+        topo = Topology()
+        topo.add_switch("s0")
+        topo.add_switch("s1")
+        topo.add_link("s0", "s1", bidirectional=False)
+        assert ("s0", "s1") in topo.queue_edges()
+        assert ("s1", "s0") not in topo.queue_edges()
+
+    def test_cross_leaf_routes_through_spine(self):
+        topo = leaf_spine(2, 1, 1)
+        path = topo.path("h0_0", "h1_0")
+        assert "spine0" in path
