@@ -1,0 +1,77 @@
+"""Columnar-engine perf trajectory: row vs vector across trace sizes.
+
+Records throughput (pkt/s) for the row interpreter and the vectorized
+executor, plus the process peak RSS high-water mark, at 10k / 100k / 1M
+records, so later PRs have a baseline to compare against.  Each run
+also cross-checks that both engines return identical results.
+
+Run a single size (the CI smoke uses 100k)::
+
+    python -m pytest benchmarks/bench_columnar.py -k 100k
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+
+import pytest
+
+from repro.core.interpreter import Interpreter
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+from repro.core.vector_exec import VectorExecutor
+from repro.traffic.caida import PAPER_PACKETS, CaidaTraceConfig, generate_caida_like
+
+QUERIES = {
+    "counters": ("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip", {}),
+    "ewma": (
+        "def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
+        "SELECT 5tuple, ewma GROUPBY 5tuple",
+        {"alpha": 0.1},
+    ),
+}
+
+SIZES = {"10k": 10_000, "100k": 100_000, "1M": 1_000_000}
+
+
+def _peak_rss_mb() -> float:
+    """Process peak RSS high-water mark (cumulative, monotone)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss / 1024.0 if sys.platform != "darwin" else rss / (1024.0 * 1024.0)
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+def test_columnar_scaling(size, report):
+    n_target = SIZES[size]
+    t0 = time.perf_counter()
+    table = generate_caida_like(CaidaTraceConfig(scale=n_target / PAPER_PACKETS))
+    gen_s = time.perf_counter() - t0
+    assert table.is_columnar
+
+    lines = [f"trace: {len(table):,} records (generated in {gen_s:.2f} s, columnar)"]
+    for name, (source, params) in QUERIES.items():
+        rp = resolve_program(parse_program(source))
+
+        t0 = time.perf_counter()
+        vector = VectorExecutor(rp, params=params).run_result(table)
+        vector_s = time.perf_counter() - t0
+
+        records = list(table)
+        t0 = time.perf_counter()
+        row = Interpreter(rp, params=params).run_result(records)
+        row_s = time.perf_counter() - t0
+        del records
+
+        assert vector.rows == row.rows, f"{name} diverged at {size}"
+        lines.append(
+            f"{name:>9}: row {len(table) / row_s:>12,.0f} pkt/s | "
+            f"vector {len(table) / vector_s:>12,.0f} pkt/s | "
+            f"speedup {row_s / vector_s:>5.1f}x | "
+            f"groups {len(vector):,}"
+        )
+        if size != "10k":
+            assert vector_s < row_s, f"vector slower than row for {name} at {size}"
+    lines.append(f"peak RSS high-water after {size}: {_peak_rss_mb():,.0f} MB")
+    report(f"Columnar engine scaling ({size})", "\n".join(lines))

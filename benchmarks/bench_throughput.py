@@ -8,23 +8,31 @@ speed.  These set the wall-clock budget for the Fig. 5/6 sweeps.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.compiler import compile_program
 from repro.core.interpreter import Interpreter
 from repro.core.parser import parse_program
 from repro.core.semantics import resolve_program
+from repro.core.vector_exec import VectorExecutor
+from repro.network.records import ObservationTable
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import single_switch
 from repro.switch.kvstore.cache import CacheGeometry
 from repro.switch.pipeline import SwitchPipeline
-from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+from repro.traffic.caida import PAPER_PACKETS, CaidaTraceConfig, generate_caida_like, generate_key_stream
 
 EWMA = (
     "def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
     "SELECT 5tuple, ewma GROUPBY 5tuple"
 )
 PARAMS = {"alpha": 0.1}
+
+#: The paper's bread-and-butter aggregation — identity-matrix linear
+#: folds, the class the vectorized executor reduces segmentally.
+COUNTERS = "SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip"
 
 
 def test_compile_latency(benchmark):
@@ -60,6 +68,63 @@ def test_pipeline_throughput(benchmark, small_trace):
 
     pipeline = benchmark.pedantic(run, rounds=3, iterations=1)
     assert pipeline.packets_seen == len(records)
+
+
+def test_vector_executor_throughput(benchmark, small_trace):
+    rp = resolve_program(parse_program(EWMA))
+    table = ObservationTable.from_arrays(small_trace.to_arrays())
+
+    def run():
+        return VectorExecutor(rp, params=PARAMS).run_result(table)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_pipeline_batch_throughput(benchmark, small_trace):
+    rp = resolve_program(parse_program(EWMA))
+    program = compile_program(rp)
+    table = ObservationTable.from_arrays(small_trace.to_arrays())
+
+    def run():
+        pipeline = SwitchPipeline(program, params=PARAMS,
+                                  geometry=CacheGeometry.set_associative(256, 8))
+        pipeline.run(table)
+        pipeline.finalize()
+        return pipeline
+
+    pipeline = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert pipeline.packets_seen == len(table)
+
+
+def test_columnar_speedup_1m_linear_fold(report):
+    """Acceptance check: the vectorized path is ≥10× faster than the
+    row interpreter for linear-fold GROUPBY queries at 1M records, with
+    bit-identical results."""
+    table = generate_caida_like(CaidaTraceConfig(scale=1_000_000 / PAPER_PACKETS))
+    assert table.is_columnar and len(table) >= 1_000_000
+    rp = resolve_program(parse_program(COUNTERS))
+
+    t0 = time.perf_counter()
+    vector = VectorExecutor(rp).run_result(table)
+    vector_s = time.perf_counter() - t0
+
+    records = list(table)                        # row views, built off the clock
+    t0 = time.perf_counter()
+    row = Interpreter(rp).run_result(records)
+    row_s = time.perf_counter() - t0
+
+    assert vector.rows == row.rows
+    speedup = row_s / vector_s
+    report(
+        "Columnar speedup (1M records, linear folds)",
+        f"query: {COUNTERS}\n"
+        f"records: {len(table):,}   groups: {len(vector):,}\n"
+        f"row interpreter: {row_s:.2f} s ({len(table) / row_s:,.0f} pkt/s)\n"
+        f"vectorized:      {vector_s:.2f} s ({len(table) / vector_s:,.0f} pkt/s)\n"
+        f"speedup: {speedup:.1f}x (target >= 10x)",
+    )
+    assert speedup >= 10.0, f"vectorized speedup {speedup:.1f}x below 10x target"
 
 
 def test_network_simulator_event_rate(benchmark):

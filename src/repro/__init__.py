@@ -26,12 +26,40 @@ Quickstart::
     from repro import QueryEngine, CacheGeometry
     from repro.traffic.datacenter import DatacenterWorkload
 
-    table = DatacenterWorkload().observation_table()
+    table = DatacenterWorkload().observation_table()   # columnar
     engine = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
                          geometry=CacheGeometry.set_associative(4096, ways=8))
     report = engine.run(table)
     for row in report.result.rows[:5]:
         print(row)
+
+Columnar fast path
+------------------
+
+:class:`ObservationTable` stores one numpy array per schema field; the
+trace generators emit columns directly and ``ObservationTable.from_arrays``
+adopts externally produced columns without per-record work::
+
+    import numpy as np
+    from repro import ObservationTable, QueryEngine
+
+    table = ObservationTable.from_arrays({
+        "srcip": srcip_array, "dstip": dstip_array,
+        "pkt_len": lengths, "tin": tin_ns, "tout": tout_ns,
+    })
+    engine = QueryEngine("SELECT COUNT GROUPBY srcip, dstip")
+    exact = engine.run_exact(table)     # vectorized (engine="auto")
+
+Columnar tables take the batch execution path end to end: ``WHERE``
+predicates become boolean masks, linear-in-state ``GROUPBY`` folds
+(§3.2) become segmented reductions, and the switch pipeline extracts
+key arrays per chunk instead of per packet.  The ``engine=`` knob on
+:class:`QueryEngine` (``"auto"`` | ``"vector"`` | ``"row"``) selects
+between the vectorized executor and the row-at-a-time reference
+interpreter; both are exact and produce identical tables — on the 1M-
+record CAIDA-like trace the vectorized path measures ~38x the row
+interpreter's throughput for linear-fold aggregations (see
+``benchmarks/bench_columnar.py``).
 """
 
 from .core.compiler import CompileOptions, compile_program
@@ -39,12 +67,13 @@ from .core.interpreter import Interpreter, ResultTable, run_query
 from .core.linearity import analyze_fold
 from .core.parser import parse_program, parse_query
 from .core.semantics import resolve_program
+from .core.vector_exec import VectorExecutor, run_query_vectorized
 from .network.records import ObservationTable, PacketRecord
 from .switch.kvstore.cache import CacheGeometry
 from .switch.pipeline import SwitchPipeline
 from .telemetry.runtime import QueryEngine, RunReport, run
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "CacheGeometry",
@@ -56,6 +85,7 @@ __all__ = [
     "ResultTable",
     "RunReport",
     "SwitchPipeline",
+    "VectorExecutor",
     "analyze_fold",
     "compile_program",
     "parse_program",
@@ -63,5 +93,6 @@ __all__ = [
     "resolve_program",
     "run",
     "run_query",
+    "run_query_vectorized",
     "__version__",
 ]

@@ -97,6 +97,11 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
                         help="enable the exact-history merge extension")
     parser.add_argument("--refresh", type=int, default=None, metavar="N",
                         help="push cache values to the backing store every N packets")
+    parser.add_argument("--engine", default="auto",
+                        choices=("auto", "vector", "row"),
+                        help="exact-evaluation engine: vectorized batch "
+                             "executor, row interpreter, or auto (vector "
+                             "for columnar traces)")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -105,8 +110,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     table = _load_trace(args.trace)
     engine = QueryEngine(source, params=params, geometry=_geometry(args),
                          policy=args.policy, exact_history=args.exact_history,
-                         refresh_interval=args.refresh)
-    report = engine.run(table.records, include_invalid=args.include_invalid,
+                         refresh_interval=args.refresh, engine=args.engine)
+    # The table is passed whole (not .records) so columnar traces take
+    # the batch pipeline / vectorized-executor path end to end.
+    report = engine.run(table, include_invalid=args.include_invalid,
                         with_ground_truth=args.check)
 
     result = report.result

@@ -73,6 +73,33 @@ class ResultTable:
             self.rows.sort(key=lambda r: tuple(r[k] for k in self.schema.key_columns))
         return self
 
+    # -- columnar bridge (used by the vectorized executor) -------------------
+
+    @classmethod
+    def from_columns(cls, schema: TableSchema, columns: Mapping[str, object]) -> "ResultTable":
+        """Build a table from per-column arrays/lists.
+
+        Values are converted to native Python scalars (numpy arrays via
+        ``tolist``), so the rows are indistinguishable from ones the
+        row-at-a-time evaluator produces.
+        """
+        names = list(columns)
+        data = [
+            column.tolist() if hasattr(column, "tolist") else list(column)
+            for column in columns.values()
+        ]
+        rows = [dict(zip(names, values)) for values in zip(*data)]
+        return cls(schema=schema, rows=rows)
+
+    def to_columns(self) -> dict[str, list[Numeric]]:
+        """Per-column value lists for every schema column present in the
+        rows — the input form the vectorized executor consumes."""
+        if not self.rows:
+            return {name: [] for name in self.schema.column_names()}
+        present = [name for name in self.schema.column_names()
+                   if name in self.rows[0]]
+        return {name: [row[name] for row in self.rows] for name in present}
+
 
 class GroupState:
     """Accumulator for one grouping key: per-fold state dicts."""

@@ -1,0 +1,637 @@
+"""Vectorized query execution engine (batch counterpart of the
+reference interpreter).
+
+Evaluates a resolved program over *columns* instead of rows:
+
+* ``WHERE`` predicates compile to boolean masks over the input columns;
+* ``SELECT`` projections evaluate each output expression as one array
+  expression over the masked columns;
+* ``GROUPBY`` stages factorize the key columns once (stable lexsort,
+  first-occurrence group order — the same order the interpreter's dict
+  produces), then evaluate every fold with the cheapest strategy that
+  is *exactly* equivalent to the interpreter's per-row loop:
+
+  - **reduction** — folds whose update matrix is the identity (the
+    paper's §3.2 linear-in-state class with ``S = S + B``, detected by
+    :func:`repro.core.linearity.analyze_fold`): ``B`` is evaluated as
+    one array over the matching packets and accumulated per group with
+    ``np.add.at``, which applies updates sequentially in packet order —
+    the floating-point result is bit-identical to the row loop.
+    History variables (bounded packet history, footnote 4) are handled
+    by evaluating their update expression per packet and shifting it by
+    one position within each group segment.
+  - **rounds** — any other fold (non-identity linear such as EWMA, and
+    the non-linear class such as ``nonmt``): packets are laid out
+    round-major (the *k*-th packet of every group side by side) and the
+    if-converted update expressions are applied elementwise across all
+    live groups, one round per in-group packet rank.  Each state
+    transition performs the same scalar operations in the same order as
+    the interpreter, so results are again exact; the cost is one numpy
+    dispatch per round (bounded by the largest group).
+  - **replay** — a per-fold fallback to the reference interpreter's
+    scalar update loop, used when an expression contains something the
+    array evaluator does not support.  Only the affected fold is
+    replayed; the other folds of the stage stay vectorized.
+
+``JOIN`` stages and anything else outside the vector path are delegated
+to an embedded :class:`~repro.core.interpreter.Interpreter`, so the
+executor is *always* exact — vectorization changes the speed, never the
+result.
+
+Known semantic deltas versus the scalar evaluator (documented, not
+observable in well-formed queries): division by zero yields ``inf``/
+``nan`` instead of raising, both branches of a conditional are
+evaluated (with the untaken side discarded), and ``and``/``or`` do not
+short-circuit.  Integer arithmetic is 64-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .ast_nodes import (
+    BinOp,
+    Call,
+    ColumnRef,
+    Cond,
+    Expr,
+    FieldRef,
+    Number,
+    ParamRef,
+    StateRef,
+    UnaryOp,
+    walk,
+)
+from .errors import InterpreterError
+from .eval_expr import EvalContext, Numeric, evaluate
+from .interpreter import Interpreter, ResultTable
+from .linearity import LinearityResult, analyze_fold
+from .semantics import FoldInstance, ResolvedProgram, ResolvedQuery
+
+
+class VectorizationError(Exception):
+    """Internal: this expression/stage cannot run on the array path.
+
+    Raising it triggers a fallback (per-fold replay or whole-stage
+    interpreter evaluation); it never escapes the executor.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Array expression evaluation
+# ---------------------------------------------------------------------------
+
+
+class ArrayContext:
+    """Column environment for array-expression evaluation.
+
+    ``columns`` maps field/column names to arrays of length ``n`` (the
+    current batch); ``state`` maps state-variable names to arrays (one
+    element per group or per row, depending on the caller).
+    """
+
+    __slots__ = ("columns", "state", "params", "n")
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray],
+        params: Mapping[str, Numeric],
+        n: int,
+        state: Mapping[str, np.ndarray] | None = None,
+    ):
+        self.columns = columns
+        self.state = state
+        self.params = params
+        self.n = n
+
+
+def _truthy(value) -> np.ndarray:
+    """Elementwise truth value (nonzero) of an array or scalar."""
+    return np.asarray(value) != 0
+
+
+def _as_pred_int(value) -> np.ndarray:
+    """Materialise a boolean result as 0/1 int64, mirroring the scalar
+    evaluator's hardware convention."""
+    return _truthy(value).astype(np.int64)
+
+
+def eval_array(expr: Expr, ctx: ArrayContext):
+    """Evaluate a resolved expression over columns; returns an array of
+    length ``ctx.n`` or a scalar (for inputs with no row dependence)."""
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, FieldRef):
+        try:
+            return ctx.columns[expr.name]
+        except KeyError:
+            raise VectorizationError(f"no column {expr.name!r}") from None
+    if isinstance(expr, ColumnRef):
+        if expr.table is not None:
+            raise VectorizationError("qualified column in vector context")
+        try:
+            return ctx.columns[expr.name]
+        except KeyError:
+            raise VectorizationError(f"no column {expr.name!r}") from None
+    if isinstance(expr, StateRef):
+        if ctx.state is None or expr.name not in ctx.state:
+            raise VectorizationError(f"no state array for {expr.name!r}")
+        return ctx.state[expr.name]
+    if isinstance(expr, ParamRef):
+        try:
+            return ctx.params[expr.name]
+        except KeyError:
+            raise InterpreterError(
+                f"query parameter {expr.name!r} has no binding; pass it via params="
+            ) from None
+    if isinstance(expr, Cond):
+        pred = _truthy(eval_array(expr.pred, ctx))
+        with np.errstate(all="ignore"):
+            then = eval_array(expr.then, ctx)
+            orelse = eval_array(expr.orelse, ctx)
+            return np.where(pred, then, orelse)
+    if isinstance(expr, UnaryOp):
+        value = eval_array(expr.operand, ctx)
+        if expr.op == "not":
+            return (~_truthy(value)).astype(np.int64)
+        return np.negative(value)
+    if isinstance(expr, Call):
+        args = [eval_array(a, ctx) for a in expr.args]
+        if expr.func == "abs":
+            return np.abs(args[0])
+        if expr.func in ("max", "min"):
+            ufunc = np.maximum if expr.func == "max" else np.minimum
+            result = args[0]
+            for other in args[1:]:
+                result = ufunc(result, other)
+            return result
+        raise VectorizationError(f"unknown function {expr.func!r}")
+    if isinstance(expr, BinOp):
+        op = expr.op
+        left = eval_array(expr.left, ctx)
+        right = eval_array(expr.right, ctx)
+        if op == "+":
+            return np.add(left, right)
+        if op == "-":
+            return np.subtract(left, right)
+        if op == "*":
+            return np.multiply(left, right)
+        if op == "/":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.true_divide(left, right)
+        if op == "==":
+            return _as_pred_int(np.equal(left, right))
+        if op == "!=":
+            return _as_pred_int(np.not_equal(left, right))
+        if op == "<":
+            return _as_pred_int(np.less(left, right))
+        if op == "<=":
+            return _as_pred_int(np.less_equal(left, right))
+        if op == ">":
+            return _as_pred_int(np.greater(left, right))
+        if op == ">=":
+            return _as_pred_int(np.greater_equal(left, right))
+        if op == "and":
+            return (_truthy(left) & _truthy(right)).astype(np.int64)
+        if op == "or":
+            return (_truthy(left) | _truthy(right)).astype(np.int64)
+        raise VectorizationError(f"unknown operator {op!r}")
+    raise VectorizationError(f"cannot vectorize {expr!r}")
+
+
+def _init_dtype(init: Numeric) -> np.dtype:
+    """Accumulator dtype contributed by an initial state value."""
+    return np.dtype(np.float64 if isinstance(init, float) else np.int64)
+
+
+def as_column(value, n: int) -> np.ndarray:
+    """Broadcast a scalar result to a length-``n`` array; pass arrays
+    through."""
+    if isinstance(value, np.ndarray) and value.ndim == 1:
+        return value
+    return np.full(n, value)
+
+
+def eval_mask(expr: Expr | None, ctx: ArrayContext) -> np.ndarray | None:
+    """A WHERE predicate as a boolean mask; ``None`` means pass-all."""
+    if expr is None:
+        return None
+    return _truthy(as_column(eval_array(expr, ctx), ctx.n))
+
+
+def _expr_columns(exprs: Iterable[Expr]) -> set[str]:
+    """Field/column names referenced by ``exprs``."""
+    names: set[str] = set()
+    for expr in exprs:
+        for node in walk(expr):
+            if isinstance(node, (FieldRef, ColumnRef)):
+                names.add(node.name)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Key factorization and group layout
+# ---------------------------------------------------------------------------
+
+
+def factorize(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray], int]:
+    """Dense group ids for multi-column keys, first-occurrence ordered.
+
+    Returns ``(gid, unique_key_columns, n_groups)``: ``gid[i]`` is the
+    group of row ``i``; group ``0`` is the key that appears first in
+    the input, matching the insertion order of the interpreter's group
+    dict.  Exact — no hashing, no collisions.
+    """
+    n = len(key_arrays[0])
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), [a[:0] for a in key_arrays], 0
+    order = np.lexsort(key_arrays[::-1])  # stable: ties keep input order
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    for arr in key_arrays:
+        arr_sorted = arr[order]
+        change[1:] |= arr_sorted[1:] != arr_sorted[:-1]
+    sorted_gid = np.cumsum(change) - 1
+    n_groups = int(sorted_gid[-1]) + 1
+    first_idx = order[change]          # first input occurrence per sorted group
+    rank = np.empty(n_groups, dtype=np.int64)
+    rank[np.argsort(first_idx, kind="stable")] = np.arange(n_groups)
+    gid = np.empty(n, dtype=np.int64)
+    gid[order] = rank[sorted_gid]
+    occurrence_order = np.sort(first_idx)
+    keys = [arr[occurrence_order] for arr in key_arrays]
+    return gid, keys, n_groups
+
+
+class _GroupLayout:
+    """Group-major and round-major orderings of a batch of rows."""
+
+    __slots__ = ("gid", "n_groups", "order", "counts", "offsets")
+
+    def __init__(self, gid: np.ndarray, n_groups: int):
+        self.gid = gid
+        self.n_groups = n_groups
+        self.order = np.argsort(gid, kind="stable")   # group-major positions
+        self.counts = np.bincount(gid, minlength=n_groups).astype(np.int64)
+        self.offsets = np.zeros(n_groups + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=self.offsets[1:])
+
+    def segment_starts_mask(self) -> np.ndarray:
+        mask = np.zeros(len(self.gid), dtype=bool)
+        mask[self.offsets[:-1][self.counts > 0]] = True
+        return mask
+
+    def ranks_group_major(self) -> np.ndarray:
+        """In-group packet rank for each group-major position."""
+        return np.arange(len(self.gid)) - np.repeat(self.offsets[:-1], self.counts)
+
+
+# ---------------------------------------------------------------------------
+# Fold evaluation strategies
+# ---------------------------------------------------------------------------
+
+
+def _promote_assign(states: dict[str, np.ndarray], var: str,
+                    indices: np.ndarray, values: np.ndarray) -> None:
+    """``states[var][indices] = values`` with dtype promotion (a fold's
+    state becomes float the first time an update produces one)."""
+    current = states[var]
+    promoted = np.result_type(current.dtype, values.dtype)
+    if promoted != current.dtype:
+        states[var] = current = current.astype(promoted)
+    current[indices] = values
+
+
+class _FoldVectorizer:
+    """Evaluates one fold instance over one factorized batch."""
+
+    def __init__(self, fold: FoldInstance, linearity: LinearityResult,
+                 params: Mapping[str, Numeric]):
+        self.fold = fold
+        self.linearity = linearity
+        self.params = params
+        self.update_exprs = linearity.update_exprs
+        self.needed = _expr_columns(self.update_exprs.values())
+
+    @property
+    def strategy(self) -> str:
+        lin = self.linearity
+        if lin.linear and lin.matrix_kind == "identity":
+            return "reduction"
+        return "rounds"
+
+    # -- shared: history pre-values ------------------------------------------
+
+    def _history_values(self, ctx: ArrayContext, layout: _GroupLayout,
+                        ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Per-row *pre*-values and per-group final values of every
+        history variable (bounded-packet-history state, footnote 4)."""
+        history = self.linearity.history
+        pre: dict[str, np.ndarray] = {}
+        final: dict[str, np.ndarray] = {}
+        starts = layout.segment_starts_mask()
+        order = layout.order
+        for var in sorted(history, key=history.get):
+            hctx = ArrayContext(ctx.columns, self.params, ctx.n, state=pre)
+            post = as_column(eval_array(self.update_exprs[var], hctx), ctx.n)
+            post_gm = post[order]
+            init = self.fold.inits.get(var, 0)
+            dtype = np.result_type(post_gm.dtype, _init_dtype(init))
+            pre_gm = np.empty(ctx.n, dtype=dtype)
+            pre_gm[1:] = post_gm[:-1]
+            pre_gm[starts] = init
+            pre_rm = np.empty_like(pre_gm)
+            pre_rm[order] = pre_gm
+            pre[var] = pre_rm
+            final[var] = post_gm[layout.offsets[1:] - 1]
+        return pre, final
+
+    # -- strategy: segmented reduction (identity matrix) ---------------------
+
+    def reduce(self, ctx: ArrayContext, layout: _GroupLayout) -> dict[str, np.ndarray]:
+        """Identity-matrix linear folds: ``S = S + B`` accumulated with
+        order-preserving ``np.add.at`` (one pass, no Python loop)."""
+        pre_history, final_history = self._history_values(ctx, layout)
+        states: dict[str, np.ndarray] = dict(final_history)
+        for var in self.linearity.order:
+            init = self.fold.inits.get(var, 0)
+            b_expr = self.linearity.offset[var]
+            bctx = ArrayContext(ctx.columns, self.params, ctx.n, state=pre_history)
+            b = as_column(eval_array(b_expr, bctx), ctx.n)
+            dtype = np.result_type(np.asarray(b).dtype, _init_dtype(init))
+            out = np.full(layout.n_groups, init, dtype=dtype)
+            np.add.at(out, layout.gid, b.astype(dtype, copy=False))
+            states[var] = out
+        return states
+
+    # -- strategy: round-major elementwise iteration -------------------------
+
+    def round_plan(self, layout: _GroupLayout) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Round-major row ordering: positions of every group's ``r``-th
+        packet are contiguous, groups side by side."""
+        ranks = layout.ranks_group_major()
+        round_order = np.argsort(ranks, kind="stable")
+        rows_rm = layout.order[round_order]
+        round_counts = np.bincount(ranks)
+        round_offsets = np.zeros(len(round_counts) + 1, dtype=np.int64)
+        np.cumsum(round_counts, out=round_offsets[1:])
+        return rows_rm, layout.gid[rows_rm], round_offsets
+
+    def run_rounds(self, ctx: ArrayContext, layout: _GroupLayout) -> dict[str, np.ndarray]:
+        """Exact general path: apply the if-converted update expressions
+        elementwise across all groups, one round per in-group rank."""
+        rows_rm, gid_rm, round_offsets = self.round_plan(layout)
+        needed = {name: ctx.columns[name] for name in self.needed
+                  if name in ctx.columns}
+        missing = self.needed - set(needed)
+        if missing:
+            raise VectorizationError(f"no column {missing.pop()!r}")
+        states: dict[str, np.ndarray] = {}
+        for var in self.fold.state_vars:
+            init = self.fold.inits.get(var, 0)
+            dtype = np.float64 if isinstance(init, float) else np.int64
+            states[var] = np.full(layout.n_groups, init, dtype=dtype)
+        for r in range(len(round_offsets) - 1):
+            lo, hi = round_offsets[r], round_offsets[r + 1]
+            idx = rows_rm[lo:hi]
+            groups = gid_rm[lo:hi]
+            columns = {name: arr[idx] for name, arr in needed.items()}
+            state_view = {var: arr[groups] for var, arr in states.items()}
+            rctx = ArrayContext(columns, self.params, hi - lo, state=state_view)
+            new_values = {
+                var: as_column(eval_array(expr, rctx), hi - lo)
+                for var, expr in self.update_exprs.items()
+            }
+            for var, values in new_values.items():
+                _promote_assign(states, var, groups, values)
+        return states
+
+    # -- strategy: per-fold scalar replay ------------------------------------
+
+    def replay(self, ctx: ArrayContext, layout: _GroupLayout) -> dict[str, np.ndarray]:
+        """Reference-interpreter fallback for this fold only: replay the
+        batch through the scalar update loop (exact by construction)."""
+        needed = sorted(self.needed & set(ctx.columns))
+        columns = {name: ctx.columns[name].tolist() for name in needed}
+        gid = layout.gid.tolist()
+        group_states: list[dict[str, Numeric] | None] = [None] * layout.n_groups
+        for i in range(ctx.n):
+            state = group_states[gid[i]]
+            if state is None:
+                state = self.fold.initial_state()
+                group_states[gid[i]] = state
+            row = {name: columns[name][i] for name in needed}
+            fctx = EvalContext(row=row, state=state, params=self.params)
+            state.update({
+                var: evaluate(expr, fctx) for var, expr in self.update_exprs.items()
+            })
+        return {
+            var: np.asarray([state[var] for state in group_states])
+            for var in self.fold.state_vars
+        }
+
+    def evaluate(self, ctx: ArrayContext, layout: _GroupLayout) -> dict[str, np.ndarray]:
+        """Final per-group state arrays, via the cheapest exact strategy."""
+        try:
+            if self.strategy == "reduction":
+                return self.reduce(ctx, layout)
+            return self.run_rounds(ctx, layout)
+        except VectorizationError:
+            return self.replay(ctx, layout)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class VectorExecutor:
+    """Batch evaluator for a resolved program.
+
+    Drop-in counterpart of :class:`~repro.core.interpreter.Interpreter`:
+    same constructor, same ``run`` / ``run_result`` / ``evaluate_stage``
+    surface, identical results.  Prefers columnar input
+    (:class:`~repro.network.records.ObservationTable` in columnar
+    authority); row input is columnized once on entry.
+
+    Args:
+        program: Output of :func:`repro.core.semantics.resolve_program`.
+        params: Bindings for free query parameters.
+    """
+
+    def __init__(self, program: ResolvedProgram,
+                 params: Mapping[str, Numeric] | None = None):
+        self.program = program
+        self.params = dict(params or {})
+        missing = set(program.params) - set(self.params)
+        if missing:
+            raise InterpreterError(f"unbound query parameters: {sorted(missing)}")
+        self._interp = Interpreter(program, params=self.params)
+        self._folds: dict[tuple[str, str], _FoldVectorizer] = {}
+        for query in program.queries:
+            for fold in query.folds:
+                self._folds[(query.name, fold.column)] = _FoldVectorizer(
+                    fold, analyze_fold(fold), self.params
+                )
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, records) -> dict[str, ResultTable]:
+        """Evaluate every query; returns tables keyed by query name."""
+        base_columns, base_n, rows = self._base_input(records)
+        tables: dict[str, ResultTable] = {}
+        column_cache: dict[str, tuple[dict[str, np.ndarray], int]] = {}
+        for query in self.program.queries:
+            tables[query.name] = self._eval_query(
+                query, base_columns, base_n, rows, tables, column_cache
+            )
+        return tables
+
+    def run_result(self, records) -> ResultTable:
+        """Evaluate and return only the program's result table."""
+        return self.run(records)[self.program.result]
+
+    def evaluate_stage(self, query_name: str, records,
+                       tables: dict[str, ResultTable]) -> ResultTable:
+        """Evaluate one named query over already-materialised upstream
+        ``tables`` (and ``records`` for base-table queries) — the
+        entry point the telemetry runtime uses for software stages."""
+        base_columns, base_n, rows = self._base_input(records)
+        return self._eval_query(
+            self.program.by_name(query_name), base_columns, base_n, rows, tables, {}
+        )
+
+    # -- input handling ---------------------------------------------------------
+
+    def _base_input(self, records):
+        """Columns + length + lazily-usable row handle for the stream."""
+        from repro.network.records import ObservationTable
+
+        if isinstance(records, ObservationTable):
+            columns = records.columns()
+            return columns, len(records), records
+        rows = records if isinstance(records, list) else list(records)
+        columns = ObservationTable(rows).columns() if rows else None
+        if columns is None:
+            columns = ObservationTable([]).columns()
+        return columns, len(rows), rows
+
+    @staticmethod
+    def _columns_from_table(table: ResultTable) -> tuple[dict[str, np.ndarray], int]:
+        columns = {
+            name: np.asarray(values)
+            for name, values in table.to_columns().items()
+        }
+        return columns, len(table.rows)
+
+    # -- query dispatch ----------------------------------------------------------
+
+    def _eval_query(self, query: ResolvedQuery, base_columns, base_n, rows,
+                    tables: dict[str, ResultTable],
+                    column_cache: dict) -> ResultTable:
+        if query.kind == "join":
+            # Joins run over (small) post-aggregation tables; the
+            # relational part stays on the reference interpreter.
+            return self._interp.evaluate_stage(query.name, [], tables)
+        if query.source is None:
+            columns, n = base_columns, base_n
+        elif query.source in column_cache:
+            columns, n = column_cache[query.source]
+        else:
+            columns, n = self._columns_from_table(tables[query.source])
+            column_cache[query.source] = (columns, n)
+        ctx = ArrayContext(columns, self.params, n)
+        try:
+            if query.kind == "select":
+                table, out_columns = self._eval_select(query, ctx)
+            elif query.kind == "groupby":
+                table, out_columns = self._eval_groupby(query, ctx)
+            else:
+                raise InterpreterError(f"unknown query kind {query.kind!r}")
+        except VectorizationError:
+            # Whole-stage fallback: evaluate this stage on the reference
+            # interpreter over row views.
+            stream = list(rows) if not isinstance(rows, list) else rows
+            return self._interp.evaluate_stage(query.name, stream, tables)
+        column_cache[query.name] = (out_columns, len(table.rows))
+        return table
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def _eval_select(self, query: ResolvedQuery, ctx: ArrayContext):
+        mask = eval_mask(query.where, ctx)
+        if mask is None:
+            masked = ctx
+        else:
+            sel = np.flatnonzero(mask)
+            needed = _expr_columns(
+                col.expr for col in query.output.columns if col.expr is not None
+            )
+            masked = ArrayContext(
+                {name: arr[sel] for name, arr in ctx.columns.items()
+                 if name in needed},
+                self.params, len(sel),
+            )
+        out_columns: dict[str, np.ndarray] = {}
+        for col in query.output.columns:
+            if col.expr is None:
+                continue
+            out_columns[col.name] = as_column(eval_array(col.expr, masked), masked.n)
+        table = ResultTable.from_columns(query.output, out_columns)
+        return table, out_columns
+
+    # -- GROUPBY -----------------------------------------------------------------
+
+    def _eval_groupby(self, query: ResolvedQuery, ctx: ArrayContext):
+        mask = eval_mask(query.where, ctx)
+        if mask is None:
+            sel_ctx = ctx
+        else:
+            sel = np.flatnonzero(mask)
+            needed = set(query.groupby_keys)
+            for fold in query.folds:
+                needed |= self._folds[(query.name, fold.column)].needed
+            sel_ctx = ArrayContext(
+                {name: arr[sel] for name, arr in ctx.columns.items()
+                 if name in needed},
+                self.params, len(sel),
+            )
+        try:
+            key_arrays = [sel_ctx.columns[k] for k in query.groupby_keys]
+        except KeyError as exc:
+            raise VectorizationError(f"no key column {exc.args[0]!r}") from None
+        gid, unique_keys, n_groups = factorize(key_arrays)
+        layout = _GroupLayout(gid, n_groups)
+
+        fold_states: dict[str, dict[str, np.ndarray]] = {}
+        for fold in query.folds:
+            vectorizer = self._folds[(query.name, fold.column)]
+            fold_states[fold.column] = vectorizer.evaluate(sel_ctx, layout)
+
+        out_columns: dict[str, np.ndarray] = dict(
+            zip(query.groupby_keys, unique_keys)
+        )
+        for col in query.output.columns:
+            if col.kind == "agg":
+                out_columns[col.name] = fold_states[col.fold][col.state_var]
+            elif col.kind == "derived":
+                dctx = ArrayContext({}, self.params, n_groups,
+                                    state=fold_states[col.fold])
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    out_columns[col.name] = as_column(
+                        eval_array(col.read_expr, dctx), n_groups
+                    )
+        table = ResultTable.from_columns(query.output, out_columns)
+        return table, out_columns
+
+
+def run_query_vectorized(source: str, records,
+                         params: Mapping[str, Numeric] | None = None) -> ResultTable:
+    """One-shot convenience: parse, resolve, and batch-evaluate."""
+    from .parser import parse_program
+    from .semantics import resolve_program
+
+    program = resolve_program(parse_program(source))
+    return VectorExecutor(program, params=params).run_result(records)

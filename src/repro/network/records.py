@@ -12,21 +12,34 @@ Two representations are provided:
 
 * :class:`PacketRecord` — a slotted per-row object, convenient for the
   interpreter, the switch pipeline, and tests;
-* :class:`ObservationTable` — a thin list wrapper with columnar
-  (numpy) import/export for large synthetic traces, plus ``.npz``
-  persistence so generated workloads can be cached between benchmark
-  runs.
+* :class:`ObservationTable` — a struct-of-arrays table whose canonical
+  storage is one numpy array per schema field.  Row access
+  (iteration, indexing, ``.records``) materialises
+  :class:`PacketRecord` views lazily, so row-at-a-time consumers keep
+  working, while the columnar core gives the vectorized executor
+  (:mod:`repro.core.vector_exec`), the trace generators, and the
+  ``.npz`` persistence O(1)-per-column operations.
+
+A table is always in exactly one of two authority states:
+
+* *columnar* — ``_columns`` holds the data; built by
+  :meth:`from_arrays` / :meth:`load` or by the columnar trace
+  generators.  Aggregates (:meth:`key_array`, :meth:`unique_keys`,
+  :meth:`drop_count`, :meth:`duration_ns`) and persistence run as
+  numpy column operations.
+* *row* — ``_rows`` holds a mutable list of :class:`PacketRecord`;
+  entered on construction from records, on :meth:`append`, or the
+  first time ``.records`` is touched (callers may mutate the list, so
+  the columnar copy cannot be kept coherent and is dropped).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, fields as dc_fields
+from dataclasses import dataclass, fields as dc_fields
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
-
-from repro.core import schema as sch
 
 INFINITY = math.inf
 
@@ -80,73 +93,154 @@ RECORD_FIELDS: tuple[str, ...] = tuple(f.name for f in dc_fields(PacketRecord))
 _COLUMN_DTYPES: dict[str, str] = {name: "int64" for name in RECORD_FIELDS}
 _COLUMN_DTYPES["tout"] = "float64"
 
+#: Per-field default values (the PacketRecord dataclass defaults),
+#: used to fill columns absent from ``from_arrays`` input.
+_FIELD_DEFAULTS: dict[str, int | float] = {
+    f.name: f.default for f in dc_fields(PacketRecord)
+}
+
 
 class ObservationTable:
-    """A materialised observation table with columnar conversion.
+    """A materialised observation table with native columnar storage.
 
     Iterating yields :class:`PacketRecord` objects in arrival order
     (the order matters: the language supports order-dependent folds).
+    Mutating rows requires going through ``.records``, which switches
+    the table to row authority.
     """
 
     def __init__(self, records: Iterable[PacketRecord] | None = None):
-        self.records: list[PacketRecord] = list(records) if records is not None else []
+        self._rows: list[PacketRecord] | None = (
+            list(records) if records is not None else []
+        )
+        self._columns: dict[str, np.ndarray] | None = None
+
+    # -- authority management ------------------------------------------------
+
+    @property
+    def is_columnar(self) -> bool:
+        """True when the canonical storage is the column dict."""
+        return self._columns is not None
+
+    @property
+    def records(self) -> list[PacketRecord]:
+        """The mutable row list; materialised from columns on demand.
+
+        Touching this drops the columnar storage (the caller may mutate
+        rows, which cannot be reflected into a retained column copy).
+        """
+        if self._rows is None:
+            self._rows = self._materialize_rows()
+            self._columns = None
+        return self._rows
+
+    def _materialize_rows(self) -> list[PacketRecord]:
+        columns = self._columns
+        assert columns is not None
+        # tolist() converts to native Python scalars, so the records are
+        # indistinguishable from ones built row-at-a-time.
+        data = [columns[name].tolist() for name in RECORD_FIELDS]
+        return [PacketRecord(*values) for values in zip(*data)]
 
     def __len__(self) -> int:
-        return len(self.records)
+        if self._rows is not None:
+            return len(self._rows)
+        return len(self._columns["tin"])
 
     def __iter__(self) -> Iterator[PacketRecord]:
-        return iter(self.records)
+        if self._rows is not None:
+            return iter(self._rows)
+        return self._iter_columnar()
+
+    def _iter_columnar(self) -> Iterator[PacketRecord]:
+        """Lazy row views: records are built one at a time (consumers
+        that stop early never pay for the tail) and the table keeps
+        columnar authority.  The yielded records are ephemeral —
+        mutating them does not write back; use ``.records`` for that."""
+        columns = self._columns
+        assert columns is not None
+        data = [columns[name].tolist() for name in RECORD_FIELDS]
+        for values in zip(*data):
+            yield PacketRecord(*values)
 
     def __getitem__(self, index: int) -> PacketRecord:
-        return self.records[index]
+        if self._rows is not None:
+            return self._rows[index]
+        columns = self._columns
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("table index out of range")
+        return PacketRecord(*(columns[name][index].item() for name in RECORD_FIELDS))
 
     def append(self, record: PacketRecord) -> None:
         self.records.append(record)
 
     # -- columnar conversion -------------------------------------------------
 
-    def to_arrays(self) -> dict[str, np.ndarray]:
-        """Columnar copy: one numpy array per field."""
+    def columns(self) -> dict[str, np.ndarray]:
+        """The full column dict (one array per schema field).
+
+        Columnar tables return their canonical storage — treat it as
+        read-only.  Row-authority tables build a fresh columnar copy.
+        """
+        if self._columns is not None:
+            return self._columns
+        rows = self._rows
         out: dict[str, np.ndarray] = {}
-        n = len(self.records)
         for name in RECORD_FIELDS:
-            column = np.empty(n, dtype=_COLUMN_DTYPES[name])
-            for i, record in enumerate(self.records):
+            column = np.empty(len(rows), dtype=_COLUMN_DTYPES[name])
+            for i, record in enumerate(rows):
                 column[i] = getattr(record, name)
             out[name] = column
         return out
 
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar copy: one numpy array per field."""
+        if self._columns is not None:
+            return {name: array.copy() for name, array in self._columns.items()}
+        return self.columns()
+
     @classmethod
     def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "ObservationTable":
-        """Build a table from columnar data; missing columns default."""
+        """Build a columnar table from arrays; missing columns default.
+
+        This is the fast path: input arrays are cast to the canonical
+        dtypes (int64, float64 for ``tout``) and adopted without any
+        per-record work.
+        """
         lengths = {len(a) for a in arrays.values()}
         if len(lengths) > 1:
             raise ValueError(f"column length mismatch: {lengths}")
         n = lengths.pop() if lengths else 0
-        table = cls()
-        names = [name for name in RECORD_FIELDS if name in arrays]
-        converted = {
-            name: arrays[name].tolist() for name in names
-        }
-        for i in range(n):
-            table.append(PacketRecord(**{name: converted[name][i] for name in names}))
+        columns: dict[str, np.ndarray] = {}
+        for name in RECORD_FIELDS:
+            dtype = _COLUMN_DTYPES[name]
+            if name in arrays:
+                columns[name] = np.ascontiguousarray(arrays[name], dtype=dtype)
+            else:
+                columns[name] = np.full(n, _FIELD_DEFAULTS[name], dtype=dtype)
+        table = cls.__new__(cls)
+        table._rows = None
+        table._columns = columns
         return table
 
     def key_array(self, key_fields: Sequence[str]) -> np.ndarray:
         """Collapse the per-record key tuples into one int64 array of
         mixed hashes — the fast path used by large cache simulations
         where only key identity matters (e.g. the Fig. 5 sweep)."""
-        arrays = [np.asarray([getattr(r, f) for r in self.records], dtype=np.int64)
-                  for f in key_fields]
-        mixed = np.zeros(len(self.records), dtype=np.int64)
-        for arr in arrays:
-            mixed = mixed * np.int64(1_000_003) + arr
+        columns = self.columns()
+        mixed = np.zeros(len(self), dtype=np.int64)
+        with np.errstate(over="ignore"):
+            for name in key_fields:
+                mixed = mixed * np.int64(1_000_003) + columns[name].astype(np.int64)
         return mixed
 
     # -- persistence --------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        np.savez_compressed(path, **self.to_arrays())
+        np.savez_compressed(path, **self.columns())
 
     @classmethod
     def load(cls, path: str) -> "ObservationTable":
@@ -156,12 +250,22 @@ class ObservationTable:
     # -- conveniences ------------------------------------------------------------
 
     def unique_keys(self, key_fields: Sequence[str]) -> int:
-        return len({r.key(key_fields) for r in self.records})
+        columns = self.columns()
+        if not len(self):
+            return 0
+        stacked = np.stack([columns[name] for name in key_fields], axis=1)
+        return len(np.unique(stacked, axis=0))
 
     def duration_ns(self) -> int:
-        if not self.records:
+        """Trace span ``max(tin) - min(tin)``.
+
+        Uses the extrema rather than first/last record so out-of-order
+        or merged multi-queue traces cannot yield a negative duration.
+        """
+        if not len(self):
             return 0
-        return self.records[-1].tin - self.records[0].tin
+        tin = self.columns()["tin"]
+        return int(tin.max() - tin.min())
 
     def drop_count(self) -> int:
-        return sum(1 for r in self.records if r.dropped)
+        return int(np.isinf(self.columns()["tout"]).sum())

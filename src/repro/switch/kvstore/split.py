@@ -106,9 +106,14 @@ class SplitKeyValueStore:
 
     def process(self, record: object) -> None:
         """Run one (already filtered) packet through the store."""
+        self.process_keyed(self._extract_key(record), record)
+
+    def process_keyed(self, key: Hashable, record: object) -> None:
+        """Run one packet whose aggregation key is already extracted —
+        the batch path: the pipeline extracts key arrays per chunk, so
+        per-packet work here is just the cache/store state machine."""
         if self._finalized:
             raise HardwareError("store already finalized")
-        key = self._extract_key(record)
         entry, evicted = self.cache.access(key, self._fresh_value)
         if evicted is not None:
             self._absorb(evicted)

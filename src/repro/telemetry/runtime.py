@@ -38,8 +38,13 @@ from repro.core.linearity import analyze_fold
 from repro.core.parser import parse_program
 from repro.core.plan import SwitchProgram
 from repro.core.semantics import ResolvedProgram, resolve_program
+from repro.core.vector_exec import VectorExecutor
+from repro.network.records import ObservationTable
 from repro.switch.kvstore.cache import CacheGeometry, CacheStats
 from repro.switch.pipeline import DEFAULT_GEOMETRY, GeometrySpec, SwitchPipeline
+
+#: Valid values of the ``engine`` knob.
+ENGINES = ("auto", "vector", "row")
 
 
 @dataclass
@@ -86,6 +91,13 @@ class QueryEngine:
         policy: Cache eviction policy.
         exact_history: Enable the exact-history merge extension.
         seed: Hash seed for the caches.
+        engine: Exact-evaluation engine for software stages, ground
+            truth, and :meth:`run_exact` — ``"vector"`` (batch,
+            :class:`~repro.core.vector_exec.VectorExecutor`), ``"row"``
+            (the reference interpreter), or ``"auto"`` (vector for
+            columnar observation tables, row otherwise).  Both engines
+            produce identical results; the knob trades per-row dispatch
+            for array operations.
     """
 
     def __init__(
@@ -97,7 +109,10 @@ class QueryEngine:
         exact_history: bool = False,
         seed: int = 0,
         refresh_interval: int | None = None,
+        engine: str = "auto",
     ):
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         program = parse_program(source) if isinstance(source, str) else source
         self.resolved: ResolvedProgram = resolve_program(program)
         self.compiled: SwitchProgram = compile_program(
@@ -108,6 +123,9 @@ class QueryEngine:
         self.policy = policy
         self.seed = seed
         self.refresh_interval = refresh_interval
+        self.engine = engine
+        self._interpreter: Interpreter | None = None
+        self._vector: VectorExecutor | None = None
 
     # -- introspection -------------------------------------------------------
 
@@ -134,6 +152,28 @@ class QueryEngine:
     def describe_plan(self) -> str:
         return self.compiled.describe()
 
+    # -- engine selection ------------------------------------------------------
+
+    def _row_engine(self) -> Interpreter:
+        if self._interpreter is None:
+            self._interpreter = Interpreter(self.resolved, params=self.params)
+        return self._interpreter
+
+    def _vector_engine(self) -> VectorExecutor:
+        if self._vector is None:
+            self._vector = VectorExecutor(self.resolved, params=self.params)
+        return self._vector
+
+    def _executor_for(self, records) -> Interpreter | VectorExecutor:
+        """Pick the exact-evaluation engine per the ``engine`` knob."""
+        if self.engine == "row":
+            return self._row_engine()
+        if self.engine == "vector":
+            return self._vector_engine()
+        if isinstance(records, ObservationTable) and records.is_columnar:
+            return self._vector_engine()
+        return self._row_engine()
+
     # -- execution -------------------------------------------------------------
 
     def run(
@@ -143,8 +183,17 @@ class QueryEngine:
         with_ground_truth: bool = False,
     ) -> RunReport:
         """Stream ``records`` through a fresh pipeline and collect
-        every query's result (hardware + software stages)."""
-        stream = records if isinstance(records, list) else list(records)
+        every query's result (hardware + software stages).
+
+        Columnar observation tables keep their columnar form end to
+        end: the pipeline runs its chunked batch mode and (under
+        ``engine="auto"``) software stages and the optional ground
+        truth run on the vectorized executor.
+        """
+        if isinstance(records, (list, ObservationTable)):
+            stream = records
+        else:
+            stream = list(records)
         pipeline = SwitchPipeline(
             self.compiled, params=self.params, geometry=self.geometry,
             policy=self.policy, seed=self.seed,
@@ -154,10 +203,11 @@ class QueryEngine:
         tables = pipeline.results(include_invalid=include_invalid)
 
         # Software stages run over the hardware-produced tables, in
-        # program (dependency) order.
-        interpreter = Interpreter(self.resolved, params=self.params)
+        # program (dependency) order; the same executor instance is
+        # reused for the ground-truth pass below.
+        executor = self._executor_for(stream)
         for stage in self.compiled.software_stages:
-            tables[stage.query.name] = interpreter.evaluate_stage(
+            tables[stage.query.name] = executor.evaluate_stage(
                 stage.query.name, stream, tables
             )
 
@@ -173,14 +223,13 @@ class QueryEngine:
             accuracy=accuracy,
         )
         if with_ground_truth:
-            report.ground_truth = Interpreter(
-                self.resolved, params=self.params
-            ).run(stream)
+            report.ground_truth = executor.run(stream)
         return report
 
     def run_exact(self, records: Iterable[object]) -> dict[str, ResultTable]:
-        """Reference-interpreter evaluation only (no hardware model)."""
-        return Interpreter(self.resolved, params=self.params).run(records)
+        """Exact evaluation only (no hardware model), on the engine the
+        ``engine`` knob selects."""
+        return self._executor_for(records).run(records)
 
 
 def run(source: str, records: Iterable[object],

@@ -26,9 +26,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.network.records import ObservationTable, PacketRecord
+from repro.network.records import ObservationTable
 from .distributions import bimodal_packet_sizes, bounded_zipf
-from .flows import expand_flows_to_packets, synth_flow_ids
+from .flows import expand_flows_to_packets, per_flow_prefix, synth_flow_ids
 
 #: Paper trace parameters (§4).
 PAPER_PACKETS = 157_000_000
@@ -135,28 +135,30 @@ def generate_caida_like(config: CaidaTraceConfig | None = None) -> ObservationTa
     tout = times + service + jitter
     qdepth = np.minimum(63, (jitter // 1500)).astype(np.int64)
 
-    # Per-flow TCP sequence progression (cumulative payload).
+    # Per-flow TCP sequence progression (cumulative payload), as a
+    # segmented prefix sum over the time-ordered stream.
     payload = np.maximum(0, pkt_lens - 40)
-    seqs = _per_flow_seq(flow_of, payload, n_flows)
+    seqs = per_flow_prefix(flow_of, payload, start=1000)
 
-    table = ObservationTable()
-    append = table.append
-    srcip = ids["srcip"][flow_of]
-    dstip = ids["dstip"][flow_of]
-    srcport = ids["srcport"][flow_of]
-    dstport = ids["dstport"][flow_of]
-    proto = ids["proto"][flow_of]
-    columns = (srcip.tolist(), dstip.tolist(), srcport.tolist(), dstport.tolist(),
-               proto.tolist(), pkt_lens.tolist(), payload.tolist(), seqs.tolist(),
-               times.tolist(), tout.tolist(), qdepth.tolist())
-    for i, (a, b, sp, dp, pr, ln, pl, sq, ti, to, qd) in enumerate(zip(*columns)):
-        append(PacketRecord(
-            srcip=a, dstip=b, srcport=sp, dstport=dp, proto=pr,
-            pkt_len=ln, payload_len=pl, tcpseq=sq, pkt_id=i,
-            qid=config.qid, tin=ti, tout=float(to), qin=qd, qout=max(0, qd - 1),
-            qsize=qd, pkt_path=config.qid,
-        ))
-    return table
+    # Emit columns directly — the table never materialises row objects.
+    return ObservationTable.from_arrays({
+        "srcip": ids["srcip"][flow_of],
+        "dstip": ids["dstip"][flow_of],
+        "srcport": ids["srcport"][flow_of],
+        "dstport": ids["dstport"][flow_of],
+        "proto": ids["proto"][flow_of],
+        "pkt_len": pkt_lens,
+        "payload_len": payload,
+        "tcpseq": seqs,
+        "pkt_id": np.arange(n, dtype=np.int64),
+        "qid": np.full(n, config.qid, dtype=np.int64),
+        "tin": times,
+        "tout": tout.astype(np.float64),
+        "qin": qdepth,
+        "qout": np.maximum(0, qdepth - 1),
+        "qsize": qdepth,
+        "pkt_path": np.full(n, config.qid, dtype=np.int64),
+    })
 
 
 def _sizes_with_mean(rng: np.random.Generator, config: CaidaTraceConfig,
@@ -188,15 +190,3 @@ def _sizes_with_mean(rng: np.random.Generator, config: CaidaTraceConfig,
     return sizes
 
 
-def _per_flow_seq(flow_of: np.ndarray, payload: np.ndarray,
-                  n_flows: int) -> np.ndarray:
-    """Per-packet TCP sequence numbers: cumulative payload per flow,
-    starting at 1000 (segmented cumsum over the time-ordered stream)."""
-    seqs = np.empty(len(flow_of), dtype=np.int64)
-    next_seq = np.full(n_flows, 1000, dtype=np.int64)
-    flow_list = flow_of.tolist()
-    pay_list = payload.tolist()
-    for i, (f, p) in enumerate(zip(flow_list, pay_list)):
-        seqs[i] = next_seq[f]
-        next_seq[f] += p
-    return seqs

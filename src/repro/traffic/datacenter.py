@@ -21,9 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.network.records import ObservationTable, PacketRecord
+from repro.network.records import ObservationTable
 from .distributions import bimodal_packet_sizes, bounded_zipf
-from .flows import expand_flows_to_packets
+from .flows import expand_flows_to_packets, per_flow_prefix
 
 
 @dataclass(frozen=True)
@@ -144,7 +144,15 @@ class DatacenterWorkload:
         return events
 
     def observation_table(self, qid: int = 0) -> ObservationTable:
-        """Single monitored queue view (uplink), M/D/1-ish timings."""
+        """Single monitored queue view (uplink), M/D/1-ish timings.
+
+        Fully columnar: the work-conserving queue recurrence
+        ``finish[i] = max(tin[i], finish[i-1]) + service[i]`` is solved
+        in closed form (subtract the service cumsum, take a running
+        maximum), and the depth seen at enqueue is a ``searchsorted``
+        against the nondecreasing departure times — both exact integer
+        reformulations of the sequential loop.
+        """
         cfg = self.config
         ids, flow_of, times = self.packet_schedule()
         n = len(flow_of)
@@ -152,25 +160,36 @@ class DatacenterWorkload:
         ns_per_byte = 8.0 / cfg.link_gbps
         service = (pkt_lens * ns_per_byte).astype(np.int64)
 
-        table = ObservationTable()
-        busy_until = 0
-        depth_times: list[int] = []  # departure times of queued packets
-        seq_next: dict[int, int] = {}
-        for i, (f, t) in enumerate(zip(flow_of.tolist(), times.tolist())):
-            depth_times = [d for d in depth_times if d > t]
-            start = max(t, busy_until)
-            finish = start + int(service[i])
-            busy_until = finish
-            depth_times.append(finish)
-            payload = max(0, int(pkt_lens[i]) - 40)
-            seq = seq_next.get(f, 1000)
-            seq_next[f] = seq + payload + 1
-            table.append(PacketRecord(
-                srcip=int(ids["srcip"][f]), dstip=int(ids["dstip"][f]),
-                srcport=int(ids["srcport"][f]), dstport=int(ids["dstport"][f]),
-                proto=6, pkt_len=int(pkt_lens[i]), payload_len=payload,
-                tcpseq=seq, pkt_id=i, qid=qid, tin=t, tout=float(finish),
-                qin=len(depth_times) - 1, qout=0, qsize=len(depth_times) - 1,
-                pkt_path=qid,
-            ))
-        return table
+        csum = np.cumsum(service)
+        finish = np.maximum.accumulate(times - (csum - service)) + csum
+        # Queue depth at enqueue: packets admitted earlier and still
+        # unserved, i.e. #{j < i : finish[j] > tin[i]}.  ``finish`` is
+        # nondecreasing, so {j : finish[j] <= tin[i]} is a prefix whose
+        # length searchsorted gives; clamping it to i restricts the
+        # count to earlier packets (a packet with zero integer service
+        # time can depart exactly at a later packet's tin, so the
+        # prefix may extend past i at extreme link rates).
+        arange = np.arange(n, dtype=np.int64)
+        departed = np.searchsorted(finish, times, side="right")
+        qin = arange - np.minimum(departed, arange)
+        payload = np.maximum(0, pkt_lens - 40)
+        seqs = per_flow_prefix(flow_of, payload + 1, start=1000)
+
+        return ObservationTable.from_arrays({
+            "srcip": ids["srcip"][flow_of],
+            "dstip": ids["dstip"][flow_of],
+            "srcport": ids["srcport"][flow_of],
+            "dstport": ids["dstport"][flow_of],
+            "proto": np.full(n, 6, dtype=np.int64),
+            "pkt_len": pkt_lens,
+            "payload_len": payload,
+            "tcpseq": seqs,
+            "pkt_id": np.arange(n, dtype=np.int64),
+            "qid": np.full(n, qid, dtype=np.int64),
+            "tin": times,
+            "tout": finish.astype(np.float64),
+            "qin": qin,
+            "qout": np.zeros(n, dtype=np.int64),
+            "qsize": qin,
+            "pkt_path": np.full(n, qid, dtype=np.int64),
+        })

@@ -67,6 +67,34 @@ def synth_flow_ids(rng: np.random.Generator, n_flows: int,
             "dstport": quads[:, 3], "proto": protos}
 
 
+def per_flow_prefix(flow_of: np.ndarray, increments: np.ndarray,
+                    start: int = 0) -> np.ndarray:
+    """Per-flow *exclusive* prefix sums in stream order.
+
+    ``out[i] = start + Σ increments[j]`` over earlier packets ``j`` of
+    packet ``i``'s flow — the vectorized form of the classic
+    ``next_value[flow] += increment`` loop used for TCP sequence
+    progressions.  Stable sort by flow keeps stream order within each
+    flow, so results match the sequential loop exactly (integer
+    arithmetic throughout).
+    """
+    n = len(flow_of)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(flow_of, kind="stable")
+    inc_sorted = increments[order].astype(np.int64)
+    exclusive = np.cumsum(inc_sorted) - inc_sorted
+    flow_sorted = flow_of[order]
+    starts = np.zeros(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = flow_sorted[1:] != flow_sorted[:-1]
+    base = exclusive[starts]
+    segment = np.cumsum(starts) - 1
+    out = np.empty(n, dtype=np.int64)
+    out[order] = start + exclusive - base[segment]
+    return out
+
+
 def expand_flows_to_packets(
     rng: np.random.Generator,
     flow_sizes: np.ndarray,

@@ -21,7 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.schema import FIVE_TUPLE
+from repro.core.vector_exec import factorize
 from repro.network.records import ObservationTable
+
+from .flows import per_flow_prefix
 
 
 @dataclass(frozen=True)
@@ -104,7 +108,19 @@ def clean_sequence_table(table: ObservationTable) -> None:
     prev seq + payload) would register every packet as out-of-sequence
     under that convention, so catalog tests normalise with this helper
     before injecting anomalies.
+
+    Columnar tables are rewritten in place as a segmented prefix sum
+    (no row materialisation); row tables take the sequential loop.
     """
+    if table.is_columnar:
+        columns = table.columns()
+        tcp = np.flatnonzero(columns["proto"] == 6)
+        if len(tcp) == 0:
+            return
+        gid, _, _ = factorize([columns[f][tcp] for f in FIVE_TUPLE])
+        increments = columns["payload_len"][tcp] + 1
+        columns["tcpseq"][tcp] = per_flow_prefix(gid, increments, start=1000)
+        return
     next_seq: dict[tuple, int] = {}
     for record in table.records:
         if record.proto != 6:

@@ -82,9 +82,82 @@ class TestAggregates:
         table = ObservationTable([make_record(tin=100), make_record(tin=900)])
         assert table.duration_ns() == 800
 
+    def test_duration_out_of_order(self):
+        """Merged multi-queue traces may not end on the latest tin; the
+        duration is the tin span, never negative."""
+        table = ObservationTable([
+            make_record(tin=500), make_record(tin=900), make_record(tin=100),
+        ])
+        assert table.duration_ns() == 800
+
     def test_key_array_distinct_flows(self):
         table = synthetic_trace(n_packets=400, n_flows=15)
         keys = table.key_array(("srcip", "dstip"))
         assert len(keys) == 400
         expected = table.unique_keys(("srcip", "dstip"))
         assert len(np.unique(keys)) == expected
+
+
+class TestColumnarAuthority:
+    """The struct-of-arrays core: columnar tables behave identically to
+    row tables, and switch authority safely on mutation."""
+
+    def make_columnar(self, **kwargs) -> ObservationTable:
+        table = synthetic_trace(**kwargs)
+        columnar = ObservationTable.from_arrays(table.to_arrays())
+        assert columnar.is_columnar
+        return columnar
+
+    def test_row_table_is_not_columnar(self):
+        assert not synthetic_trace(n_packets=10).is_columnar
+
+    def test_iteration_yields_equal_records(self):
+        table = synthetic_trace(n_packets=150, n_flows=8)
+        columnar = ObservationTable.from_arrays(table.to_arrays())
+        assert list(columnar) == list(table)
+        assert columnar.is_columnar          # iteration keeps authority
+
+    def test_getitem_negative_and_bounds(self):
+        columnar = self.make_columnar(n_packets=50)
+        assert columnar[-1] == columnar[49]
+        with pytest.raises(IndexError):
+            columnar[50]
+
+    def test_records_access_switches_to_rows(self):
+        columnar = self.make_columnar(n_packets=30)
+        records = columnar.records
+        assert not columnar.is_columnar
+        records[0].tout = math.inf           # mutations stick
+        assert columnar.drop_count() >= 1
+
+    def test_append_on_columnar_table(self):
+        from tests.conftest import make_record
+        columnar = self.make_columnar(n_packets=5)
+        columnar.append(make_record(srcip=42))
+        assert len(columnar) == 6
+        assert columnar[5].srcip == 42
+
+    def test_columnar_aggregates_match_row_path(self):
+        table = synthetic_trace(n_packets=600, n_flows=25, seed=9)
+        columnar = ObservationTable.from_arrays(table.to_arrays())
+        fields = ("srcip", "dstip", "srcport")
+        assert columnar.drop_count() == table.drop_count()
+        assert columnar.duration_ns() == table.duration_ns()
+        assert columnar.unique_keys(fields) == table.unique_keys(fields)
+        assert np.array_equal(columnar.key_array(fields), table.key_array(fields))
+
+    def test_columns_returns_canonical_storage(self):
+        columnar = self.make_columnar(n_packets=20)
+        assert columnar.columns() is columnar.columns()
+        copied = columnar.to_arrays()
+        copied["srcip"][0] = -1              # copies never alias storage
+        assert columnar.columns()["srcip"][0] != -1
+
+    def test_from_arrays_casts_dtypes(self):
+        table = ObservationTable.from_arrays({
+            "srcip": np.array([1, 2], dtype=np.int32),
+            "tout": np.array([5, math.inf]),
+        })
+        assert table.columns()["srcip"].dtype == np.int64
+        assert table.columns()["tout"].dtype == np.float64
+        assert table[1].dropped

@@ -1,0 +1,276 @@
+"""Differential tests: the vectorized executor vs the reference
+interpreter.
+
+The vectorized engine's contract is *bit-identical results*: every
+query — the full Fig. 2 catalog plus randomized linear and non-linear
+fold programs — must produce exactly the interpreter's ``ResultTable``
+contents (same rows, same values, same order) on randomized traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.interpreter import Interpreter
+from repro.core.linearity import analyze_fold
+from repro.core.parser import parse_program
+from repro.core.semantics import resolve_program
+from repro.core.vector_exec import (
+    ArrayContext,
+    VectorExecutor,
+    _FoldVectorizer,
+    _GroupLayout,
+    factorize,
+    run_query_vectorized,
+)
+from repro.network.records import ObservationTable
+from repro.queries.catalog import ALL_QUERIES
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.telemetry.runtime import QueryEngine
+from repro.traffic.datacenter import DatacenterConfig, DatacenterWorkload
+from repro.traffic.tcpgen import TcpAnomalyConfig, clean_sequence_table, inject_tcp_anomalies
+
+from tests.conftest import synthetic_trace
+
+
+def both_engines(source: str, table: ObservationTable, params=None):
+    """Run a program through both engines; return (interp, vector)."""
+    program = resolve_program(parse_program(source))
+    interp = Interpreter(program, params=params).run(list(table))
+    vector = VectorExecutor(program, params=params).run(table)
+    return interp, vector
+
+
+def assert_identical(interp, vector):
+    assert set(interp) == set(vector)
+    for name in interp:
+        assert interp[name].rows == vector[name].rows, name
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """Randomized traces: two synthetic seeds plus a columnar
+    datacenter trace with planted TCP anomalies and drops."""
+    out = [synthetic_trace(n_packets=3000, n_flows=35, seed=s) for s in (11, 23)]
+    dc = DatacenterWorkload(DatacenterConfig(
+        n_flows=120, duration_ns=60_000_000, seed=3)).observation_table()
+    clean_sequence_table(dc)
+    inject_tcp_anomalies(dc, TcpAnomalyConfig(
+        retransmit_rate=0.02, reorder_rate=0.02, duplicate_rate=0.005))
+    records = dc.records
+    for i in range(0, len(records), 150):
+        records[i].tout = float("inf")
+    out.append(dc)
+    return out
+
+
+class TestCatalogDifferential:
+    """Every Fig. 2 (and §2 extra) query, both engines, identical."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_catalog_query(self, name, traces):
+        entry = ALL_QUERIES[name]
+        for table in traces:
+            interp, vector = both_engines(
+                entry.source, table, params=entry.default_params)
+            assert_identical(interp, vector)
+
+
+#: Randomized fold programs covering every execution strategy: identity
+#: linear (segmented reduction), gated/identity with history, diagonal
+#: linear with constant and packet-dependent coefficients (rounds),
+#: full-matrix linear, and the non-linear class (state predicates,
+#: max/min over state).  Coefficients stay in {-1, 0, 1} so int64 and
+#: Python-int arithmetic agree.
+FOLD_PROGRAMS = [
+    # identity: plain sums
+    ("def f (s, (pkt_len)):\n    s = s + pkt_len\n\n"
+     "SELECT srcip, f GROUPBY srcip", {}),
+    # identity with a packet predicate gating B
+    ("def f (c, (qin, pkt_len)):\n"
+     "    if qin > 5:\n        c = c + pkt_len\n    else:\n        c = c + 1\n\n"
+     "SELECT qid, f GROUPBY qid", {}),
+    # identity + history variable inside B (out-of-sequence shape)
+    ("def f ((last, c), (tcpseq, payload_len)):\n"
+     "    if last + 1 != tcpseq:\n        c = c + 1\n"
+     "    last = tcpseq + payload_len\n\n"
+     "SELECT 5tuple, f GROUPBY 5tuple WHERE proto == TCP", {}),
+    # diagonal, constant coefficient (EWMA shape -> rounds)
+    ("def f (e, (tin, tout)):\n"
+     "    e = (1 - alpha) * e + alpha * (tout - tin)\n\n"
+     "SELECT srcip, dstip, f GROUPBY srcip, dstip", {"alpha": 0.3}),
+    # diagonal, packet-dependent 0/1 coefficient (conditional reset)
+    ("def f (s, (qin, pkt_len)):\n"
+     "    if qin > 10:\n        s = 0\n    else:\n        s = s + pkt_len\n\n"
+     "SELECT qid, f GROUPBY qid", {}),
+    # full matrix: cross-variable linear coupling
+    ("def f ((a, b), (pkt_len)):\n"
+     "    a = a + b\n    b = b + pkt_len\n\n"
+     "SELECT dstip, f GROUPBY dstip", {}),
+    # non-linear: predicate over mergeable state (nonmt shape)
+    ("def f ((m, c), (tcpseq)):\n"
+     "    if m > tcpseq:\n        c = c + 1\n    m = max(m, tcpseq)\n\n"
+     "SELECT 5tuple, f GROUPBY 5tuple WHERE proto == TCP", {}),
+    # non-linear: min over state with arithmetic around it
+    ("def f (m, (tin, tout)):\n"
+     "    m = min(m + 1, tout - tin)\n\n"
+     "SELECT srcip, f GROUPBY srcip", {}),
+]
+
+
+class TestRandomizedFolds:
+    @pytest.mark.parametrize("case", range(len(FOLD_PROGRAMS)))
+    def test_fold_program(self, case, traces):
+        source, params = FOLD_PROGRAMS[case]
+        for table in traces:
+            interp, vector = both_engines(source, table, params=params)
+            assert_identical(interp, vector)
+
+    def test_strategy_coverage(self):
+        """The fold corpus exercises reduction AND rounds paths."""
+        strategies = set()
+        for source, params in FOLD_PROGRAMS:
+            program = resolve_program(parse_program(source))
+            for query in program.queries:
+                for fold in query.folds:
+                    vectorizer = _FoldVectorizer(
+                        fold, analyze_fold(fold), params)
+                    strategies.add(vectorizer.strategy)
+        assert strategies == {"reduction", "rounds"}
+
+
+class TestSelectsAndEdges:
+    def test_plain_select_where(self, traces):
+        source = "SELECT srcip, qid, tout - tin AS lat FROM T WHERE tout - tin > 1000"
+        for table in traces:
+            interp, vector = both_engines(source, table)
+            assert_identical(interp, vector)
+
+    def test_where_matches_nothing(self, traces):
+        interp, vector = both_engines(
+            "SELECT COUNT GROUPBY srcip WHERE proto == 99", traces[0])
+        assert_identical(interp, vector)
+        assert len(vector["__result__"].rows) == 0
+
+    def test_empty_trace(self):
+        table = ObservationTable()
+        interp, vector = both_engines("SELECT COUNT GROUPBY srcip", table)
+        assert_identical(interp, vector)
+
+    def test_one_shot_helper(self, traces):
+        result = run_query_vectorized("SELECT COUNT GROUPBY qid", traces[0])
+        truth = Interpreter(
+            resolve_program(parse_program("SELECT COUNT GROUPBY qid"))
+        ).run_result(list(traces[0]))
+        assert result.rows == truth.rows
+
+
+class TestFactorize:
+    def test_first_occurrence_order(self):
+        keys = [np.array([7, 3, 7, 5, 3, 9])]
+        gid, unique, n_groups = factorize(keys)
+        assert n_groups == 4
+        assert unique[0].tolist() == [7, 3, 5, 9]       # insertion order
+        assert gid.tolist() == [0, 1, 0, 2, 1, 3]
+
+    def test_multi_column_exact(self):
+        a = np.array([1, 1, 2, 1])
+        b = np.array([5, 6, 5, 5])
+        gid, unique, n_groups = factorize([a, b])
+        assert n_groups == 3
+        assert list(zip(unique[0].tolist(), unique[1].tolist())) == [
+            (1, 5), (1, 6), (2, 5)]
+        assert gid.tolist() == [0, 1, 2, 0]
+
+    def test_empty(self):
+        gid, unique, n_groups = factorize([np.zeros(0, dtype=np.int64)])
+        assert n_groups == 0 and len(gid) == 0
+
+
+class TestReplayFallback:
+    """The per-fold interpreter replay must agree with the vector
+    strategies (it is the safety net when an expression cannot run on
+    the array path)."""
+
+    @pytest.mark.parametrize("case", range(len(FOLD_PROGRAMS)))
+    def test_replay_matches_vector(self, case):
+        source, params = FOLD_PROGRAMS[case]
+        program = resolve_program(parse_program(source))
+        trace = synthetic_trace(n_packets=800, n_flows=12, seed=5)
+        columns = trace.columns()
+        for query in program.queries:
+            if query.kind != "groupby":
+                continue
+            n = len(trace)
+            ctx = ArrayContext(columns, params, n)
+            from repro.core.vector_exec import eval_mask
+            mask = eval_mask(query.where, ctx)
+            sel = np.flatnonzero(mask) if mask is not None else np.arange(n)
+            sel_ctx = ArrayContext(
+                {name: arr[sel] for name, arr in columns.items()},
+                params, len(sel))
+            gid, _, n_groups = factorize(
+                [sel_ctx.columns[k] for k in query.groupby_keys])
+            layout = _GroupLayout(gid, n_groups)
+            for fold in query.folds:
+                vectorizer = _FoldVectorizer(fold, analyze_fold(fold), params)
+                fast = vectorizer.evaluate(sel_ctx, layout)
+                replay = vectorizer.replay(sel_ctx, layout)
+                for var in fold.state_vars:
+                    assert fast[var].tolist() == replay[var].tolist(), (
+                        case, query.name, fold.column, var)
+
+    def test_stage_fallback_on_unsupported(self, monkeypatch, traces):
+        """If the array evaluator rejects a stage, the executor falls
+        back to the interpreter and still returns exact results."""
+        import repro.core.vector_exec as vx
+
+        real = vx.eval_array
+
+        def broken(expr, ctx):
+            from repro.core.ast_nodes import Call
+            if isinstance(expr, Call):
+                raise vx.VectorizationError("forced")
+            return real(expr, ctx)
+
+        monkeypatch.setattr(vx, "eval_array", broken)
+        entry = ALL_QUERIES["tcp_non_monotonic"]
+        interp, vector = both_engines(entry.source, traces[0])
+        assert_identical(interp, vector)
+
+
+class TestEngineKnob:
+    GEOM = CacheGeometry.set_associative(256, ways=8)
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            QueryEngine("SELECT COUNT GROUPBY srcip", engine="warp")
+
+    @pytest.mark.parametrize("name", ["per_flow_loss_rate", "per_flow_high_latency",
+                                      "high_p99_queue_size"])
+    def test_vector_and_row_reports_identical(self, name, traces):
+        entry = ALL_QUERIES[name]
+        table = traces[-1]                       # dc trace with drops
+        columnar = ObservationTable.from_arrays(table.to_arrays())
+        row = QueryEngine(entry.source, params=entry.default_params,
+                          geometry=self.GEOM, engine="row").run(
+            table.records, with_ground_truth=True)
+        vec = QueryEngine(entry.source, params=entry.default_params,
+                          geometry=self.GEOM, engine="vector").run(
+            columnar, with_ground_truth=True)
+        for qname in row.tables:
+            assert row.tables[qname].rows == vec.tables[qname].rows
+        for qname in row.ground_truth:
+            assert row.ground_truth[qname].rows == vec.ground_truth[qname].rows
+        assert {k: (s.accesses, s.hits, s.evictions)
+                for k, s in row.cache_stats.items()} == \
+               {k: (s.accesses, s.hits, s.evictions)
+                for k, s in vec.cache_stats.items()}
+
+    def test_auto_prefers_vector_for_columnar(self, traces):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=self.GEOM)
+        columnar = ObservationTable.from_arrays(traces[0].to_arrays())
+        from repro.core.vector_exec import VectorExecutor as VX
+        assert isinstance(engine._executor_for(columnar), VX)
+        assert not isinstance(engine._executor_for(traces[0].records), VX)
