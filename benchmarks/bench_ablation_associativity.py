@@ -24,7 +24,8 @@ WAYS = (1, 2, 4, 8, 16, 32)
 
 @pytest.fixture(scope="module")
 def keys():
-    return generate_key_stream(CaidaTraceConfig(scale=SCALE)).tolist()
+    # Consumed natively by the simulator — no Python-list round trip.
+    return generate_key_stream(CaidaTraceConfig(scale=SCALE))
 
 
 @pytest.fixture(scope="module")

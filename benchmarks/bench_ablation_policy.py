@@ -25,7 +25,9 @@ CAPACITIES = tuple(1 << e for e in range(16, 21))  # paper scale
 
 @pytest.fixture(scope="module")
 def keys():
-    return generate_key_stream(CaidaTraceConfig(scale=SCALE)).tolist()
+    # The simulator consumes the numpy stream natively (the vector
+    # engine replays FIFO/random exactly, including the RNG draws).
+    return generate_key_stream(CaidaTraceConfig(scale=SCALE))
 
 
 @pytest.fixture(scope="module")

@@ -39,16 +39,18 @@ BUDGET_PAIRS = tuple(1 << e for e in range(16, 21))
 
 @pytest.fixture(scope="module")
 def workload():
-    keys = generate_key_stream(CaidaTraceConfig(scale=SCALE)).tolist()
+    # The sketch walks Python ints; the cache simulator gets the array.
+    key_array = generate_key_stream(CaidaTraceConfig(scale=SCALE))
+    keys = key_array.tolist()
     truth: dict[int, int] = {}
     for key in keys:
         truth[key] = truth.get(key, 0) + 1
-    return keys, truth
+    return keys, key_array, truth
 
 
 @pytest.fixture(scope="module")
 def comparison(report, workload):
-    keys, truth = workload
+    keys, key_array, truth = workload
     rows = []
     data: dict[int, dict[str, float]] = {}
     for paper_pairs in BUDGET_PAIRS:
@@ -62,7 +64,7 @@ def comparison(report, workload):
 
         capacity = max(8, int(paper_pairs * SCALE) // 8 * 8)
         stats = simulate_eviction_count(
-            keys, CacheGeometry.set_associative(capacity, ways=8))
+            key_array, CacheGeometry.set_associative(capacity, ways=8))
 
         data[paper_pairs] = {
             "sketch_mean_err": float(errors.mean()),
@@ -93,7 +95,7 @@ def test_split_store_exact_at_every_budget(workload):
     """The split design's backing store is exact by construction for
     COUNT (verified end-to-end elsewhere); here we assert the sketch is
     NOT exact at the small budgets where the paper's claim bites."""
-    keys, truth = workload
+    keys, _key_array, truth = workload
     budget_bits = int((1 << 16) * SCALE) * PAIR_BITS
     sketch = run_count_query(keys, SketchGeometry.for_bits(budget_bits, depth=4),
                              conservative=True)
@@ -114,7 +116,7 @@ def test_split_cost_is_evictions_not_accuracy(comparison):
 
 
 def test_sketch_throughput(benchmark, workload, comparison):
-    keys, _ = workload
+    keys, _key_array, _ = workload
     subset = keys[:200_000]
     geometry = SketchGeometry.for_bits(int((1 << 18) * SCALE) * PAIR_BITS,
                                        depth=4)

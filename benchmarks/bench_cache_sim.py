@@ -1,0 +1,146 @@
+"""PERF — cache-replacement simulation: vector engine vs row engine.
+
+The Fig. 5 eviction study is a grid of 18 cache simulations (three
+geometries × ``PAPER_CAPACITIES``) over one CAIDA-like key stream.
+This bench runs the full grid on both engines at the Fig. 5 scale
+(1/256), asserts the acceptance criteria of the vector engine
+(:mod:`repro.switch.kvstore.vector_cache`):
+
+* **bit-identical counters** — every ``CacheStats`` field equal on all
+  18 cells (the vector engine is exact, not a model);
+* **>= 10x end-to-end** — the full grid, stream shared, runs at least
+  an order of magnitude faster on the vector engine;
+
+and writes a ``BENCH_cache_sim.json`` artifact (accesses/s per
+geometry, row vs vector, plus grid totals) at the repo root to anchor
+the performance trajectory.
+
+The ``smoke`` tests replay a tiny grid (scale 1/4096) and assert only
+equality — they are what CI runs on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.eviction import GEOMETRIES, PAPER_CAPACITIES, scaled_capacity
+from repro.analysis.sweep_exec import stats_fn
+from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+
+SCALE = 1.0 / 256.0
+SMOKE_SCALE = 1.0 / 4096.0
+GEOMETRY_NAMES = ("hash_table", "8way", "fully_associative")
+SEED = 2016_04
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_cache_sim.json"
+
+
+def _counters(stats):
+    return (stats.accesses, stats.hits, stats.misses,
+            stats.insertions, stats.evictions)
+
+
+def _run_grid(keys, engine: str, scale: float):
+    """The Fig. 5 grid on one engine over a pre-generated stream:
+    {(geometry, paper_pairs): counters}, plus per-geometry seconds."""
+    stats_for = stats_fn(keys, SEED, engine)
+    cells: dict[tuple[str, int], tuple[int, ...]] = {}
+    seconds: dict[str, float] = {}
+    for name in GEOMETRY_NAMES:
+        t0 = time.perf_counter()
+        for paper_pairs in PAPER_CAPACITIES:
+            geometry = GEOMETRIES[name](scaled_capacity(paper_pairs, scale))
+            cells[(name, paper_pairs)] = _counters(stats_for(geometry))
+        seconds[name] = time.perf_counter() - t0
+    return cells, seconds
+
+
+# -- smoke (CI): tiny grid, equality only ------------------------------------
+
+@pytest.fixture(scope="module")
+def smoke_keys():
+    return generate_key_stream(CaidaTraceConfig(scale=SMOKE_SCALE, seed=SEED))
+
+
+def test_smoke_grid_counters_bit_identical(smoke_keys):
+    row, _ = _run_grid(smoke_keys, "row", SMOKE_SCALE)
+    vector, _ = _run_grid(smoke_keys, "vector", SMOKE_SCALE)
+    assert vector == row
+
+
+def test_smoke_policies_bit_identical(smoke_keys):
+    """FIFO/random replays (ablation policies) also match exactly."""
+    from repro.switch.kvstore.cache import CacheGeometry, simulate_eviction_count
+
+    geometry = CacheGeometry.set_associative(256, ways=8)
+    for policy in ("fifo", "random"):
+        row = simulate_eviction_count(smoke_keys, geometry, policy=policy,
+                                      seed=SEED, engine="row")
+        vec = simulate_eviction_count(smoke_keys, geometry, policy=policy,
+                                      seed=SEED, engine="vector")
+        assert _counters(vec) == _counters(row)
+
+
+# -- acceptance: full Fig. 5 grid, equality + >=10x ---------------------------
+
+@pytest.fixture(scope="module")
+def full_comparison(report):
+    keys = generate_key_stream(CaidaTraceConfig(scale=SCALE, seed=SEED))
+    t0 = time.perf_counter()
+    vector, vector_secs = _run_grid(keys, "vector", SCALE)
+    vector_total = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    row, row_secs = _run_grid(keys, "row", SCALE)
+    row_total = time.perf_counter() - t0
+
+    n = len(keys)
+    cells = len(GEOMETRY_NAMES) * len(PAPER_CAPACITIES)
+    payload = {
+        "scale": SCALE,
+        "packets": n,
+        "grid_cells": cells,
+        "row_seconds": round(row_total, 3),
+        "vector_seconds": round(vector_total, 3),
+        "speedup": round(row_total / vector_total, 2),
+        "per_geometry": {
+            name: {
+                "row_accesses_per_s": round(
+                    n * len(PAPER_CAPACITIES) / row_secs[name]),
+                "vector_accesses_per_s": round(
+                    n * len(PAPER_CAPACITIES) / vector_secs[name]),
+            }
+            for name in GEOMETRY_NAMES
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"Fig. 5 grid ({cells} cells, {n} accesses each, scale {SCALE:.4g})",
+        f"row engine:    {row_total:6.2f}s",
+        f"vector engine: {vector_total:6.2f}s  -> {row_total / vector_total:.1f}x",
+    ]
+    for name in GEOMETRY_NAMES:
+        pg = payload["per_geometry"][name]
+        lines.append(f"  {name:>17}: {pg['row_accesses_per_s'] / 1e6:6.2f}M -> "
+                     f"{pg['vector_accesses_per_s'] / 1e6:7.2f}M accesses/s")
+    lines.append(f"artifact: {ARTIFACT.name}")
+    report("PERF: cache-sim engines (row vs vector)", "\n".join(lines))
+    return row, vector, row_total, vector_total
+
+
+def test_fig5_grid_counters_bit_identical(full_comparison):
+    row, vector, _, _ = full_comparison
+    assert vector == row
+
+
+def test_fig5_grid_vector_at_least_10x(full_comparison):
+    """The PR's acceptance bar: the full Fig. 5 sweep, end to end over
+    a shared stream, at least 10x faster on the vector engine."""
+    _, _, row_total, vector_total = full_comparison
+    assert row_total >= 10.0 * vector_total, (
+        f"vector engine only {row_total / vector_total:.1f}x faster "
+        f"({row_total:.2f}s row vs {vector_total:.2f}s vector)")

@@ -84,7 +84,8 @@ def test_fig6_accuracy_band_plausible(sweep):
 
 @pytest.fixture(scope="module")
 def window_keys():
-    return generate_key_stream(CaidaTraceConfig(scale=1 / 2048)).tolist()
+    # Consumed natively (vector engine under the auto dispatch).
+    return generate_key_stream(CaidaTraceConfig(scale=1 / 2048))
 
 
 def test_window_validity_throughput(benchmark, window_keys, sweep):

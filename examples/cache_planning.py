@@ -3,23 +3,23 @@
 
 Recreates the §4 methodology as an operator tool: given a query, the
 compiler reports bits per key-value pair; the area model converts
-candidate cache sizes to % of switch die; and a trace-driven sweep
-reports the eviction rate each size implies — i.e. the write rate the
-backing store must sustain and the cores a Redis/Memcached-class store
-would need.
+candidate cache sizes to % of switch die; and
+:meth:`repro.telemetry.runtime.QueryEngine.plan_cache` reports the
+exact eviction rate each size implies — i.e. the write rate the backing
+store must sustain and the cores a Redis/Memcached-class store would
+need.  Planning runs on the array-native cache simulator
+(``repro.switch.kvstore.vector_cache``), so sweeping many candidate
+sizes over a sizeable trace is interactive; its counters are
+bit-identical to what deploying the geometry would report.
 
 Run:  python examples/cache_planning.py
 """
 
-from repro import compile_program, parse_program, resolve_program
+from repro.analysis.eviction import scaled_capacity
 from repro.analysis.report import format_table
-from repro.switch.area import (
-    AreaReport,
-    backing_store_cores,
-    effective_packet_rate,
-)
-from repro.switch.kvstore.cache import CacheGeometry, simulate_eviction_count
-from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
+from repro.switch.area import AreaReport, backing_store_cores
+from repro.telemetry.runtime import QueryEngine
+from repro.traffic.caida import CaidaTraceConfig, generate_caida_like
 
 QUERY = "SELECT COUNT GROUPBY 5tuple"
 
@@ -31,27 +31,26 @@ SCALE = 1.0 / 512.0
 
 
 def main() -> None:
-    program = compile_program(resolve_program(parse_program(QUERY)))
-    stage = program.groupby_stages[0]
+    engine = QueryEngine(QUERY)
+    stage = engine.compiled.groupby_stages[0]
     print(f"query: {QUERY.strip()}")
     print(f"pair layout: {stage.key.bits}-bit key + {stage.value.bits}-bit "
           f"value = {stage.pair_bits} bits\n")
 
-    keys = generate_key_stream(CaidaTraceConfig(scale=SCALE)).tolist()
-    packet_rate = effective_packet_rate()
+    trace = generate_caida_like(CaidaTraceConfig(scale=SCALE))
+    scaled = [scaled_capacity(pairs, SCALE) for pairs in CANDIDATES]
+    points = engine.plan_cache(trace, capacities=scaled,
+                               ways=8)[stage.query_name]
 
     rows = []
-    for pairs in CANDIDATES:
+    for pairs, point in zip(CANDIDATES, points):
         area = AreaReport(pair_bits=stage.pair_bits, n_pairs=pairs)
-        scaled = max(8, int(pairs * SCALE) // 8 * 8)
-        stats = simulate_eviction_count(
-            keys, CacheGeometry.set_associative(scaled, ways=8))
-        writes = stats.eviction_fraction * packet_rate
+        writes = point.writes_per_second()
         rows.append([
             f"{area.total_mbit:.0f}",
             f"{pairs:,}",
             f"{100 * area.chip_fraction:.2f}%",
-            f"{100 * stats.eviction_fraction:.2f}%",
+            f"{100 * point.eviction_fraction:.2f}%",
             f"{writes / 1e3:,.0f}K",
             f"{backing_store_cores(writes):.1f}",
         ])

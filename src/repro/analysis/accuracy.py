@@ -13,6 +13,11 @@ minutes of the trace (fresh store per run, flush at window end).
 Shorter runs see fewer evict-and-reappear events per key, hence more
 valid keys.  Windows are expressed as fractions of the paper's
 5-minute trace so the scaled trace reproduces the 1/3/5-minute series.
+
+Execution knobs (see :mod:`repro.analysis.sweep_exec`): ``engine``
+selects the per-cell cache simulator (vector / row / auto, identical
+results) and ``workers`` fans the (capacity, window) grid across
+processes sharing one generated key stream.
 """
 
 from __future__ import annotations
@@ -22,10 +27,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.switch.kvstore.cache import CacheGeometry
+from repro.analysis.eviction import scaled_capacity
 from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
 
 #: Fig. 6 window lengths as fractions of the full (5-minute) trace.
 WINDOW_FRACTIONS: dict[str, float] = {"1min": 1 / 5, "3min": 3 / 5, "5min": 1.0}
+
+#: The Fig. 6 x-axis: the paper's cache capacities in pairs (2^16..2^21).
+FIG6_CAPACITIES: tuple[int, ...] = tuple(1 << e for e in range(16, 22))
 
 
 @dataclass(frozen=True)
@@ -57,21 +66,32 @@ class AccuracySweep:
                       key=lambda p: p.capacity_pairs)
 
 
-def _window_validity(keys: list[int], geometry: CacheGeometry,
-                     seed: int) -> tuple[int, int]:
+def _window_validity(keys, geometry: CacheGeometry, seed: int,
+                     engine: str = "auto") -> tuple[int, int]:
     """(valid, total) keys for one window under a non-mergeable fold.
 
     A key is valid unless evicted and later re-inserted (≥ 2 epochs by
     the end-of-window flush).  Only eviction *events* matter, not the
     fold's values, so this tracks epoch counts directly — semantically
     identical to running the full split store with a non-linear fold.
+
+    ``engine="vector"`` runs the array-native simulator (a key's epoch
+    count equals its miss count, so per-key miss tallies suffice);
+    ``"row"`` replays the reference cache; ``"auto"`` picks vector for
+    integer array streams.  Both produce identical numbers.
     """
+    from repro.analysis.sweep_exec import resolve_engine
+
+    if resolve_engine(engine, keys) == "vector":
+        from repro.switch.kvstore.vector_cache import window_validity_vector
+
+        return window_validity_vector(keys, geometry, seed=seed)
     from repro.switch.kvstore.cache import KeyValueCache
 
     cache: KeyValueCache[None] = KeyValueCache(geometry, seed=seed)
     epochs: dict[int, int] = {}
     make_none = lambda: None  # noqa: E731
-    for key in keys:
+    for key in (keys.tolist() if isinstance(keys, np.ndarray) else keys):
         _entry, evicted = cache.access(key, make_none)
         if evicted is not None:
             epochs[evicted.key] = epochs.get(evicted.key, 0) + 1
@@ -84,25 +104,59 @@ def _window_validity(keys: list[int], geometry: CacheGeometry,
 
 def run_accuracy_sweep(
     scale: float = 1.0 / 256.0,
-    capacities: tuple[int, ...] = tuple(1 << e for e in range(16, 22)),
+    capacities: tuple[int, ...] = FIG6_CAPACITIES,
     windows: dict[str, float] | None = None,
     seed: int = 2016_04,
+    engine: str = "auto",
+    workers: int | None = None,
 ) -> AccuracySweep:
     """Run the Fig. 6 sweep at ``scale`` (8-way caches).
 
     Windowing operates on the packet stream by position (the synthetic
     trace has uniform arrival intensity, so position ≈ time).
+
+    ``engine`` selects the cache simulator per (capacity, window) cell
+    and ``workers`` > 1 fans the grid across processes via
+    :mod:`repro.analysis.sweep_exec` (one shared key stream, results
+    bit-identical to the serial sweep).
     """
+    if workers and workers > 1:
+        from repro.analysis.sweep_exec import run_accuracy_sweep_parallel
+
+        return run_accuracy_sweep_parallel(
+            scale=scale, capacities=capacities, windows=windows,
+            seed=seed, engine=engine, workers=workers)
+    from repro.analysis.sweep_exec import resolve_engine
+
     windows = windows or WINDOW_FRACTIONS
-    keys = generate_key_stream(CaidaTraceConfig(scale=scale, seed=seed)).tolist()
+    keys = generate_key_stream(CaidaTraceConfig(scale=scale, seed=seed))
     n = len(keys)
+    # One validity oracle per window prefix: on the vector engine each
+    # prefix gets one shared simulator, so the capacity sweep reuses
+    # its hashing/layout work; on the row engine, one Python key list.
+    use_vector = resolve_engine(engine, keys) == "vector"
+    oracles: dict[int, object] = {}
+    for fraction in windows.values():
+        window_len = max(1, int(n * fraction))
+        if window_len in oracles:
+            continue
+        if use_vector:
+            from repro.switch.kvstore.vector_cache import VectorCacheSim
+
+            sim = VectorCacheSim(keys[:window_len], seed=seed)
+            oracles[window_len] = sim.validity
+        else:
+            prefix = keys[:window_len].tolist()
+            oracles[window_len] = (
+                lambda geometry, _p=prefix: _window_validity(
+                    _p, geometry, seed, engine="row"))
     sweep = AccuracySweep(scale=scale)
     for paper_pairs in capacities:
-        scaled = max(8, int(paper_pairs * scale) // 8 * 8)
+        scaled = scaled_capacity(paper_pairs, scale)
         geometry = CacheGeometry.set_associative(scaled, ways=8)
         for window_name, fraction in windows.items():
             window_len = max(1, int(n * fraction))
-            valid, total = _window_validity(keys[:window_len], geometry, seed)
+            valid, total = oracles[window_len](geometry)
             sweep.points.append(AccuracyPoint(
                 window=window_name, paper_pairs=paper_pairs,
                 capacity_pairs=scaled, valid_keys=valid, total_keys=total,

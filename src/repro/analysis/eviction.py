@@ -12,6 +12,13 @@ This module runs the same sweep at a configurable scale: the synthetic
 trace and the cache capacities are scaled together so the
 working-set-to-cache ratio — which determines the eviction fraction —
 matches the paper's operating points.
+
+Execution knobs (see :mod:`repro.analysis.sweep_exec`): ``engine``
+selects the cache simulator per grid cell (``"vector"`` — array-native,
+bit-identical, ~an order of magnitude faster; ``"row"`` — the
+per-access reference; ``"auto"``), and ``workers`` fans the grid across
+processes sharing one generated key stream, which makes multi-10M-access
+sweeps (scale 1/64 and up) practical.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from repro.switch.area import (
     effective_packet_rate,
     evictions_per_second,
 )
-from repro.switch.kvstore.cache import CacheGeometry, simulate_eviction_count
+from repro.switch.kvstore.cache import CacheGeometry
 from repro.traffic.caida import CaidaTraceConfig, generate_key_stream
 
 #: Fig. 5 key-value pair width: 104-bit 5-tuple key + 24-bit counter.
@@ -81,33 +88,56 @@ class EvictionSweep:
         raise KeyError((geometry, paper_pairs))
 
 
+def scaled_capacity(paper_pairs: int, scale: float) -> int:
+    """Paper-scale pair count -> simulated capacity (8-divisible)."""
+    return max(8, int(paper_pairs * scale) // 8 * 8)
+
+
 def run_eviction_sweep(
     scale: float = 1.0 / 256.0,
     capacities: tuple[int, ...] = PAPER_CAPACITIES,
     geometries: tuple[str, ...] = ("hash_table", "8way", "fully_associative"),
     seed: int = 2016_04,
+    engine: str = "auto",
+    workers: int | None = None,
+    policy: str = "lru",
 ) -> EvictionSweep:
     """Run the Fig. 5 sweep at ``scale``.
 
     ``capacities`` are paper-scale pair counts; each is multiplied by
     ``scale`` (rounded to an 8-divisible value) before simulation, so
     the returned points can be plotted against the paper's axes.
+
+    ``engine`` picks the cache simulator per cell (``"vector"`` — the
+    array-native engine, bit-identical counters and an order of
+    magnitude faster, ``"row"`` — the per-access reference, ``"auto"``
+    — vector for this module's integer key streams); ``workers`` > 1
+    fans the (geometry, capacity) grid across processes via
+    :mod:`repro.analysis.sweep_exec`, sharing one generated key stream.
     """
+    if workers and workers > 1:
+        from repro.analysis.sweep_exec import run_eviction_sweep_parallel
+
+        return run_eviction_sweep_parallel(
+            scale=scale, capacities=capacities, geometries=geometries,
+            seed=seed, engine=engine, workers=workers, policy=policy)
+    from repro.analysis.sweep_exec import stats_fn
+
     keys = generate_key_stream(CaidaTraceConfig(scale=scale, seed=seed))
-    key_list = keys.tolist()
+    stats_for = stats_fn(keys, seed, engine)
     flows = int(len(np.unique(keys)))
     sweep = EvictionSweep(scale=scale)
     for paper_pairs in capacities:
-        scaled = max(8, int(paper_pairs * scale) // 8 * 8)
+        scaled = scaled_capacity(paper_pairs, scale)
         for name in geometries:
             geometry = GEOMETRIES[name](scaled)
-            stats = simulate_eviction_count(key_list, geometry, seed=seed)
+            stats = stats_for(geometry, policy)
             sweep.points.append(EvictionPoint(
                 geometry=name,
                 capacity_pairs=scaled,
                 paper_pairs=paper_pairs,
                 eviction_fraction=stats.eviction_fraction,
-                packets=len(key_list),
+                packets=len(keys),
                 flows=flows,
             ))
     return sweep

@@ -8,6 +8,11 @@ Commands:
 ``plan``      Show the compiled switch configuration for a query.
 ``generate``  Produce a workload trace file (caida / datacenter /
               incast).
+``sweep``     Run the Fig. 5 eviction study or the Fig. 6 accuracy
+              study over the synthetic CAIDA-like trace.  ``--engine``
+              picks the cache simulator (vector / row, identical
+              numbers) and ``--sweep-workers N`` fans the sweep grid
+              across N worker processes.
 ``catalog``   List the Fig. 2 catalog, or show one entry's source.
 
 Examples::
@@ -17,6 +22,7 @@ Examples::
         --trace /tmp/dc.npz --cache-pairs 4096 --ways 8
     python -m repro run --catalog per_flow_loss_rate --trace /tmp/dc.npz
     python -m repro plan --catalog latency_ewma
+    python -m repro sweep fig5 --scale 0.00390625 --sweep-workers 4
 """
 
 from __future__ import annotations
@@ -189,6 +195,61 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_percent
+
+    if args.figure == "fig5":
+        from repro.analysis.eviction import run_eviction_sweep, shape_checks
+
+        sweep = run_eviction_sweep(
+            scale=args.scale, seed=args.seed, engine=args.engine,
+            workers=args.sweep_workers, policy=args.policy)
+        capacities = sorted({p.paper_pairs for p in sweep.points})
+        geometries = ("hash_table", "8way", "fully_associative")
+        rows = []
+        for paper_pairs in capacities:
+            row = [f"2^{paper_pairs.bit_length() - 1}"]
+            for geometry in geometries:
+                try:
+                    point = sweep.point(geometry, paper_pairs)
+                except KeyError:
+                    row.append("-")
+                    continue
+                row.append(format_percent(point.eviction_fraction))
+            rows.append(row)
+        print(format_table(
+            ["pairs", "hash table", "8-way", "fully assoc"], rows,
+            title=f"Fig. 5 — evictions as % of packets (scale "
+                  f"{sweep.scale:.4g}: {sweep.points[0].packets} pkts, "
+                  f"{sweep.points[0].flows} flows)"))
+        problems = shape_checks(sweep)
+    else:
+        from repro.analysis.accuracy import run_accuracy_sweep, shape_checks
+        from repro.analysis.eviction import PAIR_BITS
+
+        sweep = run_accuracy_sweep(scale=args.scale, seed=args.seed,
+                                   engine=args.engine,
+                                   workers=args.sweep_workers)
+        capacities = sorted({p.paper_pairs for p in sweep.points})
+        windows = ("1min", "3min", "5min")
+        rows = []
+        for paper_pairs in capacities:
+            row = [f"{paper_pairs * PAIR_BITS / (1 << 20):.0f}"]
+            for window in windows:
+                match = [p for p in sweep.points
+                         if p.window == window and p.paper_pairs == paper_pairs]
+                row.append(format_percent(match[0].accuracy, digits=1)
+                           if match else "-")
+            rows.append(row)
+        print(format_table(
+            ["Mbit", "1 min", "3 min", "5 min"], rows,
+            title=f"Fig. 6 — accuracy (% valid keys), 8-way cache "
+                  f"(scale {sweep.scale:.4g})"))
+        problems = shape_checks(sweep)
+    print(f"\nshape checks: {problems or 'all hold'}")
+    return 0 if not problems else 1
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
     if args.show:
         entry = ALL_QUERIES.get(args.show)
@@ -244,6 +305,25 @@ def build_parser() -> argparse.ArgumentParser:
     gen_p.add_argument("--anomalies", action="store_true",
                        help="plant TCP sequence anomalies")
     gen_p.set_defaults(func=cmd_generate)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run the Fig. 5/6 cache-design sweeps")
+    sweep_p.add_argument("figure", choices=("fig5", "fig6"),
+                         help="fig5: eviction rates; fig6: accuracy")
+    sweep_p.add_argument("--scale", type=float, default=1 / 256,
+                         help="trace scale relative to the paper's 157M pkts")
+    sweep_p.add_argument("--seed", type=int, default=2016_04)
+    sweep_p.add_argument("--engine", default="auto",
+                         choices=("auto", "vector", "row"),
+                         help="cache simulator: array-native vector engine, "
+                              "per-access row reference, or auto")
+    sweep_p.add_argument("--sweep-workers", type=int, default=0, metavar="N",
+                         help="fan the sweep grid across N worker processes "
+                              "(0 = serial)")
+    sweep_p.add_argument("--policy", default="lru",
+                         choices=("lru", "fifo", "random"),
+                         help="fig5 only: eviction policy to sweep")
+    sweep_p.set_defaults(func=cmd_sweep)
 
     cat_p = sub.add_parser("catalog", help="list or show catalog queries")
     cat_p.add_argument("--show", help="print one query's source")

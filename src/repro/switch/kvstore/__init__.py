@@ -1,6 +1,8 @@
 """The programmable key-value store: split cache/backing design (§3.2).
 
 :mod:`.cache` — n×m bucketed LRU SRAM cache (Fig. 4);
+:mod:`.vector_cache` — array-native replacement-policy simulator
+(the vector engine behind the Fig. 5/6 sweeps);
 :mod:`.backing` — DRAM store with merge / value-list semantics;
 :mod:`.split` — the combined engine for one ``GROUPBY`` stage (Fig. 3).
 """
@@ -17,6 +19,13 @@ from .cache import (
     splitmix64,
 )
 from .split import CacheValue, SplitKeyValueStore
+from .vector_cache import (
+    VectorCacheSim,
+    mix_key_array,
+    simulate_eviction_count_vector,
+    splitmix64_array,
+    window_validity_vector,
+)
 
 __all__ = [
     "BackingStore",
@@ -29,7 +38,12 @@ __all__ = [
     "KeyEntry",
     "KeyValueCache",
     "SplitKeyValueStore",
+    "VectorCacheSim",
     "mix_key",
+    "mix_key_array",
     "simulate_eviction_count",
+    "simulate_eviction_count_vector",
     "splitmix64",
+    "splitmix64_array",
+    "window_validity_vector",
 ]

@@ -26,6 +26,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Hashable, Iterator, TypeVar
 
+import numpy as np
+
 from repro.core.errors import HardwareError
 
 V = TypeVar("V")
@@ -232,16 +234,49 @@ class KeyValueCache(Generic[V]):
         return out
 
 
-def simulate_eviction_count(keys: Iterator[int] | list[int],
+#: Valid values of the ``engine`` knob (mirrors the query engine's).
+ENGINES = ("auto", "vector", "row")
+
+
+def simulate_eviction_count(keys: "Iterator[int] | list[int]",
                             geometry: CacheGeometry,
-                            policy: str = "lru", seed: int = 0) -> CacheStats:
+                            policy: str = "lru", seed: int = 0,
+                            engine: str = "auto") -> CacheStats:
     """Value-free fast path: run only the cache-replacement process.
 
     Used by the Fig. 5 sweep, where millions of accesses are simulated
     across ~18 cache configurations and only the eviction counters
     matter.  Semantically identical to driving :class:`KeyValueCache`
     with unit values.
+
+    ``keys`` may be any iterable of hashable keys — including a numpy
+    array, which is consumed natively (no Python-list round trip at the
+    call sites).  ``engine`` selects the implementation: ``"row"`` is
+    this per-access reference loop, ``"vector"`` the array-native
+    simulator of :mod:`repro.switch.kvstore.vector_cache` (bit-identical
+    counters, orders of magnitude faster on large integer streams), and
+    ``"auto"`` picks the vector engine whenever the stream is an
+    integer array (anything else — tuples, arbitrary hashables — falls
+    back to the row loop).
     """
+    if engine not in ENGINES:
+        raise HardwareError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine != "row":
+        from .vector_cache import VectorCacheSim, _as_key_array
+
+        arr = _as_key_array(keys)
+        if arr is not None:
+            return VectorCacheSim(arr, seed=seed).stats(geometry, policy=policy)
+        if engine == "vector":
+            arr = np.asarray([tuple(k) if isinstance(k, tuple) else k
+                              for k in keys])
+            return VectorCacheSim(arr, seed=seed).stats(geometry, policy=policy)
+    if isinstance(keys, np.ndarray):
+        # The row loop is fastest over native ints; tolist() also makes
+        # hashing/equality trivially identical to historical list input.
+        # 2-D arrays are tuple-key streams (one column per part).
+        keys = [tuple(row) for row in keys.tolist()] if keys.ndim == 2 \
+            else keys.tolist()
     cache: KeyValueCache[None] = KeyValueCache(geometry, policy=policy, seed=seed)
     make_none = lambda: None  # noqa: E731 - tight loop
     access = cache.access

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Hashable, Mapping
 
 from repro.core.errors import HardwareError
-from repro.core.eval_expr import Numeric
+from repro.core.eval_expr import EvalContext, Numeric, evaluate
 from repro.core.interpreter import ResultTable, Row
 from repro.core.merge_synthesis import (
     AuxState,
@@ -210,7 +210,6 @@ class SplitKeyValueStore:
                     if state is None:
                         valid = False
                         continue
-                    from repro.core.eval_expr import EvalContext, evaluate
                     row[col.name] = evaluate(
                         col.read_expr, EvalContext(state=state, params=self.params)
                     )

@@ -1,0 +1,607 @@
+"""Array-native cache-replacement simulator (the *vector* cache engine).
+
+Bit-identical, batch-first replacement-policy simulation for the
+split-store cache of §3.2/§4: given the whole key stream as a numpy
+array, it reproduces the counters of :class:`~repro.switch.kvstore.cache.KeyValueCache`
+/ :func:`~repro.switch.kvstore.cache.simulate_eviction_count` without a
+per-packet Python loop.  It is what makes the Fig. 5 eviction sweep and
+the Fig. 6 accuracy sweep interactive at multi-million-access scale
+(``engine="vector"`` in :mod:`repro.analysis.eviction`,
+:mod:`repro.analysis.accuracy`, and the sweep CLI).
+
+Three execution paths, chosen per geometry/policy:
+
+1. **Direct-mapped** (``m_slots == 1``, any policy — the policies are
+   indistinguishable with one slot per bucket): mix the keys with a
+   vectorized splitmix64 (:func:`mix_key_array`), stable-argsort the
+   accesses by bucket, and read hits/misses/evictions off adjacent
+   in-bucket key comparisons.  No Python loop at all.
+
+2. **Exact LRU** (``m_slots > 1``): per-set reuse *stack distances* —
+   an access hits iff the number of distinct keys touched in its set
+   since the previous access to the same key is ``< m_slots`` (the LRU
+   inclusion property, exact, not a model).  Accesses are grouped into
+   per-set segments (one composite ``(bucket, time)`` sort), runs of
+   the same key are collapsed (guaranteed hits that do not move the LRU
+   state), and every access whose set-local reuse window is shorter
+   than ``m_slots`` hits outright.  For the rest, the stack distance is
+   ``S(i) - 1 - inv(prev(i))`` where ``S`` is the set's residency
+   profile (one linear interval sweep over occurrence intervals, with
+   set-end sentinels so everything stays set-local) and ``inv`` counts
+   earlier accesses whose next occurrence lies past the window — an
+   offline, Fenwick-free previous-larger merge counter.  Only accesses
+   whose occurrence interval spans more than ``m_slots`` positions can
+   ever be counted (shorter intervals close before any qualifying
+   window opens), so the counter runs on that small subset, chunked at
+   set boundaries to stay cache-resident; the table built for ``G`` is
+   exact for every ``m >= G`` and is cached, so a fully associative
+   capacity sweep pays for it once.
+
+3. **Per-set replay** (FIFO) / **global replay** (random) fallbacks for
+   the ablation policies: compact Python loops over packed key arrays
+   that mirror the reference bucket order (and, for ``random``, the
+   shared ``random.Random`` draw sequence) exactly.
+
+Use :class:`VectorCacheSim` directly when sweeping many geometries over
+one stream (layouts and distances are shared), or the one-shot
+:func:`simulate_eviction_count_vector` /
+:func:`window_validity_vector` wrappers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.errors import HardwareError
+from .cache import CacheGeometry, CacheStats, KeyValueCache
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_U = np.uint64
+
+#: Target chunk size for the kept-subset merge counter: chunks are cut
+#: at set boundaries so each merge stays cache-resident.
+_MERGE_CHUNK = 1 << 16
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finaliser; uint64 in, uint64 out.
+
+    Matches :func:`repro.switch.kvstore.cache.splitmix64` element-wise
+    (numpy's wrapping uint64 arithmetic is the ``& _MASK64`` of the
+    scalar version).
+    """
+    v = values.astype(np.uint64, copy=True)
+    v += _U(0x9E3779B97F4A7C15)
+    v = (v ^ (v >> _U(30))) * _U(0xBF58476D1CE4E5B9)
+    v = (v ^ (v >> _U(27))) * _U(0x94D049BB133111EB)
+    return v ^ (v >> _U(31))
+
+
+def mix_key_array(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Mix a key array to 64 bits, matching :func:`mix_key` per element.
+
+    1-D arrays correspond to scalar int keys; 2-D ``(n, k)`` arrays to
+    ``k``-tuples (one column per tuple part, folded in order).
+    """
+    keys = np.asarray(keys)
+    seed64 = _U(seed & 0xFFFFFFFFFFFFFFFF)
+    if keys.ndim == 1:
+        return splitmix64_array(keys.astype(np.int64).view(np.uint64) ^ seed64)
+    if keys.ndim == 2:
+        acc = np.full(len(keys), seed64, dtype=np.uint64)
+        for col in range(keys.shape[1]):
+            part = keys[:, col].astype(np.int64).view(np.uint64)
+            acc = splitmix64_array(acc ^ part)
+        return acc
+    raise HardwareError(f"key array must be 1-D or 2-D, got {keys.ndim}-D")
+
+
+def _count_prev_greater(values: np.ndarray) -> np.ndarray:
+    """For each ``i``: ``#{j < i : values[j] > values[i]}``.
+
+    Offline bottom-up merge sort with vectorized cross-block counting:
+    blocks are kept sorted; at each level the sorted halves of every
+    pair are merged with one global ``searchsorted`` (rows made
+    disjoint by a per-block offset) and the left-greater-than-right
+    pairs are tallied.  Values must be non-negative (< 2**32).
+    """
+    n = len(values)
+    counts = np.zeros(n, dtype=np.int64)
+    if n <= 1:
+        return counts
+    base = 64
+    p = 1 << max(base.bit_length() - 1, (n - 1).bit_length())
+    arr = np.full(p, -1, dtype=np.int64)          # pad below all real values
+    arr[:n] = values
+    orig = np.arange(p, dtype=np.int64)
+    big = np.int64(max(int(arr.max()), p)) + 2    # per-block offset stride
+
+    # Bootstrap: exact counts inside blocks of ``base`` by brute
+    # broadcast (cheaper than 6 merge levels), then sort each block.
+    nb = p // base
+    blocks = arr.reshape(nb, base)
+    lt = np.tri(base, base, -1, dtype=bool).T     # lt[j, i] = j < i
+    step = max(1, (1 << 22) // (base * base))     # bound temp memory
+    for lo in range(0, nb, step):
+        c = blocks[lo:lo + step]
+        cnt = ((c[:, :, None] > c[:, None, :]) & lt[None]).sum(axis=1)
+        sl = slice(lo * base, lo * base + cnt.size)
+        counts_pad = cnt.ravel()
+        seg = np.arange(sl.start, sl.stop)
+        real = seg < n
+        counts[seg[real]] += counts_pad[real]
+    perm = np.argsort(blocks, axis=1, kind="stable")
+    arr = np.take_along_axis(blocks, perm, axis=1).ravel()
+    orig = np.take_along_axis(orig.reshape(nb, base), perm, axis=1).ravel()
+
+    half = np.arange(p // 2, dtype=np.int64)
+    width = base
+    while width < p:
+        nblocks = p // (2 * width)
+        a2 = arr.reshape(nblocks, 2, width)
+        o2 = orig.reshape(nblocks, 2, width)
+        left = a2[:, 0, :].ravel()
+        right = a2[:, 1, :].ravel()
+        lorig = o2[:, 0, :].ravel()
+        rorig = o2[:, 1, :].ravel()
+        blk = half[:nblocks * width] // width
+        boff = blk * big
+        le = np.searchsorted(left + 1 + boff, right + 1 + boff,
+                             side="right") - blk * width
+        cnt = width - le
+        real = rorig < n
+        counts[rorig[real]] += cnt[real]
+        if 2 * width >= p:
+            break                                  # top level: count only
+        # stable merge: rights go after the lefts that are <= them,
+        # lefts fill the remaining slots in order.
+        rslot = blk * (2 * width) + half[:nblocks * width] % width + le
+        taken = np.zeros(p, dtype=bool)
+        taken[rslot] = True
+        lslot = np.flatnonzero(~taken)
+        merged = np.empty_like(arr)
+        morig = np.empty_like(orig)
+        merged[rslot] = right
+        morig[rslot] = rorig
+        merged[lslot] = left
+        morig[lslot] = lorig
+        arr, orig = merged, morig
+        width *= 2
+    return counts
+
+
+class _Layout:
+    """Accesses grouped by bucket: segment space for one bucketing."""
+
+    __slots__ = ("kz", "segstart", "order")
+
+    def __init__(self, kz: np.ndarray, segstart: np.ndarray,
+                 order: np.ndarray | None):
+        self.kz = kz                # keys in (bucket, time) order
+        self.segstart = segstart    # True at each bucket boundary
+        self.order = order          # argsort permutation (None for n=1)
+
+
+class _LruChains:
+    """Compressed per-set occurrence chains (m-independent LRU data)."""
+
+    __slots__ = ("n2", "kz2", "segstarts2", "prev", "nxtval", "gap",
+                 "has_prev", "resident", "inv_cache")
+
+    def __init__(self, n2, kz2, segstarts2, prev, nxtval, gap, has_prev):
+        self.n2 = n2
+        self.kz2 = kz2
+        self.segstarts2 = segstarts2
+        self.prev = prev
+        self.nxtval = nxtval        # next same-key position; set end if none
+        self.gap = gap              # set-local window length i - prev - 1
+        self.has_prev = has_prev
+        self.resident = None        # lazily: #same-set keys resident at i
+        self.inv_cache = None       # (G, kept_rank, inv) — see _kept_inv
+
+
+class VectorCacheSim:
+    """Exact replacement-policy simulation over one key stream.
+
+    Layouts (per-bucketing access orderings) and LRU stack distances
+    are memoized, so sweeping many geometries over the same stream —
+    the Fig. 5 grid — shares the expensive work.  All counters are
+    bit-identical to :class:`KeyValueCache`.
+
+    Args:
+        keys: 1-D integer array (scalar keys) or 2-D ``(n, k)`` array
+            (tuple keys, one column per part).
+        seed: Hash seed (and RNG seed for the random policy).
+    """
+
+    def __init__(self, keys: np.ndarray, seed: int = 0):
+        keys = np.asarray(keys)
+        if keys.dtype.kind not in "iub":
+            raise HardwareError(
+                f"vector cache engine needs integer keys, got {keys.dtype}")
+        self.seed = seed
+        if keys.ndim == 2:
+            self._hashes = mix_key_array(keys, seed)
+            self._ids = _factorize_rows(keys)
+        elif keys.ndim == 1:
+            self._hashes = None      # lazy: single-bucket paths never hash
+            self._ids = None         # lazy: dense int32 ids, on first use
+            self._raw = keys
+        else:
+            raise HardwareError("key array must be 1-D or 2-D")
+        if len(keys) >= 1 << 31:
+            raise HardwareError("vector cache engine caps streams at 2^31")
+        self.n = len(keys)
+        self._layouts: dict[int, _Layout] = {}
+        self._chains: dict[int, _LruChains] = {}
+
+    # -- shared structure ----------------------------------------------------
+
+    def _hash(self) -> np.ndarray:
+        if self._hashes is None:
+            self._hashes = mix_key_array(self._raw, self.seed)
+        return self._hashes
+
+    def _key_ids(self) -> np.ndarray:
+        """Keys as int32 ids (equal key, equal id): cheaper to sort,
+        gather, and compare than raw 64-bit key values.  Streams whose
+        values already fit int32 are just cast; anything wider is
+        factorized through one sort."""
+        if self._ids is None:
+            raw = self._raw
+            if raw.dtype.itemsize <= 4 and raw.dtype.kind != "u" or (
+                    len(raw) and raw.dtype.kind in "iu"
+                    and int(raw.min()) >= np.iinfo(np.int32).min
+                    and int(raw.max()) <= np.iinfo(np.int32).max):
+                self._ids = raw.astype(np.int32, copy=False)
+                return self._ids
+            order = np.argsort(raw, kind="stable")
+            rz = raw[order]
+            boundary = np.empty(self.n, dtype=bool)
+            if self.n:
+                boundary[0] = True
+                np.not_equal(rz[1:], rz[:-1], out=boundary[1:])
+            ids = np.empty(self.n, dtype=np.int32)
+            ids[order] = np.cumsum(boundary, dtype=np.int32) - \
+                np.int32(1)
+            self._ids = ids
+        return self._ids
+
+    def _layout(self, n_buckets: int) -> _Layout:
+        layout = self._layouts.get(n_buckets)
+        if layout is not None:
+            return layout
+        if n_buckets == 1:
+            segstart = np.zeros(self.n, dtype=bool)
+            if self.n:
+                segstart[0] = True
+            layout = _Layout(self._key_ids(), segstart, None)
+        else:
+            # One quicksort of (bucket << 32 | time) replaces a stable
+            # argsort and the bucket gather — much cheaper in practice.
+            b = self._hash() % _U(n_buckets)
+            if n_buckets <= 1 << 31:
+                comp = (b.astype(np.int64) << np.int64(32)) | \
+                    np.arange(self.n, dtype=np.int64)
+                comp.sort()
+                order = comp & np.int64(0xFFFFFFFF)
+                bz = comp >> np.int64(32)
+            else:                      # degenerate: more buckets than 2^31
+                b = b.astype(np.int64)
+                order = np.argsort(b, kind="stable")
+                bz = b[order]
+            segstart = np.empty(self.n, dtype=bool)
+            if self.n:
+                segstart[0] = True
+                np.not_equal(bz[1:], bz[:-1], out=segstart[1:])
+            layout = _Layout(self._key_ids()[order], segstart, order)
+        self._layouts[n_buckets] = layout
+        return layout
+
+    def _lru_chains(self, n_buckets: int) -> _LruChains:
+        chains = self._chains.get(n_buckets)
+        if chains is not None:
+            return chains
+        layout = self._layout(n_buckets)
+        kz, segstart = layout.kz, layout.segstart
+        n = self.n
+        # Collapse runs of the same key inside a set: every non-first
+        # access of a run is a hit that leaves the LRU state unchanged,
+        # and distances for the kept accesses are unaffected.
+        dup = np.zeros(n, dtype=bool)
+        if n:
+            dup[1:] = (~segstart[1:]) & (kz[1:] == kz[:-1])
+        keep = ~dup
+        kz2 = kz[keep]
+        segstarts2 = np.flatnonzero(segstart[keep])
+        n2 = len(kz2)
+        comp = (kz2.astype(np.int64) << np.int64(32)) | \
+            np.arange(n2, dtype=np.int64)
+        comp.sort()
+        korder = comp & np.int64(0xFFFFFFFF)
+        kk = comp >> np.int64(32)
+        same = kk[1:] == kk[:-1]
+        prev = np.full(n2, -1, dtype=np.int32)
+        # Last occurrences stay "resident" until their set's end: the
+        # sentinel is the segment end, which keeps every quantity below
+        # strictly set-local (no cross-set terms to cancel).
+        bounds = np.append(segstarts2, n2)
+        nxtval = np.repeat(bounds[1:].astype(np.int32), np.diff(bounds))
+        ko32 = korder.astype(np.int32)
+        prev[ko32[1:][same]] = ko32[:-1][same]
+        nxtval[ko32[:-1][same]] = ko32[1:][same]
+        has_prev = prev >= 0
+        gap = np.arange(n2, dtype=np.int32) - prev - 1
+        chains = _LruChains(n2, kz2, segstarts2, prev, nxtval, gap, has_prev)
+        self._chains[n_buckets] = chains
+        return chains
+
+    def _resident(self, chains: _LruChains) -> np.ndarray:
+        """``S[i]``: number of keys of ``i``'s set whose latest access
+        precedes ``i`` and whose next (or set end) is at/after ``i`` —
+        the set's residency profile, via one interval sweep."""
+        if chains.resident is None:
+            n2 = chains.n2
+            delta = np.zeros(n2 + 2, dtype=np.int64)
+            delta[1:n2 + 1] = 1
+            # set-end sentinels repeat, so tally expiries via bincount
+            delta -= np.bincount(chains.nxtval + 1, minlength=n2 + 2)
+            chains.resident = np.cumsum(delta)[:n2]
+        return chains.resident
+
+    def _lru_miss_mask(self, n_buckets: int,
+                       m: int) -> tuple[_LruChains, np.ndarray]:
+        """Per-kept-access miss mask for an LRU geometry.
+
+        An access with fewer than ``m`` same-set accesses since its
+        previous occurrence hits outright.  For the rest, the stack
+        distance is ``S[i] - 1 - inv(prev(i))`` where ``inv(p)`` counts
+        earlier accesses whose next occurrence is past ``i``.  Only
+        accesses whose occurrence interval spans more than ``m``
+        positions can contribute to any such ``inv`` (shorter intervals
+        close before the window even starts), so the merge counter runs
+        on that small subset, in cache-sized per-set chunks.
+        """
+        chains = self._lru_chains(n_buckets)
+        miss = ~chains.has_prev         # first touches always miss
+        queries = chains.has_prev & (chains.gap >= m)
+        q_idx = np.flatnonzero(queries)
+        if len(q_idx) == 0:
+            return chains, miss
+        s = self._resident(chains)
+        kept_rank, inv = self._kept_inv(chains, m)
+        p = chains.prev[q_idx]
+        dist = s[q_idx] - 1 - inv[kept_rank[p]]
+        miss[q_idx] = dist >= m
+        return chains, miss
+
+    def _kept_inv(self, chains: _LruChains,
+                  m: int) -> tuple[np.ndarray, np.ndarray]:
+        """Previous-larger counts of the next-occurrence array over the
+        accesses whose occurrence interval spans more than ``G``
+        positions.
+
+        An interval spanning ``<= G`` closes before any window of
+        ``>= G`` accesses opens, so it can never be counted for such a
+        query — which makes a table built at ``G0`` exact for every
+        ``m >= G0``.  The table is cached and rebuilt only when a
+        smaller ``m`` arrives (capacity sweeps ask ascending ``m``, so
+        they pay for one build).
+        """
+        if chains.inv_cache is not None and chains.inv_cache[0] <= m:
+            return chains.inv_cache[1], chains.inv_cache[2]
+        span = chains.nxtval - np.arange(chains.n2, dtype=np.int32)
+        keep = span > m
+        kept_idx = np.flatnonzero(keep)
+        vals = chains.nxtval[kept_idx]
+        inv = np.empty(len(vals), dtype=np.int64)
+        for a, b in self._merge_chunks(chains, kept_idx):
+            inv[a:b] = _count_prev_greater(vals[a:b].astype(np.int64))
+        kept_rank = np.cumsum(keep, dtype=np.int64) - 1
+        chains.inv_cache = (m, kept_rank, inv)
+        return kept_rank, inv
+
+    @staticmethod
+    def _merge_chunks(chains: _LruChains,
+                      kept_idx: np.ndarray) -> Iterable[tuple[int, int]]:
+        """Chunk boundaries (in kept-rank space) aligned to set
+        boundaries, each chunk ~``_MERGE_CHUNK`` kept accesses."""
+        nk = len(kept_idx)
+        seg_rank = np.searchsorted(kept_idx, chains.segstarts2)
+        targets = np.arange(_MERGE_CHUNK, nk, _MERGE_CHUNK)
+        pos = np.searchsorted(seg_rank, targets, side="right") - 1
+        cuts = np.unique(seg_rank[pos[pos >= 0]])
+        cuts = np.concatenate(([0], cuts[cuts > 0], [nk]))
+        return zip(cuts[:-1], cuts[1:])
+
+    # -- per-path counter computation ------------------------------------------
+
+    def _direct(self, geometry: CacheGeometry, per_key: bool):
+        """m == 1: the resident key of a bucket is its previous access."""
+        layout = self._layout(geometry.n_buckets)
+        kz, segstart = layout.kz, layout.segstart
+        n = self.n
+        hit1 = (~segstart[1:]) & (kz[1:] == kz[:-1])
+        misses = n - int(np.count_nonzero(hit1))
+        # A miss evicts unless it starts a bucket's occupancy, i.e.
+        # unless it is the first access of its bucket.
+        first = int(np.count_nonzero(segstart))
+        stats = CacheStats(accesses=n, hits=n - misses, misses=misses,
+                           insertions=misses, evictions=misses - first)
+        if not per_key:
+            return stats, None
+        miss = np.ones(n, dtype=bool)
+        miss[1:] = ~hit1
+        return stats, _single_miss_validity(kz[miss])
+
+    def _lru(self, geometry: CacheGeometry, per_key: bool):
+        n, m = geometry.n_buckets, geometry.m_slots
+        chains, miss = self._lru_miss_mask(n, m)
+        misses = int(np.count_nonzero(miss))
+        cs = np.cumsum(miss, dtype=np.int64)
+        starts = chains.segstarts2
+        ends = np.append(starts[1:], chains.n2)
+        seg_misses = cs[ends - 1] - cs[starts] + miss[starts]
+        evictions = int(np.maximum(0, seg_misses - m).sum())
+        stats = CacheStats(accesses=self.n, hits=self.n - misses,
+                           misses=misses, insertions=misses,
+                           evictions=evictions)
+        if not per_key:
+            return stats, None
+        return stats, _single_miss_validity(chains.kz2[miss])
+
+    def _replay(self, geometry: CacheGeometry, policy: str, per_key: bool):
+        """Exact Python replays for the ablation policies (FIFO is
+        per-set over packed key lists; random must follow the global
+        access order because the reference shares one RNG across
+        buckets)."""
+        n_buckets, m = geometry.n_buckets, geometry.m_slots
+        stats = CacheStats()
+        miss_counts: dict[int, int] = {}
+        if policy == "fifo":
+            layout = self._layout(n_buckets)
+            bounds = np.flatnonzero(layout.segstart).tolist() + [self.n]
+            kz = layout.kz.tolist()
+            for si in range(len(bounds) - 1):
+                resident: set[int] = set()
+                order: list[int] = []
+                head = 0
+                for key in kz[bounds[si]:bounds[si + 1]]:
+                    stats.accesses += 1
+                    if key in resident:
+                        stats.hits += 1
+                        continue
+                    stats.misses += 1
+                    stats.insertions += 1
+                    if per_key:
+                        miss_counts[key] = miss_counts.get(key, 0) + 1
+                    if len(resident) >= m:
+                        victim = order[head]
+                        head += 1
+                        resident.discard(victim)
+                        stats.evictions += 1
+                    resident.add(key)
+                    order.append(key)
+        else:  # random
+            rng = random.Random(self.seed)
+            hashes = (self._hash() % _U(n_buckets)).astype(np.int64).tolist() \
+                if n_buckets > 1 else [0] * self.n
+            keys = self._key_ids().tolist()
+            buckets: dict[int, list[int]] = {}
+            members: dict[int, set[int]] = {}
+            for key, b in zip(keys, hashes):
+                stats.accesses += 1
+                lst = buckets.setdefault(b, [])
+                seen = members.setdefault(b, set())
+                if key in seen:
+                    stats.hits += 1
+                    continue
+                stats.misses += 1
+                stats.insertions += 1
+                if per_key:
+                    miss_counts[key] = miss_counts.get(key, 0) + 1
+                if len(lst) >= m:
+                    victim = rng.choice(lst)
+                    lst.remove(victim)
+                    seen.discard(victim)
+                    stats.evictions += 1
+                lst.append(key)
+                seen.add(key)
+        if not per_key:
+            return stats, None
+        total = len(miss_counts)
+        valid = sum(1 for c in miss_counts.values() if c == 1)
+        return stats, (valid, total)
+
+    def _run(self, geometry: CacheGeometry, policy: str, per_key: bool):
+        if policy not in KeyValueCache.POLICIES:
+            raise HardwareError(f"unknown eviction policy {policy!r}")
+        if self.n == 0:
+            return CacheStats(), (0, 0)
+        if geometry.m_slots == 1:
+            return self._direct(geometry, per_key)
+        if policy == "lru":
+            return self._lru(geometry, per_key)
+        return self._replay(geometry, policy, per_key)
+
+    # -- public API ------------------------------------------------------------
+
+    def stats(self, geometry: CacheGeometry, policy: str = "lru") -> CacheStats:
+        """Counters of a full run, bit-identical to the row engine."""
+        return self._run(geometry, policy, per_key=False)[0]
+
+    def validity(self, geometry: CacheGeometry,
+                 policy: str = "lru") -> tuple[int, int]:
+        """(valid, total) keys under a non-mergeable fold (Fig. 6).
+
+        A key's backing-store segment count equals its miss count (each
+        insertion starts a residency that ends in one push — eviction
+        or final flush), so a key is *valid* iff it missed exactly
+        once.  Matches ``repro.analysis.accuracy._window_validity``.
+        """
+        return self._run(geometry, policy, per_key=True)[1]
+
+
+def _single_miss_validity(miss_keys: np.ndarray) -> tuple[int, int]:
+    """(valid, total) from the keys of all miss accesses: every key
+    misses at least once, and is valid iff it missed exactly once."""
+    if len(miss_keys) == 0:
+        return 0, 0
+    _, counts = np.unique(miss_keys, return_counts=True)
+    return int(np.count_nonzero(counts == 1)), len(counts)
+
+
+def _factorize_rows(keys: np.ndarray) -> np.ndarray:
+    """Map 2-D key rows to dense int64 ids (equal rows, equal id)."""
+    if len(keys) == 0:
+        return np.zeros(0, dtype=np.int32)
+    cols = [keys[:, c] for c in range(keys.shape[1])]
+    order = np.lexsort(cols[::-1])
+    boundary = np.zeros(len(keys), dtype=bool)
+    boundary[0] = True
+    for col in cols:
+        cz = col[order]
+        boundary[1:] |= cz[1:] != cz[:-1]
+    ids = np.empty(len(keys), dtype=np.int32)
+    ids[order] = np.cumsum(boundary, dtype=np.int32) - np.int32(1)
+    return ids
+
+
+def _as_key_array(keys) -> np.ndarray | None:
+    """Try to view ``keys`` as an integer numpy array; None if the
+    stream is not representable (non-integers, oversized ints, ...)."""
+    if isinstance(keys, np.ndarray):
+        arr = keys
+    else:
+        try:
+            arr = np.asarray(keys)
+        except (TypeError, ValueError, OverflowError):
+            return None
+    if arr.ndim not in (1, 2) or arr.dtype.kind not in "iub":
+        return None
+    return arr
+
+
+def simulate_eviction_count_vector(keys, geometry: CacheGeometry,
+                                   policy: str = "lru",
+                                   seed: int = 0) -> CacheStats:
+    """One-shot vector-engine counterpart of
+    :func:`repro.switch.kvstore.cache.simulate_eviction_count`."""
+    arr = _as_key_array(keys)
+    if arr is None:
+        arr = np.asarray(list(keys), dtype=np.int64)
+    return VectorCacheSim(arr, seed=seed).stats(geometry, policy=policy)
+
+
+def window_validity_vector(keys, geometry: CacheGeometry,
+                           seed: int = 0,
+                           policy: str = "lru") -> tuple[int, int]:
+    """(valid, total) keys for one window — the vector engine behind
+    ``repro.analysis.accuracy._window_validity``."""
+    arr = _as_key_array(keys)
+    if arr is None:
+        arr = np.asarray(list(keys), dtype=np.int64)
+    return VectorCacheSim(arr, seed=seed).validity(geometry, policy=policy)

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.core.ast_nodes import Program
 from repro.core.compiler import CompileOptions, compile_program
 from repro.core.eval_expr import Numeric
@@ -38,13 +40,20 @@ from repro.core.linearity import analyze_fold
 from repro.core.parser import parse_program
 from repro.core.plan import SwitchProgram
 from repro.core.semantics import ResolvedProgram, resolve_program
-from repro.core.vector_exec import VectorExecutor
+from repro.core.vector_exec import (
+    ArrayContext,
+    VectorExecutor,
+    VectorizationError,
+    eval_mask,
+)
 from repro.network.records import ObservationTable
-from repro.switch.kvstore.cache import CacheGeometry, CacheStats
+from repro.switch.kvstore.cache import (
+    ENGINES,
+    CacheGeometry,
+    CacheStats,
+    simulate_eviction_count,
+)
 from repro.switch.pipeline import DEFAULT_GEOMETRY, GeometrySpec, SwitchPipeline
-
-#: Valid values of the ``engine`` knob.
-ENGINES = ("auto", "vector", "row")
 
 
 @dataclass
@@ -64,6 +73,35 @@ class RunReport:
 
     def eviction_fractions(self) -> dict[str, float]:
         return {name: s.eviction_fraction for name, s in self.cache_stats.items()}
+
+
+@dataclass(frozen=True)
+class CachePlanPoint:
+    """One candidate cache size for one ``GROUPBY`` stage: the exact
+    counters the stage's cache would produce on the given workload."""
+
+    query: str
+    geometry: CacheGeometry
+    policy: str
+    pair_bits: int
+    stats: CacheStats
+
+    @property
+    def eviction_fraction(self) -> float:
+        return self.stats.eviction_fraction
+
+    @property
+    def mbits(self) -> float:
+        """Cache SRAM for this geometry at the stage's pair width."""
+        return self.geometry.capacity * self.pair_bits / (1 << 20)
+
+    def writes_per_second(self, packet_rate: float | None = None) -> float:
+        """Backing-store write rate this size implies (defaults to the
+        §4 datacenter packet rate)."""
+        from repro.switch.area import evictions_per_second
+
+        return evictions_per_second(self.eviction_fraction,
+                                    packet_rate=packet_rate)
 
 
 @dataclass(frozen=True)
@@ -230,6 +268,92 @@ class QueryEngine:
         """Exact evaluation only (no hardware model), on the engine the
         ``engine`` knob selects."""
         return self._executor_for(records).run(records)
+
+    # -- deploy-time cache planning ---------------------------------------------
+
+    def plan_cache(
+        self,
+        records,
+        capacities: Iterable[int],
+        ways: int = 8,
+    ) -> dict[str, list[CachePlanPoint]]:
+        """Size the on-chip store before deploying: exact cache
+        counters per ``GROUPBY`` stage for each candidate capacity.
+
+        This is the §4 methodology as an operator tool: the stage's key
+        stream is extracted from ``records`` once (WHERE mask + key
+        columns, vectorized for columnar tables), then each candidate
+        geometry is simulated with the engine the ``engine`` knob
+        selects — under ``"auto"``/``"vector"`` the array-native
+        :class:`~repro.switch.kvstore.vector_cache.VectorCacheSim`,
+        which shares layout work across the capacity sweep.  The
+        predicted counters are bit-identical to what :meth:`run` with
+        the same geometry/policy/seed would report, at a fraction of
+        the cost (no value updates, no backing store).
+
+        ``ways`` mirrors the CLI: 0 = fully associative, 1 = hash
+        table, otherwise ``ways``-way set-associative.
+        """
+        capacities = list(capacities)
+        plans: dict[str, list[CachePlanPoint]] = {}
+        for stage in self.compiled.groupby_stages:
+            keys = self._stage_key_stream(stage, records)
+            use_vector = self.engine != "row" and isinstance(keys, np.ndarray)
+            if use_vector:
+                from repro.switch.kvstore.vector_cache import VectorCacheSim
+
+                sim = VectorCacheSim(keys, seed=self.seed)
+                stats_for = lambda g: sim.stats(g, policy=self.policy)  # noqa: E731
+            else:
+                if isinstance(keys, np.ndarray):
+                    keys = [tuple(row) for row in keys.tolist()]
+                stats_for = lambda g: simulate_eviction_count(  # noqa: E731
+                    keys, g, policy=self.policy, seed=self.seed, engine="row")
+            plans[stage.query_name] = [
+                CachePlanPoint(
+                    query=stage.query_name,
+                    geometry=geometry,
+                    policy=self.policy,
+                    pair_bits=stage.pair_bits,
+                    stats=stats_for(geometry),
+                )
+                for geometry in (self._plan_geometry(c, ways)
+                                 for c in capacities)
+            ]
+        return plans
+
+    @staticmethod
+    def _plan_geometry(capacity: int, ways: int) -> CacheGeometry:
+        if ways == 0:
+            return CacheGeometry.fully_associative(capacity)
+        if ways == 1:
+            return CacheGeometry.hash_table(capacity)
+        return CacheGeometry.set_associative(capacity, ways=ways)
+
+    def _stage_key_stream(self, stage, records):
+        """The exact sequence of aggregation keys one stage's cache
+        sees: WHERE-filtered, in arrival order.  Returns a 2-D int
+        array (one column per key field) for columnar tables, or a
+        list of key tuples otherwise."""
+        if isinstance(records, ObservationTable) and records.is_columnar:
+            columns = records.columns()
+            try:
+                ctx = ArrayContext(columns, self.params, len(records))
+                mask = eval_mask(stage.where, ctx)
+                cols = [columns[f] for f in stage.key.fields]
+                if all(c.dtype.kind in "iub" for c in cols):
+                    keys = np.column_stack(
+                        [c.astype(np.int64, copy=False) for c in cols])
+                    return keys if mask is None else keys[mask]
+            except (VectorizationError, KeyError):
+                pass
+        from repro.switch.alu import compile_key_extractor, compile_predicate
+
+        predicate = compile_predicate(stage.where, self.params)
+        extract = compile_key_extractor(stage.key.fields)
+        if isinstance(records, ObservationTable):
+            records = records.records
+        return [extract(r) for r in records if predicate(r)]
 
 
 def run(source: str, records: Iterable[object],

@@ -123,3 +123,26 @@ class TestCatalog:
         out = capsys.readouterr().out
         assert code == 0
         assert "def ewma" in out
+
+
+class TestSweep:
+    def test_fig5_sweep_prints_table(self, capsys):
+        code = main(["sweep", "fig5", "--scale", "0.0001", "--engine",
+                     "vector"])
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "8-way" in out
+        assert code in (0, 1)  # shape checks may wobble at toy scale
+
+    def test_fig6_sweep_with_workers(self, capsys):
+        code = main(["sweep", "fig6", "--scale", "0.0001",
+                     "--sweep-workers", "2"])
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out and "Mbit" in out
+        assert code in (0, 1)
+
+    def test_sweep_engines_print_identical_tables(self, capsys):
+        main(["sweep", "fig5", "--scale", "0.0001", "--engine", "vector"])
+        vec = capsys.readouterr().out
+        main(["sweep", "fig5", "--scale", "0.0001", "--engine", "row"])
+        row = capsys.readouterr().out
+        assert vec == row

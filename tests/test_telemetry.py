@@ -111,3 +111,58 @@ class TestInfo:
     def test_describe_plan_is_text(self):
         engine = QueryEngine("SELECT COUNT GROUPBY srcip")
         assert "switch groupby" in engine.describe_plan()
+
+
+class TestCachePlanning:
+    """Deploy-time cache sizing: plan_cache's predicted counters must
+    equal what a real run with that geometry reports."""
+
+    def test_plan_matches_actual_run(self, trace):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip", seed=5)
+        plans = engine.plan_cache(trace, capacities=[16, 64, 256], ways=8)
+        (name, points), = plans.items()
+        assert [p.geometry.capacity for p in points] == [16, 64, 256]
+        for point in points:
+            report = QueryEngine("SELECT COUNT GROUPBY srcip", seed=5,
+                                 geometry=point.geometry).run(trace)
+            actual = report.cache_stats[name]
+            assert (actual.accesses, actual.hits, actual.misses,
+                    actual.evictions) == \
+                (point.stats.accesses, point.stats.hits, point.stats.misses,
+                 point.stats.evictions)
+
+    def test_plan_respects_where_filter(self, trace):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip WHERE proto == 6",
+                             seed=5)
+        plans = engine.plan_cache(trace, capacities=[64])
+        point = plans["__result__"][0]
+        report = QueryEngine("SELECT COUNT GROUPBY srcip WHERE proto == 6",
+                             seed=5, geometry=point.geometry).run(trace)
+        actual = report.cache_stats["__result__"]
+        assert actual.accesses == point.stats.accesses < len(trace)
+        assert actual.evictions == point.stats.evictions
+
+    def test_plan_engines_agree(self, trace):
+        for ways in (0, 1, 8):
+            vec = QueryEngine("SELECT COUNT GROUPBY 5tuple", seed=2,
+                              engine="vector").plan_cache(
+                trace, capacities=[64], ways=ways)["__result__"][0]
+            row = QueryEngine("SELECT COUNT GROUPBY 5tuple", seed=2,
+                              engine="row").plan_cache(
+                trace, capacities=[64], ways=ways)["__result__"][0]
+            assert (vec.stats.hits, vec.stats.evictions) == \
+                (row.stats.hits, row.stats.evictions)
+
+    def test_plan_point_reporting_fields(self, trace):
+        engine = QueryEngine("SELECT COUNT GROUPBY 5tuple")
+        point = engine.plan_cache(trace, capacities=[64])["__result__"][0]
+        assert point.pair_bits == 128
+        assert point.mbits == pytest.approx(64 * 128 / (1 << 20))
+        assert point.writes_per_second() >= 0
+        assert 0.0 <= point.eviction_fraction <= 1.0
+
+    def test_plan_on_record_list(self, tiny_trace):
+        engine = QueryEngine("SELECT COUNT GROUPBY srcip")
+        records = list(tiny_trace.records)
+        plans = engine.plan_cache(records, capacities=[8])
+        assert plans["__result__"][0].stats.accesses == len(records)
