@@ -1,0 +1,147 @@
+"""PERF — split key-value store: vector engine vs row engine.
+
+The Fig. 2 catalog's hardware path is the split SRAM/DRAM store of
+§3.2 — after PR 1 (query execution) and PR 2 (cache simulation) it was
+the last per-packet Python loop in the system.  This bench runs every
+Fig. 2 query end to end (compile → switch pipeline → backing store →
+software stages) on a CAIDA-like columnar trace with both store
+engines and asserts the acceptance criteria of the schedule-driven
+vector store (:mod:`repro.switch.kvstore.vector_store`):
+
+* **bit-identical observables** — every query's full table set,
+  ``CacheStats``, accuracy, and backing-store writes equal on both
+  engines (the vector store is exact, not an approximation);
+* **>= 10x end-to-end** — the whole catalog, same trace, runs at
+  least an order of magnitude faster with ``engine="vector"``.
+
+A ``BENCH_switch_store.json`` artifact (per-query seconds and
+packets/s, row vs vector, plus catalog totals) lands at the repo root
+to anchor the performance trajectory.
+
+The ``smoke`` test replays the catalog on a tiny trace and asserts
+only bit-identity — it is what CI runs on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.queries.catalog import FIG2_QUERIES
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.telemetry.runtime import QueryEngine
+from repro.traffic.caida import PAPER_PACKETS, CaidaTraceConfig, generate_caida_like
+
+SEED = 2016_04
+PACKETS = 300_000
+SMOKE_PACKETS = 4_000
+GEOMETRY = CacheGeometry.set_associative(1 << 12, ways=8)
+SMOKE_GEOMETRY = CacheGeometry.set_associative(1 << 8, ways=8)
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_switch_store.json"
+
+
+def _trace(n_packets: int):
+    return generate_caida_like(
+        CaidaTraceConfig(scale=n_packets / PAPER_PACKETS, seed=SEED))
+
+
+def _counters(stats):
+    return (stats.accesses, stats.hits, stats.misses,
+            stats.insertions, stats.evictions)
+
+
+def _run_catalog(trace, engine: str, geometry: CacheGeometry):
+    """Every Fig. 2 query on one engine: observables + per-query secs."""
+    observables = {}
+    seconds = {}
+    for entry in FIG2_QUERIES:
+        qe = QueryEngine(entry.source, params=entry.default_params,
+                         geometry=geometry, exact_history=True,
+                         engine=engine)
+        t0 = time.perf_counter()
+        run = qe.run(trace, include_invalid=True)
+        seconds[entry.name] = time.perf_counter() - t0
+        observables[entry.name] = (
+            {q: t.rows for q, t in run.tables.items()},
+            {q: _counters(s) for q, s in run.cache_stats.items()},
+            run.backing_writes,
+            run.accuracy,
+        )
+    return observables, seconds
+
+
+# -- smoke (CI): tiny trace, bit-identity only --------------------------------
+
+def test_smoke_catalog_bit_identical():
+    trace = _trace(SMOKE_PACKETS)
+    row, _ = _run_catalog(trace, "row", SMOKE_GEOMETRY)
+    vector, _ = _run_catalog(trace, "vector", SMOKE_GEOMETRY)
+    assert vector == row
+
+
+# -- acceptance: full catalog, bit-identity + >=10x ---------------------------
+
+@pytest.fixture(scope="module")
+def full_comparison(report):
+    trace = _trace(PACKETS)
+    n = len(trace)
+    vector, vector_secs = _run_catalog(trace, "vector", GEOMETRY)
+    row, row_secs = _run_catalog(trace, "row", GEOMETRY)
+    row_total = sum(row_secs.values())
+    vector_total = sum(vector_secs.values())
+
+    payload = {
+        "packets": n,
+        "queries": len(FIG2_QUERIES),
+        "geometry": GEOMETRY.describe(),
+        "row_seconds": round(row_total, 3),
+        "vector_seconds": round(vector_total, 3),
+        "speedup": round(row_total / vector_total, 2),
+        "per_query": {
+            entry.name: {
+                "row_seconds": round(row_secs[entry.name], 3),
+                "vector_seconds": round(vector_secs[entry.name], 3),
+                "row_pkts_per_s": round(n / row_secs[entry.name]),
+                "vector_pkts_per_s": round(n / vector_secs[entry.name]),
+                "speedup": round(
+                    row_secs[entry.name] / vector_secs[entry.name], 2),
+            }
+            for entry in FIG2_QUERIES
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"Fig. 2 catalog hardware path ({len(FIG2_QUERIES)} queries, "
+        f"{n} records, {GEOMETRY.describe()})",
+        f"row store:    {row_total:6.2f}s",
+        f"vector store: {vector_total:6.2f}s  -> "
+        f"{row_total / vector_total:.1f}x",
+    ]
+    for entry in FIG2_QUERIES:
+        pq = payload["per_query"][entry.name]
+        lines.append(
+            f"  {entry.name:>24}: {pq['row_pkts_per_s'] / 1e3:7.0f}k -> "
+            f"{pq['vector_pkts_per_s'] / 1e6:6.2f}M pkt/s "
+            f"({pq['speedup']:.1f}x)")
+    lines.append(f"artifact: {ARTIFACT.name}")
+    report("PERF: split-store engines (row vs vector)", "\n".join(lines))
+    return row, vector, row_total, vector_total
+
+
+def test_fig2_catalog_bit_identical(full_comparison):
+    row, vector, _, _ = full_comparison
+    assert vector == row
+
+
+def test_fig2_catalog_vector_at_least_10x(full_comparison):
+    """The PR's acceptance bar: the Fig. 2 catalog hardware path, end
+    to end on one trace, at least 10x faster on the vector store."""
+    _, _, row_total, vector_total = full_comparison
+    assert row_total >= 10.0 * vector_total, (
+        f"vector store only {row_total / vector_total:.1f}x faster "
+        f"({row_total:.2f}s row vs {vector_total:.2f}s vector)")

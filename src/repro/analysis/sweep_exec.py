@@ -5,8 +5,10 @@ of independent cache simulations over one shared key stream: (geometry,
 capacity) cells for Fig. 5, (capacity, window) cells for Fig. 6.  This
 module fans those cells across worker processes with
 :mod:`concurrent.futures`, generating the stream **once** in the parent
-and shipping it to each worker at initialisation (so ``t`` tasks cost
-one pickle per worker, not per task).
+and publishing it through :mod:`multiprocessing.shared_memory`: every
+worker maps the same physical pages at initialisation, so a full-scale
+(1/1) sweep costs one stream's worth of RAM total instead of one
+pickled copy per worker.
 
 Two knobs, mirrored on :func:`repro.analysis.eviction.run_eviction_sweep`,
 :func:`repro.analysis.accuracy.run_accuracy_sweep`, and the CLI:
@@ -35,6 +37,7 @@ multi-10M-access streams — on multi-core machines.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
 from typing import Sequence
 
 import numpy as np
@@ -45,6 +48,7 @@ from repro.switch.kvstore.vector_cache import VectorCacheSim, _as_key_array
 
 #: Per-worker shared state, installed by the pool initializer.
 _WORKER_KEYS: np.ndarray | None = None
+_WORKER_SHM: shared_memory.SharedMemory | None = None
 _WORKER_SIMS: dict[tuple[int, int], VectorCacheSim] = {}
 _WORKER_ROW_KEYS: dict[int, list] = {}
 
@@ -76,8 +80,20 @@ def stats_fn(keys, seed: int, engine: str):
         key_list, geometry, policy=policy, seed=seed, engine="row")
 
 
-def _init_worker(keys: np.ndarray) -> None:
-    global _WORKER_KEYS
+def _init_worker(shm_name: str, shape: tuple[int, ...], dtype: str) -> None:
+    """Attach this worker to the parent's shared key stream.
+
+    The array is mapped read-only from the shared segment — no pickle,
+    no copy.  The segment handle is kept alive for the worker's
+    lifetime; the parent owns unlinking.
+    """
+    global _WORKER_KEYS, _WORKER_SHM
+    _WORKER_SHM = shared_memory.SharedMemory(name=shm_name)
+    # Pool workers share the parent's resource tracker, so the attach
+    # above dedupes against the parent's own registration — cleanup
+    # stays with the parent's unlink in _fan().
+    keys = np.ndarray(shape, dtype=np.dtype(dtype), buffer=_WORKER_SHM.buf)
+    keys.flags.writeable = False
     _WORKER_KEYS = keys
     _WORKER_SIMS.clear()
     _WORKER_ROW_KEYS.clear()
@@ -130,11 +146,20 @@ def _accuracy_cell(args) -> tuple[int, int]:
 
 
 def _fan(keys: np.ndarray, worker, tasks: Sequence[tuple], workers: int):
-    """Run ``worker`` over ``tasks`` in a process pool sharing ``keys``;
-    results come back in task order."""
-    with ProcessPoolExecutor(max_workers=workers, initializer=_init_worker,
-                             initargs=(keys,)) as pool:
-        return list(pool.map(worker, tasks))
+    """Run ``worker`` over ``tasks`` in a process pool sharing ``keys``
+    via one shared-memory segment; results come back in task order."""
+    keys = np.ascontiguousarray(keys)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, keys.nbytes))
+    try:
+        view = np.ndarray(keys.shape, dtype=keys.dtype, buffer=shm.buf)
+        view[...] = keys
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker,
+                initargs=(shm.name, keys.shape, keys.dtype.str)) as pool:
+            return list(pool.map(worker, tasks))
+    finally:
+        shm.close()
+        shm.unlink()
 
 
 def run_eviction_sweep_parallel(

@@ -266,7 +266,14 @@ def factorize(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray
 
 
 class _GroupLayout:
-    """Group-major and round-major orderings of a batch of rows."""
+    """Group-major and round-major orderings of a batch of rows.
+
+    The "groups" need not be key groups: the vectorized split store
+    (:mod:`repro.switch.kvstore.vector_store`) reuses this layout — and
+    the fold strategies below — with cache *residency epochs* as the
+    groups, which is what makes per-epoch fold evaluation the same
+    machinery as whole-stream ``GROUPBY`` evaluation.
+    """
 
     __slots__ = ("gid", "n_groups", "order", "counts", "offsets")
 
@@ -277,6 +284,21 @@ class _GroupLayout:
         self.counts = np.bincount(gid, minlength=n_groups).astype(np.int64)
         self.offsets = np.zeros(n_groups + 1, dtype=np.int64)
         np.cumsum(self.counts, out=self.offsets[1:])
+
+    @classmethod
+    def from_sorted_order(cls, gid: np.ndarray, n_groups: int,
+                          order: np.ndarray) -> "_GroupLayout":
+        """Build a layout from an already-computed group-major
+        permutation (``gid[order]`` must be nondecreasing, ties in
+        input order), skipping the argsort."""
+        layout = cls.__new__(cls)
+        layout.gid = gid
+        layout.n_groups = n_groups
+        layout.order = order
+        layout.counts = np.bincount(gid, minlength=n_groups).astype(np.int64)
+        layout.offsets = np.zeros(n_groups + 1, dtype=np.int64)
+        np.cumsum(layout.counts, out=layout.offsets[1:])
+        return layout
 
     def segment_starts_mask(self) -> np.ndarray:
         mask = np.zeros(len(self.gid), dtype=bool)
@@ -440,6 +462,12 @@ class _FoldVectorizer:
             return self.run_rounds(ctx, layout)
         except VectorizationError:
             return self.replay(ctx, layout)
+
+
+#: Public names for the segmented-fold machinery shared with the
+#: vectorized split store (epochs-as-groups, see _GroupLayout).
+GroupLayout = _GroupLayout
+FoldVectorizer = _FoldVectorizer
 
 
 # ---------------------------------------------------------------------------

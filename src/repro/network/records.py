@@ -89,6 +89,30 @@ class PacketRecord:
 
 RECORD_FIELDS: tuple[str, ...] = tuple(f.name for f in dc_fields(PacketRecord))
 
+
+class ColumnRowView:
+    """A lazy row view over per-field Python lists (``tolist`` output).
+
+    Presents attribute access like a :class:`PacketRecord`, so compiled
+    per-packet functions (ALU updates, predicates, merge replays) run
+    unchanged over columnar batches; the underlying values are native
+    Python scalars, so arithmetic is bit-identical to the
+    row-at-a-time path.  Shared by the switch pipeline's batch
+    fallbacks and the vectorized split store's replay path.
+    """
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns, index: int):
+        self._columns = columns
+        self._index = index
+
+    def __getattr__(self, name: str):
+        try:
+            return self._columns[name][self._index]
+        except KeyError:
+            raise AttributeError(name) from None
+
 #: numpy dtypes used by the columnar representation.
 _COLUMN_DTYPES: dict[str, str] = {name: "int64" for name in RECORD_FIELDS}
 _COLUMN_DTYPES["tout"] = "float64"

@@ -24,10 +24,12 @@ import itertools
 import zlib
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.switch.kvstore.cache import mix_key
 
 from .queues import Departure, Drop, OutputQueue
-from .records import ObservationTable, PacketRecord
+from .records import RECORD_FIELDS, ObservationTable
 from .topology import Topology
 
 
@@ -86,6 +88,10 @@ class NetworkSimulator:
         self._pkt_ids = itertools.count()
         self._host_ips = {h: 0x0A000001 + i * 256
                           for i, h in enumerate(sorted(topology.hosts()))}
+        # Records accumulate as per-field columnar buffers (one Python
+        # list per schema field) and become a columnar ObservationTable
+        # in run() — no per-record dataclass allocation or row sort.
+        self._buffers: dict[str, list] = {name: [] for name in RECORD_FIELDS}
         self.table = ObservationTable()
         self.delivered = 0
         self.dropped = 0
@@ -116,7 +122,11 @@ class NetworkSimulator:
             pkt_len=pkt_len,
             payload_len=payload_len if payload_len is not None else max(0, pkt_len - 40),
             tcpseq=tcpseq, pkt_id=pkt_id, path=path,
-            path_id=mix_key(tuple(zlib.crc32(n.encode()) for n in path)),
+            # The path id is opaque to queries (§2, "we leave its value
+            # uninterpreted"); masking to 63 bits keeps it storable in
+            # the observation table's int64 columns.
+            path_id=mix_key(tuple(zlib.crc32(n.encode()) for n in path))
+            & 0x7FFFFFFFFFFFFFFF,
         )
         heapq.heappush(self._events,
                        _Event(time=time_ns, seq=next(self._seq), packet=packet))
@@ -126,12 +136,24 @@ class NetworkSimulator:
 
     def run(self) -> ObservationTable:
         """Drain the event heap; returns the observation table sorted
-        by queue-arrival time (the stream order queries consume)."""
+        by queue-arrival time (the stream order queries consume).
+
+        The table is assembled columnar: the per-field buffers become
+        numpy columns and one ``np.lexsort((pkt_id, tin))`` replaces
+        the old Python row sort (same ``(tin, pkt_id)`` order).
+        """
         events = self._events
         while events:
             event = heapq.heappop(events)
             self._arrive(event)
-        self.table.records.sort(key=lambda r: (r.tin, r.pkt_id))
+        arrays = {
+            name: np.asarray(values,
+                             dtype=np.float64 if name == "tout" else np.int64)
+            for name, values in self._buffers.items()
+        }
+        order = np.lexsort((arrays["pkt_id"], arrays["tin"]))
+        self.table = ObservationTable.from_arrays(
+            {name: arr[order] for name, arr in arrays.items()})
         return self.table
 
     def _arrive(self, event: _Event) -> None:
@@ -157,12 +179,11 @@ class NetworkSimulator:
         fate = queue.offer(event.time, packet.pkt_len)
         if isinstance(fate, Drop):
             self.dropped += 1
-            self.table.append(self._record(packet, qid, fate.tin, float("inf"),
-                                           fate.qin, 0))
+            self._record(packet, qid, fate.tin, float("inf"), fate.qin, 0)
             return
         assert isinstance(fate, Departure)
-        self.table.append(self._record(packet, qid, fate.tin, float(fate.tout),
-                                       fate.qin, fate.qout))
+        self._record(packet, qid, fate.tin, float(fate.tout),
+                     fate.qin, fate.qout)
         spec = self.topology.link(node, next_node)
         heapq.heappush(self._events, _Event(
             time=fate.tout + spec.prop_delay_ns,
@@ -171,15 +192,24 @@ class NetworkSimulator:
         ))
 
     def _record(self, packet: SimPacket, qid: int, tin: int, tout: float,
-                qin: int, qout: int) -> PacketRecord:
-        return PacketRecord(
-            srcip=packet.srcip, dstip=packet.dstip,
-            srcport=packet.srcport, dstport=packet.dstport, proto=packet.proto,
-            pkt_len=packet.pkt_len, payload_len=packet.payload_len,
-            tcpseq=packet.tcpseq, pkt_id=packet.pkt_id,
-            qid=qid, tin=tin, tout=tout, qin=qin, qout=qout, qsize=qin,
-            pkt_path=packet.path_id,
-        )
+                qin: int, qout: int) -> None:
+        buffers = self._buffers
+        buffers["srcip"].append(packet.srcip)
+        buffers["dstip"].append(packet.dstip)
+        buffers["srcport"].append(packet.srcport)
+        buffers["dstport"].append(packet.dstport)
+        buffers["proto"].append(packet.proto)
+        buffers["pkt_len"].append(packet.pkt_len)
+        buffers["payload_len"].append(packet.payload_len)
+        buffers["tcpseq"].append(packet.tcpseq)
+        buffers["pkt_id"].append(packet.pkt_id)
+        buffers["qid"].append(qid)
+        buffers["tin"].append(tin)
+        buffers["tout"].append(tout)
+        buffers["qin"].append(qin)
+        buffers["qout"].append(qout)
+        buffers["qsize"].append(qin)
+        buffers["pkt_path"].append(packet.path_id)
 
     # -- statistics -------------------------------------------------------------
 

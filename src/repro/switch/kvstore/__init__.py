@@ -4,7 +4,9 @@
 :mod:`.vector_cache` — array-native replacement-policy simulator
 (the vector engine behind the Fig. 5/6 sweeps);
 :mod:`.backing` — DRAM store with merge / value-list semantics;
-:mod:`.split` — the combined engine for one ``GROUPBY`` stage (Fig. 3).
+:mod:`.split` — the combined engine for one ``GROUPBY`` stage (Fig. 3);
+:mod:`.vector_store` — the schedule-driven batch counterpart of
+:mod:`.split` (bit-identical, array-native).
 """
 
 from .backing import BackingStore, KeyEntry
@@ -26,6 +28,7 @@ from .vector_cache import (
     splitmix64_array,
     window_validity_vector,
 )
+from .vector_store import VectorSplitStore
 
 __all__ = [
     "BackingStore",
@@ -39,6 +42,7 @@ __all__ = [
     "KeyValueCache",
     "SplitKeyValueStore",
     "VectorCacheSim",
+    "VectorSplitStore",
     "mix_key",
     "mix_key_array",
     "simulate_eviction_count",

@@ -135,7 +135,14 @@ class BackingStore:
     # -- accuracy accounting (Fig. 6) -------------------------------------------
 
     def validity_stats(self) -> tuple[int, int]:
-        """``(valid_keys, total_keys)`` for the Fig. 6 accuracy metric."""
+        """``(valid_keys, total_keys)`` for the Fig. 6 accuracy metric.
+
+        Only non-mergeable folds can invalidate a key (§3.2), so a
+        stage whose folds are all linear-in-state skips the per-key
+        scan outright.
+        """
+        if all(spec.mergeable for spec in self.specs.values()):
+            return len(self.data), len(self.data)
         valid = sum(1 for key in self.data if self.is_valid(key))
         return valid, len(self.data)
 

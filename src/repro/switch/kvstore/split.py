@@ -20,7 +20,7 @@ the cache before :meth:`result_table` builds the output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Hashable, Iterable, Mapping
 
 from repro.core.errors import HardwareError
 from repro.core.eval_expr import EvalContext, Numeric, evaluate
@@ -100,6 +100,12 @@ class SplitKeyValueStore:
             column: (spec.strategy in ("scale", "matrix") or spec.exact_history)
             for column, spec in self._specs.items()
         }
+        # Keys in first-access order (a key's first access is always a
+        # miss, so recording on misses only keeps the hit path free of
+        # bookkeeping).  This is the row order of :meth:`result_table`,
+        # shared with the vectorized store, whose key factorization
+        # produces exactly this first-occurrence order.
+        self._seen: dict[Hashable, None] = {}
         self._finalized = False
 
     # -- per-packet path -----------------------------------------------------
@@ -114,7 +120,10 @@ class SplitKeyValueStore:
         per-packet work here is just the cache/store state machine."""
         if self._finalized:
             raise HardwareError("store already finalized")
+        misses_before = self.cache.stats.misses
         entry, evicted = self.cache.access(key, self._fresh_value)
+        if self.cache.stats.misses != misses_before:
+            self._seen.setdefault(key)
         if evicted is not None:
             self._absorb(evicted)
         value = entry.value
@@ -187,41 +196,24 @@ class SplitKeyValueStore:
         Rows for keys whose non-mergeable folds are invalid (multiple
         segments) are skipped unless ``include_invalid`` is set, in
         which case the *latest* segment is reported (it is correct over
-        its own interval, §3.2).
+        its own interval, §3.2).  Rows come out in first-access key
+        order (the same order the reference interpreter produces).
         """
         self.finalize()
-        out = ResultTable(schema=self.stage.output)
-        key_fields = self.stage.key.fields
-        for key in self.backing.keys():
-            row: Row = dict(zip(key_fields, key))
-            valid = True
-            for col in self.stage.output.columns:
-                if col.kind == "agg":
-                    state = self.backing.value_of(key, col.fold)
-                    if state is None:
-                        valid = False
-                        segments = self.backing.segments_of(key, col.fold)
-                        if segments:
-                            row[col.name] = segments[-1][col.state_var]
-                        continue
-                    row[col.name] = state[col.state_var]
-                elif col.kind == "derived":
-                    state = self.backing.value_of(key, col.fold)
-                    if state is None:
-                        valid = False
-                        continue
-                    row[col.name] = evaluate(
-                        col.read_expr, EvalContext(state=state, params=self.params)
-                    )
-            if valid or include_invalid:
-                out.rows.append(row)
-        return out
+        return build_result_table(self.stage, self.backing, self._seen,
+                                  self.params, include_invalid=include_invalid)
 
     # -- statistics -------------------------------------------------------------
 
     @property
     def stats(self):
         return self.cache.stats
+
+    @property
+    def backing_writes(self) -> int:
+        """Total backing-store writes so far (mirrors the vector
+        store's surface, which avoids materialising the store)."""
+        return self.backing.writes
 
     def eviction_fraction(self) -> float:
         return self.cache.stats.eviction_fraction
@@ -230,3 +222,40 @@ class SplitKeyValueStore:
         """Fig. 6 metric — fraction of keys whose value is valid."""
         self.finalize()
         return self.backing.accuracy
+
+
+def build_result_table(stage: GroupByStage, backing: BackingStore,
+                       keys: Iterable[Hashable],
+                       params: Mapping[str, Numeric],
+                       include_invalid: bool = False) -> ResultTable:
+    """Materialise one ``GROUPBY`` stage's output from a (finalized)
+    backing store — shared by the row and the vectorized store engines.
+
+    ``keys`` fixes the row order (first-access order for both engines).
+    """
+    out = ResultTable(schema=stage.output)
+    key_fields = stage.key.fields
+    for key in keys:
+        row: Row = dict(zip(key_fields, key))
+        valid = True
+        for col in stage.output.columns:
+            if col.kind == "agg":
+                state = backing.value_of(key, col.fold)
+                if state is None:
+                    valid = False
+                    segments = backing.segments_of(key, col.fold)
+                    if segments:
+                        row[col.name] = segments[-1][col.state_var]
+                    continue
+                row[col.name] = state[col.state_var]
+            elif col.kind == "derived":
+                state = backing.value_of(key, col.fold)
+                if state is None:
+                    valid = False
+                    continue
+                row[col.name] = evaluate(
+                    col.read_expr, EvalContext(state=state, params=params)
+                )
+        if valid or include_invalid:
+            out.rows.append(row)
+    return out

@@ -189,9 +189,10 @@ class _LruChains:
     """Compressed per-set occurrence chains (m-independent LRU data)."""
 
     __slots__ = ("n2", "kz2", "segstarts2", "prev", "nxtval", "gap",
-                 "has_prev", "resident", "inv_cache")
+                 "has_prev", "keep_idx", "resident", "inv_cache")
 
-    def __init__(self, n2, kz2, segstarts2, prev, nxtval, gap, has_prev):
+    def __init__(self, n2, kz2, segstarts2, prev, nxtval, gap, has_prev,
+                 keep_idx):
         self.n2 = n2
         self.kz2 = kz2
         self.segstarts2 = segstarts2
@@ -199,6 +200,7 @@ class _LruChains:
         self.nxtval = nxtval        # next same-key position; set end if none
         self.gap = gap              # set-local window length i - prev - 1
         self.has_prev = has_prev
+        self.keep_idx = keep_idx    # layout positions of the kept accesses
         self.resident = None        # lazily: #same-set keys resident at i
         self.inv_cache = None       # (G, kept_rank, inv) — see _kept_inv
 
@@ -215,9 +217,14 @@ class VectorCacheSim:
         keys: 1-D integer array (scalar keys) or 2-D ``(n, k)`` array
             (tuple keys, one column per part).
         seed: Hash seed (and RNG seed for the random policy).
+        key_ids: Optional precomputed dense key ids (equal key ⇔ equal
+            id, values in ``[0, 2^31)``) — callers that already
+            factorized the stream (the vectorized split store) skip the
+            internal factorization sort.
     """
 
-    def __init__(self, keys: np.ndarray, seed: int = 0):
+    def __init__(self, keys: np.ndarray, seed: int = 0,
+                 key_ids: np.ndarray | None = None):
         keys = np.asarray(keys)
         if keys.dtype.kind not in "iub":
             raise HardwareError(
@@ -225,7 +232,8 @@ class VectorCacheSim:
         self.seed = seed
         if keys.ndim == 2:
             self._hashes = mix_key_array(keys, seed)
-            self._ids = _factorize_rows(keys)
+            self._ids = key_ids.astype(np.int32, copy=False) \
+                if key_ids is not None else _factorize_rows(keys)
         elif keys.ndim == 1:
             self._hashes = None      # lazy: single-bucket paths never hash
             self._ids = None         # lazy: dense int32 ids, on first use
@@ -315,6 +323,7 @@ class VectorCacheSim:
         if n:
             dup[1:] = (~segstart[1:]) & (kz[1:] == kz[:-1])
         keep = ~dup
+        keep_idx = np.flatnonzero(keep)
         kz2 = kz[keep]
         segstarts2 = np.flatnonzero(segstart[keep])
         n2 = len(kz2)
@@ -335,7 +344,8 @@ class VectorCacheSim:
         nxtval[ko32[:-1][same]] = ko32[1:][same]
         has_prev = prev >= 0
         gap = np.arange(n2, dtype=np.int32) - prev - 1
-        chains = _LruChains(n2, kz2, segstarts2, prev, nxtval, gap, has_prev)
+        chains = _LruChains(n2, kz2, segstarts2, prev, nxtval, gap, has_prev,
+                            keep_idx)
         self._chains[n_buckets] = chains
         return chains
 
@@ -453,11 +463,13 @@ class VectorCacheSim:
             return stats, None
         return stats, _single_miss_validity(chains.kz2[miss])
 
-    def _replay(self, geometry: CacheGeometry, policy: str, per_key: bool):
+    def _replay(self, geometry: CacheGeometry, policy: str, per_key: bool,
+                miss_out: np.ndarray | None = None):
         """Exact Python replays for the ablation policies (FIFO is
         per-set over packed key lists; random must follow the global
         access order because the reference shares one RNG across
-        buckets)."""
+        buckets).  ``miss_out`` (bool, stream order) records the
+        per-access miss flags for the schedule-driven store."""
         n_buckets, m = geometry.n_buckets, geometry.m_slots
         stats = CacheStats()
         miss_counts: dict[int, int] = {}
@@ -465,17 +477,22 @@ class VectorCacheSim:
             layout = self._layout(n_buckets)
             bounds = np.flatnonzero(layout.segstart).tolist() + [self.n]
             kz = layout.kz.tolist()
+            miss_layout = np.zeros(self.n, dtype=bool) \
+                if miss_out is not None else None
             for si in range(len(bounds) - 1):
                 resident: set[int] = set()
                 order: list[int] = []
                 head = 0
-                for key in kz[bounds[si]:bounds[si + 1]]:
+                for pos in range(bounds[si], bounds[si + 1]):
+                    key = kz[pos]
                     stats.accesses += 1
                     if key in resident:
                         stats.hits += 1
                         continue
                     stats.misses += 1
                     stats.insertions += 1
+                    if miss_layout is not None:
+                        miss_layout[pos] = True
                     if per_key:
                         miss_counts[key] = miss_counts.get(key, 0) + 1
                     if len(resident) >= m:
@@ -485,6 +502,11 @@ class VectorCacheSim:
                         stats.evictions += 1
                     resident.add(key)
                     order.append(key)
+            if miss_out is not None:
+                if layout.order is None:
+                    miss_out[:] = miss_layout
+                else:
+                    miss_out[layout.order] = miss_layout
         else:  # random
             rng = random.Random(self.seed)
             hashes = (self._hash() % _U(n_buckets)).astype(np.int64).tolist() \
@@ -492,7 +514,7 @@ class VectorCacheSim:
             keys = self._key_ids().tolist()
             buckets: dict[int, list[int]] = {}
             members: dict[int, set[int]] = {}
-            for key, b in zip(keys, hashes):
+            for i, (key, b) in enumerate(zip(keys, hashes)):
                 stats.accesses += 1
                 lst = buckets.setdefault(b, [])
                 seen = members.setdefault(b, set())
@@ -501,6 +523,8 @@ class VectorCacheSim:
                     continue
                 stats.misses += 1
                 stats.insertions += 1
+                if miss_out is not None:
+                    miss_out[i] = True
                 if per_key:
                     miss_counts[key] = miss_counts.get(key, 0) + 1
                 if len(lst) >= m:
@@ -532,6 +556,74 @@ class VectorCacheSim:
     def stats(self, geometry: CacheGeometry, policy: str = "lru") -> CacheStats:
         """Counters of a full run, bit-identical to the row engine."""
         return self._run(geometry, policy, per_key=False)[0]
+
+    def miss_schedule(self, geometry: CacheGeometry,
+                      policy: str = "lru") -> np.ndarray:
+        """Per-access miss flags, in stream order — the schedule the
+        vectorized split store executes.
+
+        ``out[i]`` is True when access ``i`` misses (inserts a fresh
+        value, possibly evicting); False when it hits the resident
+        entry.  Exactly the hit/miss decisions
+        :meth:`KeyValueCache.access` would make, access by access:
+
+        * direct-mapped: a bucket's resident key is its previous
+          access, so the flags fall out of the adjacent in-bucket key
+          comparisons of the counter path;
+        * LRU: the per-kept-access mask of :meth:`_lru_miss_mask`
+          scattered back through the run-collapse (collapsed duplicate
+          accesses are guaranteed hits) and the layout permutation;
+        * FIFO/random: the exact replay loops, recording per access.
+        """
+        if policy not in KeyValueCache.POLICIES:
+            raise HardwareError(f"unknown eviction policy {policy!r}")
+        n = self.n
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if geometry.m_slots == 1:
+            layout = self._layout(geometry.n_buckets)
+            kz, segstart = layout.kz, layout.segstart
+            miss_layout = np.ones(n, dtype=bool)
+            miss_layout[1:] = segstart[1:] | (kz[1:] != kz[:-1])
+            return self._to_stream_order(layout, miss_layout)
+        if policy == "lru":
+            chains, miss_kept = self._lru_miss_mask(geometry.n_buckets,
+                                                    geometry.m_slots)
+            layout = self._layout(geometry.n_buckets)
+            miss_layout = np.zeros(n, dtype=bool)
+            miss_layout[chains.keep_idx] = miss_kept
+            return self._to_stream_order(layout, miss_layout)
+        miss = np.zeros(n, dtype=bool)
+        self._replay(geometry, policy, per_key=False, miss_out=miss)
+        return miss
+
+    def stats_and_schedule(self, geometry: CacheGeometry,
+                           policy: str = "lru"
+                           ) -> tuple[CacheStats, np.ndarray]:
+        """Counters and per-access miss flags together.
+
+        For the direct-mapped and LRU paths the two share all memoized
+        work anyway; for the FIFO/random replays this runs the exact
+        Python replay **once** for both (the schedule-driven store's
+        entry point).
+        """
+        if self.n and geometry.m_slots > 1 and policy in ("fifo", "random"):
+            miss = np.zeros(self.n, dtype=bool)
+            stats, _ = self._replay(geometry, policy, per_key=False,
+                                    miss_out=miss)
+            return stats, miss
+        return (self.stats(geometry, policy=policy),
+                self.miss_schedule(geometry, policy=policy))
+
+    @staticmethod
+    def _to_stream_order(layout: _Layout, values: np.ndarray) -> np.ndarray:
+        """Scatter a layout-ordered per-access array back to stream
+        order (single-bucket layouts are already in stream order)."""
+        if layout.order is None:
+            return values
+        out = np.empty_like(values)
+        out[layout.order] = values
+        return out
 
     def validity(self, geometry: CacheGeometry,
                  policy: str = "lru") -> tuple[int, int]:

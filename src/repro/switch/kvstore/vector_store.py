@@ -1,0 +1,590 @@
+"""Schedule-driven vectorized split key-value store (batch engine).
+
+Batch counterpart of :class:`~repro.switch.kvstore.split.SplitKeyValueStore`
+— the last per-packet Python loop on the hardware path.  Given the
+stage's whole (WHERE-filtered) key/value column stream, it produces
+**bit-identical** results without touching each packet in Python:
+
+1. **Schedule.** :class:`~repro.switch.kvstore.vector_cache.VectorCacheSim`
+   precomputes, per access, whether it hits the resident entry or
+   initialises a fresh value (:meth:`VectorCacheSim.miss_schedule`),
+   plus the exact :class:`CacheStats` counters.  The replacement
+   process is independent of the values (and of periodic refresh,
+   which resets values but never residency), so the schedule is a pure
+   function of the key stream.
+
+2. **Epochs.** A key's accesses between two of its misses are all hits
+   on one resident entry, so each key's occurrence list cut at its
+   miss positions — and at periodic-refresh boundaries (§3.2), which
+   reset values in place — yields the *residency epochs*: exactly the
+   per-entry value lifetimes the row store pushes to the backing store
+   (each nonempty epoch is dirty and absorbed exactly once, at
+   eviction, refresh, or the final flush).  One composite
+   ``(key, time)`` sort materialises every epoch as a contiguous
+   segment.
+
+3. **Segmented folds.** Per-epoch fold values are computed with the
+   shared machinery of :mod:`repro.core.vector_exec`, with epochs as
+   the groups: identity linear folds (§3.2, via
+   :mod:`repro.core.linearity`) as ``np.add.at`` segmented reductions
+   (order-preserving, so float results match the row loop bit for
+   bit), diagonal linear folds (EWMA) via the exact round-major path
+   with the merge product ``P`` as a segmented ``np.multiply.at``, and
+   everything else (non-linear folds' value segments, full-matrix
+   merges) via the round-major path or an exact scalar replay over the
+   packed epoch layout.  Exact-history auxiliaries (first-``k`` packet
+   logs, post-prefix snapshots) come from prefix-restricted segmented
+   reductions.
+
+4. **Backing-store merge.** Closed epochs are absorbed into a real
+   :class:`~repro.switch.kvstore.backing.BackingStore` in per-key
+   chronological order (the only order merging observes — a key has at
+   most one open epoch at a time).  The common all-additive case is
+   itself vectorized: with zero initial state the row store's nested
+   ``evicted + (backing - init)`` merges reassociate to a plain
+   segmented sum (IEEE addition is commutative), so the per-key merged
+   values fall out of one ``np.add.at`` over the epoch values.
+
+Differential property tests (``tests/test_vector_store.py``) assert
+bit-identical ``ResultTable``, ``CacheStats``, accuracy, backing-store
+writes, and refresh counts against the row store over the full query
+catalog, every eviction policy, and adversarial streams.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.ast_nodes import StateRef, walk
+from repro.core.errors import HardwareError
+from repro.core.eval_expr import Numeric
+from repro.core.interpreter import ResultTable
+from repro.core.merge_synthesis import (
+    AuxState,
+    init_aux,
+    note_post_prefix_state,
+    update_aux,
+)
+from repro.core.plan import FoldConfig, GroupByStage
+from repro.network.records import ColumnRowView
+from repro.core.vector_exec import (
+    ArrayContext,
+    FoldVectorizer,
+    GroupLayout,
+    VectorizationError,
+    as_column,
+    eval_array,
+    factorize,
+)
+
+from ..alu import compile_update
+from .backing import BackingStore, KeyEntry
+from .cache import CacheGeometry, CacheStats
+from .split import build_result_table
+from .vector_cache import VectorCacheSim
+
+
+class _FoldEpochs:
+    """Per-epoch end states and auxiliary registers for one fold.
+
+    ``values`` maps state variables to per-epoch sequences; auxiliary
+    registers are materialised lazily per epoch by :meth:`aux` (only
+    absorbed epochs pay for dict construction).
+    """
+
+    __slots__ = ("spec", "values", "arrays", "aux_list", "P", "log",
+                 "snapshot", "seen")
+
+    def __init__(self, spec, values: dict[str, list], arrays=None,
+                 aux_list=None, P=None, log=None, snapshot=None, seen=None):
+        self.spec = spec
+        self.values = values
+        self.arrays = arrays            # vectorized paths: the numpy originals
+        self.aux_list = aux_list        # replay fallback: real AuxState dicts
+        self.P = P                      # scale: var -> per-epoch product
+        self.log = log                  # exact history: j -> field -> values
+        self.snapshot = snapshot        # exact history: var -> per-epoch value
+        self.seen = seen                # exact history: per-epoch access count
+
+    def value(self, e: int) -> dict[str, Numeric]:
+        return {var: lst[e] for var, lst in self.values.items()}
+
+    def aux(self, e: int) -> AuxState:
+        if self.aux_list is not None:
+            return self.aux_list[e]
+        aux: AuxState = {}
+        if self.P is not None:
+            aux["P"] = {var: lst[e] for var, lst in self.P.items()}
+        if self.spec.exact_history:
+            k = self.spec.history_depth
+            seen = self.seen[e]
+            aux["log"] = [
+                {f: vals[e] for f, vals in self.log[j].items()}
+                for j in range(min(k, seen))
+            ]
+            aux["snapshot"] = (
+                {var: lst[e] for var, lst in self.snapshot.items()}
+                if seen >= k else None
+            )
+            aux["seen"] = seen
+        return aux
+
+
+class VectorSplitStore:
+    """Vectorized split cache/backing-store engine for one ``GROUPBY``
+    stage — same constructor and result surface as
+    :class:`~repro.switch.kvstore.split.SplitKeyValueStore`, but fed
+    whole column batches via :meth:`add_batch` instead of per-packet
+    calls.  Execution is deferred to :meth:`finalize`, when the full
+    key stream is known (the replacement schedule is global) — every
+    observable (``stats``, ``refreshes``, ``backing``, results) holds
+    its end-of-run value only after finalize, which the result
+    accessors invoke automatically.
+    """
+
+    def __init__(
+        self,
+        stage: GroupByStage,
+        geometry: CacheGeometry,
+        params: Mapping[str, Numeric] | None = None,
+        policy: str = "lru",
+        seed: int = 0,
+        refresh_interval: int | None = None,
+    ):
+        if refresh_interval is not None and refresh_interval <= 0:
+            raise HardwareError("refresh_interval must be positive")
+        self.stage = stage
+        self.params = dict(params or {})
+        self.geometry = geometry
+        self.policy = policy
+        self.seed = seed
+        self.refresh_interval = refresh_interval
+        self.refreshes = 0
+        self._stats = CacheStats()
+        self._backing: BackingStore | None = None
+        self._bulk: tuple[dict[str, dict[str, np.ndarray]], np.ndarray] | None = None
+        self._writes = 0
+        self._vec = {
+            fold.column: FoldVectorizer(fold.instance, fold.linearity,
+                                        self.params)
+            for fold in stage.folds
+        }
+        #: Observation-table fields the fold updates read (the batch
+        #: caller must supply these columns).
+        self.needed_fields: frozenset[str] = frozenset().union(
+            *(v.needed for v in self._vec.values())
+        ) if stage.folds else frozenset()
+        self._key_chunks: list[np.ndarray] = []
+        self._col_chunks: dict[str, list[np.ndarray]] = {
+            name: [] for name in self.needed_fields
+        }
+        self._keys_in_order: list[tuple] = []
+        self._unique_key_cols: list[np.ndarray] = []
+        self._finalized = False
+
+    @property
+    def stats(self) -> CacheStats:
+        """End-of-run cache counters (finalizes the deferred schedule,
+        like every other observable)."""
+        self.finalize()
+        return self._stats
+
+    @property
+    def backing(self) -> BackingStore:
+        """The backing store.  On the all-additive bulk path it is
+        materialised lazily — the merged values live in per-key arrays
+        until someone actually inspects the store (the result table and
+        accuracy are served straight from the arrays)."""
+        if self._backing is None:
+            self._backing = self._materialize_backing()
+        return self._backing
+
+    # -- batch ingestion -----------------------------------------------------
+
+    def add_batch(self, keys: np.ndarray,
+                  columns: Mapping[str, np.ndarray]) -> None:
+        """Queue one (already WHERE-filtered) chunk.
+
+        Args:
+            keys: ``(n, k)`` integer array — one column per key field,
+                in stream order.
+            columns: The fold-update input columns (every name in
+                :attr:`needed_fields`), masked identically to ``keys``.
+        """
+        if self._finalized:
+            raise HardwareError(
+                "store already finalized (an observable was read, which "
+                "runs the deferred schedule); use the row engine for "
+                "incremental streaming with mid-run reads"
+            )
+        if keys.ndim != 2 or keys.dtype.kind not in "iub":
+            raise HardwareError("vector store needs a 2-D integer key array")
+        self._key_chunks.append(keys)
+        for name in self.needed_fields:
+            try:
+                self._col_chunks[name].append(columns[name])
+            except KeyError:
+                raise HardwareError(f"missing fold input column {name!r}") \
+                    from None
+
+    def process(self, record: object) -> None:
+        raise HardwareError(
+            "VectorSplitStore is batch-only; use add_batch(), or the row "
+            "engine (SplitKeyValueStore) for per-packet streaming"
+        )
+
+    def process_keyed(self, key, record: object) -> None:
+        self.process(record)
+
+    # -- execution -----------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Run the deferred schedule + segmented fold execution and
+        flush everything into the backing store (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        n = sum(len(c) for c in self._key_chunks)
+        if n == 0:
+            return
+        keys2d = np.ascontiguousarray(np.concatenate(self._key_chunks))
+        if keys2d.dtype != np.int64:
+            keys2d = keys2d.astype(np.int64)
+        columns = {
+            name: np.concatenate(chunks)
+            for name, chunks in self._col_chunks.items()
+        }
+        self._key_chunks.clear()
+        self._col_chunks.clear()
+
+        # 1. Key factorization (shared between the cache simulator and
+        # the epoch segmentation) + replacement schedule
+        # (value-independent).
+        key_cols = [keys2d[:, j] for j in range(keys2d.shape[1])]
+        gid, unique_cols, n_groups = factorize(key_cols)
+        sim = VectorCacheSim(keys2d, seed=self.seed, key_ids=gid)
+        self._stats, miss = sim.stats_and_schedule(self.geometry,
+                                                   policy=self.policy)
+
+        # 2. Epoch segmentation: one (key, time) sort; new epoch at
+        # every miss and at refresh boundaries crossed since the key's
+        # previous access (refresh resets values in place, §3.2).
+        comp = (gid << np.int64(32)) | np.arange(n, dtype=np.int64)
+        comp.sort()
+        sorted_idx = comp & np.int64(0xFFFFFFFF)
+        gid_sorted = comp >> np.int64(32)
+        new_epoch = np.empty(n, dtype=bool)
+        new_epoch[0] = True
+        same_key = gid_sorted[1:] == gid_sorted[:-1]
+        new_epoch[1:] = ~same_key | miss[sorted_idx[1:]]
+        if self.refresh_interval is not None:
+            boundaries = sorted_idx // self.refresh_interval
+            new_epoch[1:] |= same_key & (boundaries[1:] > boundaries[:-1])
+            self.refreshes = n // self.refresh_interval
+        eid_sorted = np.cumsum(new_epoch) - 1
+        n_epochs = int(eid_sorted[-1]) + 1
+        eid = np.empty(n, dtype=np.int64)
+        eid[sorted_idx] = eid_sorted
+        epoch_key = gid_sorted[new_epoch]       # key id of each epoch
+        layout = GroupLayout.from_sorted_order(eid, n_epochs, sorted_idx)
+
+        # 3. Per-epoch fold values (segmented reductions / rounds /
+        # exact replay).
+        ctx = ArrayContext(columns, self.params, n)
+        fold_epochs = {
+            fold.column: self._eval_fold(fold, ctx, layout)
+            for fold in self.stage.folds
+        }
+
+        # 4. Backing-store merge of every closed epoch.
+        self._keys_in_order = list(zip(*(c.tolist() for c in unique_cols)))
+        self._unique_key_cols = unique_cols
+        if self._all_plain_additive() and all(
+                fe.arrays is not None for fe in fold_epochs.values()):
+            self._merge_bulk(fold_epochs, epoch_key, n_groups, n_epochs)
+        else:
+            self._backing = BackingStore(self.stage.folds, params=self.params)
+            self._absorb_epochs(fold_epochs, epoch_key)
+            self._writes = self._backing.writes
+
+    # -- fold evaluation -----------------------------------------------------
+
+    def _eval_fold(self, fold: FoldConfig, ctx: ArrayContext,
+                   layout: GroupLayout) -> _FoldEpochs:
+        spec = fold.merge
+        vec = self._vec[fold.column]
+        try:
+            if spec.strategy == "list":
+                # Non-mergeable: only per-epoch end states are needed
+                # (the backing store keeps them as value segments).
+                states = vec.evaluate(ctx, layout)
+                return _FoldEpochs(spec, _tolist_states(states))
+            if spec.strategy == "additive":
+                return self._eval_additive(fold, vec, ctx, layout)
+            if spec.strategy == "scale" and not spec.exact_history:
+                return self._eval_scale(fold, vec, ctx, layout)
+            # Full-matrix merge products (and exact-history scale) are
+            # sequential and non-commutative: exact scalar replay.
+            return self._replay_fold(fold, ctx, layout)
+        except VectorizationError:
+            return self._replay_fold(fold, ctx, layout)
+
+    def _eval_additive(self, fold: FoldConfig, vec: FoldVectorizer,
+                       ctx: ArrayContext, layout: GroupLayout) -> _FoldEpochs:
+        """Identity-matrix linear folds: per-epoch ``S = init + Σ B``
+        via order-preserving ``np.add.at`` (bit-identical to the row
+        loop), with history pre-values reset per epoch; exact-history
+        snapshots are the same reduction restricted to each epoch's
+        first ``k`` packets."""
+        spec = fold.merge
+        pre, final = vec._history_values(ctx, layout)
+        states = dict(final)
+        k = spec.history_depth if spec.exact_history else 0
+        snapshot: dict[str, np.ndarray] = {}
+        if k:
+            ranks = layout.ranks_group_major()
+            prefix_pos = np.flatnonzero(ranks < k)   # (epoch, time)-ordered
+            prefix_rows = layout.order[prefix_pos]
+            prefix_eid = layout.gid[prefix_rows]
+        bctx = ArrayContext(ctx.columns, self.params, ctx.n, state=pre)
+        for var in fold.linearity.order:
+            init = fold.instance.inits.get(var, 0)
+            b = np.asarray(as_column(
+                eval_array(fold.linearity.offset[var], bctx), ctx.n))
+            dtype = np.result_type(
+                b.dtype, np.float64 if isinstance(init, float) else np.int64)
+            b = b.astype(dtype, copy=False)
+            out = np.full(layout.n_groups, init, dtype=dtype)
+            np.add.at(out, layout.gid, b)
+            states[var] = out
+            if k:
+                snap = np.full(layout.n_groups, init, dtype=dtype)
+                np.add.at(snap, prefix_eid, b[prefix_rows])
+                snapshot[var] = snap
+        return _FoldEpochs(
+            spec, _tolist_states(states), arrays=states,
+            log=self._epoch_logs(spec, ctx, layout) if k else None,
+            snapshot=_tolist_states(snapshot) if k else None,
+            seen=layout.counts.tolist() if k else None,
+        )
+
+    def _eval_scale(self, fold: FoldConfig, vec: FoldVectorizer,
+                    ctx: ArrayContext, layout: GroupLayout) -> _FoldEpochs:
+        """Diagonal linear folds (EWMA class): end states via the exact
+        round-major path; the merge product ``P`` is a segmented
+        ``np.multiply.at`` of the per-packet coefficients (affine
+        extraction guarantees they read only the packet and history
+        pre-values, so one vectorized pass evaluates them all)."""
+        spec = fold.merge
+        states = vec.run_rounds(ctx, layout)
+        coeffs = [spec.matrix.get((var, var)) for var in spec.order]
+        pre = None
+        if any(c is not None and _references_state(c) for c in coeffs):
+            pre, _ = vec._history_values(ctx, layout)
+        pctx = ArrayContext(ctx.columns, self.params, ctx.n, state=pre)
+        P: dict[str, list] = {}
+        for var, coeff in zip(spec.order, coeffs):
+            prod = np.ones(layout.n_groups, dtype=np.float64)
+            if coeff is None:
+                a: np.ndarray | float = 0.0
+            else:
+                a = as_column(eval_array(coeff, pctx), ctx.n)
+            np.multiply.at(prod, layout.gid, a)
+            P[var] = prod.tolist()
+        return _FoldEpochs(spec, _tolist_states(states), P=P)
+
+    def _epoch_logs(self, spec, ctx: ArrayContext,
+                    layout: GroupLayout) -> list[dict[str, list]]:
+        """Exact-history packet logs: the fields of each epoch's first
+        ``k`` packets (``log[j][field][e]`` — defined for epochs with
+        more than ``j`` accesses)."""
+        logs: list[dict[str, list]] = []
+        counts = layout.counts
+        for j in range(spec.history_depth):
+            sel = np.flatnonzero(counts > j)
+            rows = layout.order[layout.offsets[:-1][sel] + j]
+            entry: dict[str, list] = {}
+            for f in spec.packet_fields:
+                vals = np.zeros(layout.n_groups,
+                                dtype=ctx.columns[f].dtype)
+                vals[sel] = ctx.columns[f][rows]
+                entry[f] = vals.tolist()
+            logs.append(entry)
+        return logs
+
+    def _replay_fold(self, fold: FoldConfig, ctx: ArrayContext,
+                     layout: GroupLayout) -> _FoldEpochs:
+        """Exact scalar replay over the packed epoch layout — the same
+        update/aux calls as the row store's per-packet path, minus the
+        cache machinery.  Safety net for full-matrix merges and
+        anything the array evaluator cannot express."""
+        spec = fold.merge
+        update = compile_update(fold.alu.update_exprs, self.params)
+        needs_aux = spec.strategy in ("scale", "matrix") or spec.exact_history
+        needed = sorted(self._vec[fold.column].needed)
+        missing = [f for f in needed if f not in ctx.columns]
+        if missing:
+            raise HardwareError(f"missing fold input column {missing[0]!r}")
+        col_lists = {f: ctx.columns[f].tolist() for f in needed}
+        gid_list = layout.gid.tolist()
+        n_epochs = layout.n_groups
+        states: list[dict | None] = [None] * n_epochs
+        auxes: list[AuxState | None] = [None] * n_epochs
+        exact_history = spec.exact_history
+        for i in layout.order.tolist():      # epoch-major, time within
+            e = gid_list[i]
+            state = states[e]
+            if state is None:
+                state = fold.instance.initial_state()
+                states[e] = state
+                auxes[e] = init_aux(spec)
+            row = ColumnRowView(col_lists, i)
+            if needs_aux:
+                update_aux(spec, auxes[e], state, row, self.params)
+            state.update(update(row, state))
+            if exact_history:
+                note_post_prefix_state(spec, auxes[e], state)
+        values = {
+            var: [state[var] for state in states]
+            for var in fold.instance.state_vars
+        }
+        return _FoldEpochs(spec, values, aux_list=auxes)
+
+    # -- backing-store absorption --------------------------------------------
+
+    def _all_plain_additive(self) -> bool:
+        """True when every fold merges by plain addition from zero
+        initial state — the case where the row store's nested merges
+        reassociate to one segmented sum (see module docstring)."""
+        for fold in self.stage.folds:
+            spec = fold.merge
+            if spec.strategy != "additive" or spec.exact_history:
+                return False
+            if any(fold.instance.inits.get(var, 0) != 0
+                   for var in spec.order):
+                return False
+        return True
+
+    def _merge_bulk(self, fold_epochs: dict[str, _FoldEpochs],
+                    epoch_key: np.ndarray, n_groups: int,
+                    n_epochs: int) -> None:
+        """All-additive fast path: merge every key's epochs with one
+        ``np.add.at`` per state variable; history variables take the
+        key's last epoch (the row merge keeps the evicted copy).  The
+        merged values stay columnar — see :attr:`backing`."""
+        epoch_counts = np.bincount(epoch_key, minlength=n_groups)
+        last_epoch = np.cumsum(epoch_counts) - 1
+        merged: dict[str, dict[str, np.ndarray]] = {}
+        for fold in self.stage.folds:
+            fe = fold_epochs[fold.column]
+            history = set(fold.linearity.history)
+            per_var: dict[str, np.ndarray] = {}
+            for var, arr in fe.arrays.items():
+                if var in history:
+                    per_var[var] = arr[last_epoch]
+                else:
+                    acc = np.zeros(n_groups, dtype=arr.dtype)
+                    np.add.at(acc, epoch_key, arr)
+                    per_var[var] = acc
+            merged[fold.column] = per_var
+        self._bulk = (merged, epoch_counts)
+        self._writes = n_epochs
+
+    def _materialize_backing(self) -> BackingStore:
+        """Build the real per-key :class:`BackingStore` structures (on
+        demand: the bulk path serves results from arrays, but the store
+        surface — ``value_of``, ``segments_of``, ... — stays available)."""
+        backing = BackingStore(self.stage.folds, params=self.params)
+        if self._bulk is None:
+            return backing          # nothing ran (empty stream)
+        merged, epoch_counts = self._bulk
+        backing.writes = self._writes
+        columns = [
+            (col, [(var, arr.tolist()) for var, arr in per_var.items()])
+            for col, per_var in merged.items()
+        ]
+        counts_list = epoch_counts.tolist()
+        data = backing.data
+        for g, key in enumerate(self._keys_in_order):
+            data[key] = KeyEntry(
+                merged={col: {var: vals[g] for var, vals in items}
+                        for col, items in columns},
+                epochs=counts_list[g],
+            )
+        return backing
+
+    def _absorb_epochs(self, fold_epochs: dict[str, _FoldEpochs],
+                       epoch_key: np.ndarray) -> None:
+        """General path: one :meth:`BackingStore.absorb` per closed
+        epoch, in per-key chronological order (epoch ids ascend in
+        ``(key, time)`` order, and merging only reads per-key state, so
+        this reproduces the row store's merge sequence exactly)."""
+        keys = self._keys_in_order
+        items = list(fold_epochs.items())
+        absorb = self._backing.absorb
+        for e, g in enumerate(epoch_key.tolist()):
+            absorb(keys[g],
+                   {col: fe.value(e) for col, fe in items},
+                   {col: fe.aux(e) for col, fe in items})
+
+    # -- results -------------------------------------------------------------
+
+    def result_table(self, include_invalid: bool = False) -> ResultTable:
+        """Stage output in first-access key order — bit-identical to
+        the row store's.  On the bulk path the table is assembled
+        columnar, straight from the merged per-key arrays (every key is
+        valid when all folds merge)."""
+        self.finalize()
+        if self._backing is None and self._bulk is not None:
+            try:
+                return self._bulk_result_table()
+            except VectorizationError:
+                pass
+        return build_result_table(self.stage, self.backing,
+                                  self._keys_in_order, self.params,
+                                  include_invalid=include_invalid)
+
+    def _bulk_result_table(self) -> ResultTable:
+        merged, _ = self._bulk
+        n_groups = len(self._keys_in_order)
+        out: dict[str, np.ndarray] = dict(
+            zip(self.stage.key.fields, self._unique_key_cols))
+        for col in self.stage.output.columns:
+            if col.kind == "agg":
+                out[col.name] = merged[col.fold][col.state_var]
+            elif col.kind == "derived":
+                dctx = ArrayContext({}, self.params, n_groups,
+                                    state=merged[col.fold])
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    out[col.name] = as_column(
+                        eval_array(col.read_expr, dctx), n_groups)
+        return ResultTable.from_columns(self.stage.output, out)
+
+    @property
+    def backing_writes(self) -> int:
+        """Total backing-store writes, without materialising the store."""
+        self.finalize()
+        return self._writes
+
+    def eviction_fraction(self) -> float:
+        return self.stats.eviction_fraction
+
+    def accuracy(self) -> float:
+        """Fig. 6 metric — fraction of keys whose value is valid (1.0
+        outright on the bulk path: every fold merges)."""
+        self.finalize()
+        if self._backing is None and self._bulk is not None:
+            return 1.0
+        return self.backing.accuracy
+
+
+def _tolist_states(states: dict[str, np.ndarray]) -> dict[str, list]:
+    """Per-epoch state arrays to native-scalar lists (the merge and the
+    result table operate on Python numbers, like the row store)."""
+    return {var: np.asarray(arr).tolist() for var, arr in states.items()}
+
+
+def _references_state(expr) -> bool:
+    return any(isinstance(node, StateRef) for node in walk(expr))

@@ -19,7 +19,7 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.core.errors import CompileError, InterpreterError
+from repro.core.errors import CompileError, HardwareError, InterpreterError
 from repro.core.eval_expr import Numeric
 from repro.core.interpreter import ResultTable, Row
 from repro.core.plan import GroupByStage, SelectStage, SwitchProgram
@@ -30,11 +30,12 @@ from repro.core.vector_exec import (
     eval_array,
     eval_mask,
 )
-from repro.network.records import ObservationTable
+from repro.network.records import ColumnRowView, ObservationTable
 
 from .alu import compile_predicate, compile_scalar
-from .kvstore.cache import CacheGeometry, CacheStats
+from .kvstore.cache import ENGINES, CacheGeometry, CacheStats
 from .kvstore.split import SplitKeyValueStore
+from .kvstore.vector_store import VectorSplitStore
 from .parser_model import ParserConfig, configure_parser
 
 #: Chunk size for the batch execution path: large enough to amortise
@@ -49,26 +50,34 @@ DEFAULT_GEOMETRY = CacheGeometry.set_associative(1 << 18, ways=8)
 GeometrySpec = CacheGeometry | Mapping[str, CacheGeometry]
 
 
-class _ColumnRow:
-    """A lazy row view over per-chunk column lists.
+#: Per-chunk row views for the per-packet fallbacks (shared helper —
+#: see :class:`repro.network.records.ColumnRowView`).
+_ColumnRow = ColumnRowView
 
-    Presents attribute access like a :class:`PacketRecord`, so the
-    compiled ALU update functions run unchanged on the batch path; the
-    underlying values are native Python scalars (``tolist`` output), so
-    arithmetic is bit-identical to the row-at-a-time path.
+
+class _LazyRowLists:
+    """Per-chunk column→list conversion, deferred until a stage
+    actually needs per-packet row views.
+
+    The vector-store path never does, so fully vectorized runs skip
+    the per-chunk ``tolist`` round trip entirely; row-path stages and
+    vectorization fallbacks materialise once per chunk, exactly like
+    the previous eager behaviour.
     """
 
-    __slots__ = ("_columns", "_index")
+    __slots__ = ("_chunk", "_fields", "_lists")
 
-    def __init__(self, columns: Mapping[str, list], index: int):
-        self._columns = columns
-        self._index = index
+    def __init__(self, chunk: Mapping[str, np.ndarray],
+                 fields: tuple[str, ...]):
+        self._chunk = chunk
+        self._fields = fields
+        self._lists: dict[str, list] | None = None
 
-    def __getattr__(self, name: str):
-        try:
-            return self._columns[name][self._index]
-        except KeyError:
-            raise AttributeError(name) from None
+    def materialize(self) -> dict[str, list]:
+        if self._lists is None:
+            self._lists = {name: self._chunk[name].tolist()
+                           for name in self._fields}
+        return self._lists
 
 
 class _SelectRunner:
@@ -88,7 +97,7 @@ class _SelectRunner:
             return
         self.rows.append({name: fn(record) for name, fn in self.extractors})
 
-    def process_batch(self, ctx: ArrayContext, row_lists: Mapping[str, list]) -> None:
+    def process_batch(self, ctx: ArrayContext, rows: _LazyRowLists) -> None:
         """Vectorized chunk: one mask evaluation plus one array
         expression per output column, instead of per-packet calls."""
         try:
@@ -107,6 +116,7 @@ class _SelectRunner:
                 for col in self.stage.columns
             ]
         except VectorizationError:
+            row_lists = rows.materialize()
             for i in range(ctx.n):
                 self.process(_ColumnRow(row_lists, i))
             return
@@ -117,36 +127,95 @@ class _SelectRunner:
 
 
 class _GroupByRunner:
-    """Match stage + split key-value store."""
+    """Match stage + split key-value store.
+
+    The ``engine`` knob selects the store implementation on the batch
+    path: ``"row"`` streams per-packet through
+    :class:`SplitKeyValueStore`; ``"vector"``/``"auto"`` accumulate the
+    WHERE-filtered key/value columns into a
+    :class:`~repro.switch.kvstore.vector_store.VectorSplitStore`, whose
+    schedule-driven execution runs at finalize time (bit-identical
+    results).  Streams the vector store cannot take (non-integer keys,
+    unvectorizable predicates, missing columns) fall back to the row
+    store — the mode is decided once, on the first chunk, and is
+    deterministic across chunks.
+    """
 
     def __init__(self, stage: GroupByStage, geometry: CacheGeometry,
                  params: Mapping[str, Numeric], policy: str, seed: int,
-                 refresh_interval: int | None = None):
+                 refresh_interval: int | None = None, engine: str = "auto"):
         self.stage = stage
         self.params = params
+        self.engine = engine
         self.predicate = compile_predicate(stage.where, params)
-        self.store = SplitKeyValueStore(
-            stage, geometry, params=params, policy=policy, seed=seed,
-            refresh_interval=refresh_interval,
-        )
+        self._config = dict(params=params, policy=policy, seed=seed,
+                            refresh_interval=refresh_interval)
+        self._geometry = geometry
+        self.store = SplitKeyValueStore(stage, geometry, **self._config)
+        self._mode: str | None = None
 
     def process(self, record: object) -> None:
+        if self._mode == "vector":
+            raise HardwareError(
+                "cannot mix per-record processing with vector-batch "
+                "execution (the schedule-driven store needs the whole "
+                "stream); build the pipeline with engine=\"row\" for "
+                "mixed streaming"
+            )
+        self._mode = "row"
         if self.predicate(record):
             self.store.process(record)
 
-    def process_batch(self, ctx: ArrayContext, row_lists: Mapping[str, list]) -> None:
+    def _decide_mode(self, ctx: ArrayContext) -> str:
+        if self.engine == "row" or self.store.stats.accesses > 0:
+            return "row"
+        try:
+            eval_mask(self.stage.where, ctx)
+        except VectorizationError:
+            return "row"
+        columns = ctx.columns
+        if not all(f in columns and columns[f].dtype.kind in "iub"
+                   for f in self.stage.key.fields):
+            return "row"
+        vstore = VectorSplitStore(self.stage, self._geometry, **self._config)
+        if not all(f in columns for f in vstore.needed_fields):
+            return "row"
+        self.store = vstore
+        return "vector"
+
+    def process_batch(self, ctx: ArrayContext, rows: _LazyRowLists) -> None:
         """Chunk path: the WHERE mask and the key columns are extracted
-        once per chunk; the split store's sequential cache machinery
-        then runs only for matching packets with pre-built keys."""
+        once per chunk.  Vector mode queues the filtered arrays for the
+        schedule-driven store; row mode runs the sequential cache
+        machinery per matching packet with pre-built keys."""
+        if self._mode is None:
+            self._mode = self._decide_mode(ctx)
+        if self._mode == "vector":
+            mask = eval_mask(self.stage.where, ctx)
+            keys = np.column_stack([
+                ctx.columns[f].astype(np.int64, copy=False)
+                for f in self.stage.key.fields
+            ])
+            needed = self.store.needed_fields
+            if mask is None:
+                cols = {f: ctx.columns[f] for f in needed}
+            else:
+                sel = np.flatnonzero(mask)
+                keys = keys[sel]
+                cols = {f: ctx.columns[f][sel] for f in needed}
+            self.store.add_batch(keys, cols)
+            return
         try:
             mask = eval_mask(self.stage.where, ctx)
             key_columns = [
                 ctx.columns[f].tolist() for f in self.stage.key.fields
             ]
         except (VectorizationError, KeyError):
+            row_lists = rows.materialize()
             for i in range(ctx.n):
                 self.process(_ColumnRow(row_lists, i))
             return
+        row_lists = rows.materialize()
         indices = range(ctx.n) if mask is None else np.flatnonzero(mask).tolist()
         keys = zip(*key_columns)
         process_keyed = self.store.process_keyed
@@ -169,6 +238,17 @@ class SwitchPipeline:
             per-query-name mapping.
         policy: Cache eviction policy.
         seed: Hash seed.
+        engine: Split-store execution engine for ``GROUPBY`` stages on
+            the batch path — ``"vector"`` (schedule-driven
+            :class:`~repro.switch.kvstore.vector_store.VectorSplitStore`),
+            ``"row"`` (per-packet :class:`SplitKeyValueStore`), or
+            ``"auto"`` (vector whenever the stream supports it).  Both
+            engines produce bit-identical results.  The vector store
+            defers execution until results are read, so with
+            ``"auto"``/``"vector"`` all observables (stats, results,
+            writes) are end-of-run values and further streaming after a
+            read raises — use ``"row"`` for incremental streaming with
+            mid-run reads.
     """
 
     def __init__(
@@ -179,7 +259,10 @@ class SwitchPipeline:
         policy: str = "lru",
         seed: int = 0,
         refresh_interval: int | None = None,
+        engine: str = "auto",
     ):
+        if engine not in ENGINES:
+            raise HardwareError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.program = program
         self.params = dict(params or {})
         missing = set(program.params) - set(self.params)
@@ -190,7 +273,7 @@ class SwitchPipeline:
         self._groupbys = [
             _GroupByRunner(s, self._geometry_for(s.query_name, geometry),
                            self.params, policy, seed,
-                           refresh_interval=refresh_interval)
+                           refresh_interval=refresh_interval, engine=engine)
             for s in program.groupby_stages
         ]
         self.packets_seen = 0
@@ -235,19 +318,21 @@ class SwitchPipeline:
         """Chunked batch execution over a columnar observation table."""
         columns = table.columns()
         n = len(table)
-        # Only the fields the program parses are converted to Python
-        # lists for the per-packet update functions (§3.1: the
-        # programmable parser extracts exactly the configured fields).
+        # Only the fields the program parses are ever converted to
+        # Python lists for the per-packet update functions (§3.1: the
+        # programmable parser extracts exactly the configured fields) —
+        # and only lazily, when a stage actually runs a per-packet
+        # fallback; fully vectorized chunks never pay for the lists.
         fields = tuple(self.program.parse_fields) or tuple(columns)
         for lo in range(0, n, chunk_size):
             hi = min(lo + chunk_size, n)
             chunk = {name: arr[lo:hi] for name, arr in columns.items()}
-            row_lists = {name: chunk[name].tolist() for name in fields}
+            rows = _LazyRowLists(chunk, fields)
             ctx = ArrayContext(chunk, self.params, hi - lo)
             for select in self._selects:
-                select.process_batch(ctx, row_lists)
+                select.process_batch(ctx, rows)
             for groupby in self._groupbys:
-                groupby.process_batch(ctx, row_lists)
+                groupby.process_batch(ctx, rows)
             self.packets_seen += hi - lo
         return self
 
@@ -274,9 +359,9 @@ class SwitchPipeline:
         return {g.stage.query_name: g.store.stats for g in self._groupbys}
 
     def backing_writes(self) -> dict[str, int]:
-        return {g.stage.query_name: g.store.backing.writes for g in self._groupbys}
+        return {g.stage.query_name: g.store.backing_writes for g in self._groupbys}
 
-    def store_for(self, query_name: str) -> SplitKeyValueStore:
+    def store_for(self, query_name: str) -> SplitKeyValueStore | VectorSplitStore:
         for groupby in self._groupbys:
             if groupby.stage.query_name == query_name:
                 return groupby.store

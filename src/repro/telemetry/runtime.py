@@ -129,13 +129,18 @@ class QueryEngine:
         policy: Cache eviction policy.
         exact_history: Enable the exact-history merge extension.
         seed: Hash seed for the caches.
-        engine: Exact-evaluation engine for software stages, ground
-            truth, and :meth:`run_exact` — ``"vector"`` (batch,
-            :class:`~repro.core.vector_exec.VectorExecutor`), ``"row"``
-            (the reference interpreter), or ``"auto"`` (vector for
-            columnar observation tables, row otherwise).  Both engines
-            produce identical results; the knob trades per-row dispatch
-            for array operations.
+        engine: Execution engine, end to end — it selects both the
+            exact evaluator for software stages / ground truth /
+            :meth:`run_exact` (``"vector"`` =
+            :class:`~repro.core.vector_exec.VectorExecutor`, ``"row"``
+            = the reference interpreter) **and** the hardware path's
+            split-store engine (``"vector"`` = the schedule-driven
+            :class:`~repro.switch.kvstore.vector_store.VectorSplitStore`,
+            ``"row"`` = the per-packet store).  ``"auto"`` picks vector
+            wherever the input supports it (columnar tables, integer
+            keys) and row otherwise.  Every engine combination produces
+            bit-identical results; the knob trades per-row dispatch for
+            array operations.
     """
 
     def __init__(
@@ -224,18 +229,26 @@ class QueryEngine:
         every query's result (hardware + software stages).
 
         Columnar observation tables keep their columnar form end to
-        end: the pipeline runs its chunked batch mode and (under
-        ``engine="auto"``) software stages and the optional ground
-        truth run on the vectorized executor.
+        end: the pipeline runs its chunked batch mode with the
+        schedule-driven vector split store (under ``engine="auto"`` /
+        ``"vector"``), and software stages and the optional ground
+        truth run on the vectorized executor.  ``engine="vector"``
+        columnizes row input first so the whole run stays array-native.
         """
         if isinstance(records, (list, ObservationTable)):
             stream = records
         else:
             stream = list(records)
+        if self.engine == "vector":
+            if isinstance(stream, list):
+                stream = ObservationTable(stream)
+            if not stream.is_columnar:
+                stream = ObservationTable.from_arrays(stream.columns())
         pipeline = SwitchPipeline(
             self.compiled, params=self.params, geometry=self.geometry,
             policy=self.policy, seed=self.seed,
             refresh_interval=self.refresh_interval,
+            engine=self.engine,
         )
         pipeline.run(stream)
         tables = pipeline.results(include_invalid=include_invalid)
