@@ -1,0 +1,226 @@
+"""PERF — streaming TelemetrySession: bounded memory at one-shot speed.
+
+The windowed session is the PR's answer to the one-shot vector store's
+unbounded deferral: the schedule executes every ``window`` accesses
+with carried residency/epoch state.  This bench drives a synthetic
+flow stream **10× the window** through both paths — in separate
+subprocesses, so each run's peak RSS is its own — and asserts the
+acceptance criteria:
+
+* **bounded memory** — the windowed session *generates batches on the
+  fly* and never holds the stream; its peak RSS must stay well under
+  the one-shot run's (which must materialise all ten windows of
+  columns), and must not grow when the stream doubles to 20× the
+  window;
+* **≤ 1.3× runtime** — streaming costs at most 30% over the one-shot
+  run of the same stream;
+* **bit-identical results** — asserted here on the full stream and in
+  CI by the ``smoke`` test (tiny sizes, row vs vector vs windowed).
+
+A ``BENCH_streaming.json`` artifact (seconds + peak RSS per mode)
+lands at the repo root to anchor the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.network.records import ObservationTable
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.telemetry.runtime import QueryEngine
+
+QUERY = "SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip"
+GEOMETRY = CacheGeometry.set_associative(1 << 12, ways=8)
+WINDOW = 1 << 17
+N_WINDOWS = 10
+FLOWS = 50_000
+SEED = 2016_04
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+
+def make_batch(i: int, size: int, flows: int = FLOWS) -> ObservationTable:
+    """Deterministic columnar batch ``i`` of a heavy-tailed flow
+    stream — both phases rebuild identical batches, so the windowed
+    phase never has to hold more than one."""
+    rng = np.random.default_rng(SEED + i)
+    flow = rng.zipf(1.2, size).astype(np.int64) % flows
+    tin = np.arange(i * size, (i + 1) * size, dtype=np.int64) * 100
+    return ObservationTable.from_arrays({
+        "srcip": 0x0A000000 + flow,
+        "dstip": 0x0B000000 + (flow * 7 + 3) % flows,
+        "srcport": 1000 + (flow % 53),
+        "pkt_len": rng.integers(64, 1500, size),
+        "tin": tin,
+        "tout": (tin + rng.integers(1000, 9000, size)).astype(np.float64),
+    })
+
+
+def _engine() -> QueryEngine:
+    return QueryEngine(QUERY, geometry=GEOMETRY)
+
+
+def _result_fingerprint(report) -> tuple:
+    table = report.result
+    return (len(table),
+            sum(table.column("COUNT")),
+            sum(table.column("SUM(pkt_len)")))
+
+
+def _warmup() -> None:
+    """One tiny end-to-end pass so import/allocator costs are paid
+    before either phase's clock starts."""
+    session = _engine().open(window=1 << 12)
+    session.ingest(make_batch(10 ** 6, 1 << 12))
+    session.close()
+    _engine().run(make_batch(10 ** 6 + 1, 1 << 12))
+
+
+def _run_one_shot(n_windows: int, out: dict) -> None:
+    """Materialise the whole stream (what the deferred store needs
+    anyway), then run it through the one-shot path."""
+    _warmup()
+    batches = [make_batch(i, WINDOW) for i in range(n_windows)]
+    full = ObservationTable.from_arrays({
+        name: np.concatenate([b.columns()[name] for b in batches])
+        for name in batches[0].columns()
+    })
+    del batches
+    t0 = time.perf_counter()
+    report = _engine().run(full)
+    out["seconds"] = time.perf_counter() - t0
+    out["fingerprint"] = _result_fingerprint(report)
+    out["peak_rss_mb"] = _peak_rss_mb()
+
+
+def _run_windowed(n_windows: int, out: dict) -> None:
+    """Generate-and-ingest: at no point does the process hold more
+    than one batch of the stream.  Generation time is excluded from
+    ``seconds`` (the one-shot phase generates before its clock starts),
+    so the ratio compares the execution engines, not the generator."""
+    _warmup()
+    session = _engine().open(window=WINDOW)
+    t0 = time.perf_counter()
+    generating = 0.0
+    for i in range(n_windows):
+        g0 = time.perf_counter()
+        batch = make_batch(i, WINDOW)
+        generating += time.perf_counter() - g0
+        session.ingest(batch)
+    report = session.close()
+    out["seconds"] = time.perf_counter() - t0 - generating
+    out["fingerprint"] = _result_fingerprint(report)
+    out["peak_rss_mb"] = _peak_rss_mb()
+
+
+def _peak_rss_mb() -> float:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":       # bytes on macOS, KiB on Linux
+        peak //= 1024
+    return round(peak / 1024, 1)
+
+
+def _in_subprocess(target, *args) -> dict:
+    """Run a phase in its own process so ru_maxrss is per-phase."""
+    ctx = mp.get_context("spawn")
+    with ctx.Manager() as manager:
+        out = manager.dict()
+        proc = ctx.Process(target=target, args=(*args, out))
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 0, f"phase crashed: {target.__name__}"
+        return dict(out)
+
+
+# -- smoke (CI): tiny stream, bit-identity across engines/windows -------------
+
+def test_smoke_streaming_bit_identical():
+    """Row vs vector vs windowed sessions on a tiny stream whose
+    window is smaller than the trace: identical tables + counters."""
+    geometry = CacheGeometry.set_associative(256, ways=8)
+    batches = [make_batch(i, 2000, flows=500) for i in range(4)]
+    full = ObservationTable.from_arrays({
+        name: np.concatenate([b.columns()[name] for b in batches])
+        for name in batches[0].columns()
+    })
+
+    def observables(report):
+        return ({q: t.rows for q, t in report.tables.items()},
+                {q: (s.accesses, s.hits, s.misses, s.insertions,
+                     s.evictions)
+                 for q, s in report.cache_stats.items()},
+                report.backing_writes, report.accuracy)
+
+    base = observables(QueryEngine(QUERY, geometry=geometry,
+                                   engine="row").run(full))
+    assert observables(QueryEngine(QUERY, geometry=geometry,
+                                   engine="vector").run(full)) == base
+    for engine in ("row", "vector"):
+        session = QueryEngine(QUERY, geometry=geometry,
+                              engine=engine).open(window=1500)
+        for batch in batches:
+            session.ingest(batch)
+        assert observables(session.close()) == base, engine
+
+
+# -- acceptance: bounded RSS at <= 1.3x one-shot runtime ----------------------
+
+@pytest.fixture(scope="module")
+def comparison(report):
+    one_shot = _in_subprocess(_run_one_shot, N_WINDOWS)
+    windowed = _in_subprocess(_run_windowed, N_WINDOWS)
+    windowed_2x = _in_subprocess(_run_windowed, 2 * N_WINDOWS)
+    assert windowed["fingerprint"] == one_shot["fingerprint"]
+
+    payload = {
+        "query": QUERY,
+        "window": WINDOW,
+        "stream": N_WINDOWS * WINDOW,
+        "flows": FLOWS,
+        "one_shot_seconds": round(one_shot["seconds"], 3),
+        "windowed_seconds": round(windowed["seconds"], 3),
+        "runtime_ratio": round(windowed["seconds"] / one_shot["seconds"], 3),
+        "one_shot_peak_rss_mb": one_shot["peak_rss_mb"],
+        "windowed_peak_rss_mb": windowed["peak_rss_mb"],
+        "windowed_2x_stream_peak_rss_mb": windowed_2x["peak_rss_mb"],
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report("PERF: streaming session (windowed vs one-shot)", "\n".join([
+        f"{QUERY}",
+        f"stream {N_WINDOWS}x window of {WINDOW} ({N_WINDOWS * WINDOW} "
+        f"records, {FLOWS} flows)",
+        f"one-shot: {one_shot['seconds']:6.2f}s  "
+        f"peak RSS {one_shot['peak_rss_mb']:7.1f} MB",
+        f"windowed: {windowed['seconds']:6.2f}s  "
+        f"peak RSS {windowed['peak_rss_mb']:7.1f} MB  "
+        f"(ratio {payload['runtime_ratio']:.2f}x)",
+        f"windowed, 2x stream:      "
+        f"peak RSS {windowed_2x['peak_rss_mb']:7.1f} MB",
+        f"artifact: {ARTIFACT.name}",
+    ]))
+    return payload
+
+
+def test_streaming_runtime_within_30_percent(comparison):
+    assert comparison["runtime_ratio"] <= 1.3, (
+        f"windowed session {comparison['runtime_ratio']:.2f}x one-shot "
+        f"({comparison['windowed_seconds']}s vs "
+        f"{comparison['one_shot_seconds']}s)")
+
+
+def test_streaming_rss_bounded_by_window_not_stream(comparison):
+    """Peak RSS must track the window, not the stream: well under the
+    stream-holding one-shot run, and flat when the stream doubles."""
+    assert comparison["windowed_peak_rss_mb"] <= \
+        0.6 * comparison["one_shot_peak_rss_mb"], comparison
+    assert comparison["windowed_2x_stream_peak_rss_mb"] <= \
+        1.25 * comparison["windowed_peak_rss_mb"], comparison

@@ -8,9 +8,11 @@ workload:
    row 1);
 2. inspect the compiled switch configuration — parser fields,
    match-action stage, key-value store layout, merge strategy;
-3. stream a trace through the modelled switch;
-4. read results from the backing store and check them against the
-   exact reference interpreter.
+3. open a streaming :class:`TelemetrySession` and ingest the trace in
+   batches, pulling a mid-stream result snapshot along the way (the
+   way a live monitor would);
+4. read final results from the backing store and check them against
+   the exact reference interpreter.
 
 Run:  python examples/quickstart.py
 """
@@ -42,8 +44,20 @@ def main() -> None:
     print(engine.describe_plan())
     print()
 
-    # Run: stream the observations through the modelled pipeline.
-    report = engine.run(table.records, with_ground_truth=True)
+    # Stream the observations through the modelled pipeline as a
+    # telemetry session: ingest in batches, snapshot mid-stream, close
+    # for the final report.  (engine.run(...) is exactly this, in one
+    # call, for bounded traces.)
+    session = engine.open(window=4096)
+    records = table.records
+    half = len(records) // 2
+    session.ingest(records[:half])
+    midway = session.results()
+    print(f"mid-stream snapshot after {half} observations: "
+          f"{len(midway.result)} flow pairs so far")
+    session.ingest(records[half:])
+    report = session.close()
+    report.ground_truth = engine.run_exact(records)
 
     stats = report.cache_stats[report.result_name]
     print(f"cache: {stats.accesses} accesses, {stats.hits} hits, "

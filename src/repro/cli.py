@@ -103,6 +103,11 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
                         help="enable the exact-history merge extension")
     parser.add_argument("--refresh", type=int, default=None, metavar="N",
                         help="push cache values to the backing store every N packets")
+    parser.add_argument("--window", type=int, default=None, metavar="N",
+                        help="stream through a windowed telemetry session: "
+                             "the vector split store executes its schedule "
+                             "every N accesses with carried state (bounded "
+                             "memory, bit-identical results)")
     parser.add_argument("--engine", default="auto",
                         choices=("auto", "vector", "row"),
                         help="exact-evaluation engine: vectorized batch "
@@ -118,9 +123,13 @@ def cmd_run(args: argparse.Namespace) -> int:
                          policy=args.policy, exact_history=args.exact_history,
                          refresh_interval=args.refresh, engine=args.engine)
     # The table is passed whole (not .records) so columnar traces take
-    # the batch pipeline / vectorized-executor path end to end.
-    report = engine.run(table, include_invalid=args.include_invalid,
-                        with_ground_truth=args.check)
+    # the batch pipeline / vectorized-executor path end to end; every
+    # run is one TelemetrySession (--window sets the streaming window).
+    session = engine.open(window=args.window)
+    session.ingest(table)
+    report = session.close(include_invalid=args.include_invalid)
+    if args.check:
+        report.ground_truth = engine.run_exact(table)
 
     result = report.result
     columns = list(result.schema.column_names())

@@ -60,3 +60,15 @@ class InterpreterError(QueryError):
 class HardwareError(Exception):
     """Base class for errors in the switch hardware model (not query bugs):
     invalid cache geometry, value wider than the configured slot, etc."""
+
+
+class SessionError(Exception):
+    """Base class for telemetry-session misuse: operations that the
+    session's configuration cannot honour (e.g. a mid-stream result
+    snapshot on the deferred one-shot vector store, which needs the
+    whole stream before it can execute its schedule)."""
+
+
+class SessionClosedError(SessionError):
+    """Raised when a closed :class:`~repro.telemetry.session.TelemetrySession`
+    is asked to ingest more observations (or to close again)."""

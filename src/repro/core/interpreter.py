@@ -18,8 +18,9 @@ of row dicts in packet order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
+
+import numpy as np
 
 from .ast_nodes import Expr
 from .errors import InterpreterError
@@ -36,19 +37,74 @@ from .semantics import (
 Row = dict[str, Numeric]
 
 
-@dataclass
 class ResultTable:
-    """Materialised result of one query."""
+    """Materialised result of one query.
 
-    schema: TableSchema
-    rows: list[Row] = field(default_factory=list)
+    Like :class:`~repro.network.records.ObservationTable`, the table is
+    in exactly one of two authority states:
+
+    * *columnar* — built by :meth:`from_columns` (the vectorized
+      executor and the bulk split-store path); per-column numpy arrays
+      are the canonical storage and row dicts are materialised only on
+      demand.  Column reads (:meth:`columns`, :meth:`to_columns`,
+      :meth:`column`) and length are O(1)-per-column.
+    * *row* — a mutable list of row dicts; entered on construction from
+      rows or the first time :attr:`rows` is touched (callers may
+      mutate the list, so a retained columnar copy cannot be kept
+      coherent and is dropped).
+
+    Materialised rows hold native Python scalars (numpy arrays convert
+    via ``tolist``), so they are indistinguishable from rows the
+    row-at-a-time evaluator produces.
+    """
+
+    __slots__ = ("schema", "_rows", "_columns", "_n")
+
+    def __init__(self, schema: TableSchema, rows: list[Row] | None = None):
+        self.schema = schema
+        self._rows: list[Row] | None = rows if rows is not None else []
+        self._columns: dict[str, object] | None = None
+        self._n = 0
 
     @property
     def name(self) -> str:
         return self.schema.name
 
+    # -- authority management ------------------------------------------------
+
+    @property
+    def is_columnar(self) -> bool:
+        """True when the canonical storage is the column dict."""
+        return self._columns is not None
+
+    @property
+    def rows(self) -> list[Row]:
+        """The mutable row list; materialised from columns on demand
+        (which drops the columnar storage — the caller may mutate)."""
+        if self._rows is None:
+            self._rows = self._materialize_rows()
+            self._columns = None
+        return self._rows
+
+    @rows.setter
+    def rows(self, rows: list[Row]) -> None:
+        self._rows = rows
+        self._columns = None
+
+    def _materialize_rows(self) -> list[Row]:
+        columns = self._columns
+        assert columns is not None
+        names = list(columns)
+        data = [
+            column.tolist() if hasattr(column, "tolist") else list(column)
+            for column in columns.values()
+        ]
+        return [dict(zip(names, values)) for values in zip(*data)]
+
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is not None:
+            return len(self._rows)
+        return self._n
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
@@ -65,35 +121,58 @@ class ResultTable:
         col = self.schema.resolve(name)
         if col is None:
             raise InterpreterError(f"table {self.name!r} has no column {name!r}")
+        if self._columns is not None and col.name in self._columns:
+            values = self._columns[col.name]
+            return values.tolist() if hasattr(values, "tolist") else list(values)
         return [row[col.name] for row in self.rows]
 
     def sort_key(self) -> "ResultTable":
         """Rows sorted by key columns — convenient for stable output."""
-        if self.schema.keyed:
-            self.rows.sort(key=lambda r: tuple(r[k] for k in self.schema.key_columns))
+        if not self.schema.keyed:
+            return self
+        key_columns = self.schema.key_columns
+        if self._columns is not None and all(
+                isinstance(self._columns.get(k), np.ndarray)
+                for k in key_columns):
+            order = np.lexsort([self._columns[k]
+                                for k in reversed(key_columns)])
+            self._columns = {
+                name: col[order] if isinstance(col, np.ndarray)
+                else [col[i] for i in order.tolist()]
+                for name, col in self._columns.items()
+            }
+            return self
+        self.rows.sort(key=lambda r: tuple(r[k] for k in key_columns))
         return self
 
     # -- columnar bridge (used by the vectorized executor) -------------------
 
     @classmethod
     def from_columns(cls, schema: TableSchema, columns: Mapping[str, object]) -> "ResultTable":
-        """Build a table from per-column arrays/lists.
+        """Build a table with columnar authority from per-column
+        arrays/lists; row dicts are built lazily (see class docstring)."""
+        table = cls.__new__(cls)
+        table.schema = schema
+        table._rows = None
+        table._columns = dict(columns)
+        table._n = max((len(c) for c in table._columns.values()), default=0)
+        return table
 
-        Values are converted to native Python scalars (numpy arrays via
-        ``tolist``), so the rows are indistinguishable from ones the
-        row-at-a-time evaluator produces.
-        """
-        names = list(columns)
-        data = [
-            column.tolist() if hasattr(column, "tolist") else list(column)
-            for column in columns.values()
-        ]
-        rows = [dict(zip(names, values)) for values in zip(*data)]
-        return cls(schema=schema, rows=rows)
+    def columns(self) -> dict[str, object]:
+        """The per-column storage (arrays for columnar tables; built
+        from the rows otherwise).  Treat the result as read-only."""
+        if self._columns is not None:
+            return self._columns
+        return self.to_columns()
 
     def to_columns(self) -> dict[str, list[Numeric]]:
         """Per-column value lists for every schema column present in the
         rows — the input form the vectorized executor consumes."""
+        if self._columns is not None:
+            return {
+                name: (col.tolist() if hasattr(col, "tolist") else list(col))
+                for name, col in self._columns.items()
+            }
         if not self.rows:
             return {name: [] for name in self.schema.column_names()}
         present = [name for name in self.schema.column_names()

@@ -347,23 +347,39 @@ class _FoldVectorizer:
     # -- shared: history pre-values ------------------------------------------
 
     def _history_values(self, ctx: ArrayContext, layout: _GroupLayout,
+                        init_override: Mapping[str, np.ndarray] | None = None,
                         ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
         """Per-row *pre*-values and per-group final values of every
-        history variable (bounded-packet-history state, footnote 4)."""
+        history variable (bounded-packet-history state, footnote 4).
+
+        ``init_override`` maps state variables to per-group initial
+        values (length ``n_groups``) — the windowed split store's
+        epoch-continuation hook: a group whose epoch started in an
+        earlier window resumes from its carried value instead of the
+        fold's scalar init.
+        """
         history = self.linearity.history
         pre: dict[str, np.ndarray] = {}
         final: dict[str, np.ndarray] = {}
         starts = layout.segment_starts_mask()
+        nonempty = layout.counts > 0
         order = layout.order
         for var in sorted(history, key=history.get):
             hctx = ArrayContext(ctx.columns, self.params, ctx.n, state=pre)
             post = as_column(eval_array(self.update_exprs[var], hctx), ctx.n)
             post_gm = post[order]
             init = self.fold.inits.get(var, 0)
-            dtype = np.result_type(post_gm.dtype, _init_dtype(init))
-            pre_gm = np.empty(ctx.n, dtype=dtype)
-            pre_gm[1:] = post_gm[:-1]
-            pre_gm[starts] = init
+            if init_override is not None and var in init_override:
+                init_arr = init_override[var]
+                dtype = np.result_type(post_gm.dtype, init_arr.dtype)
+                pre_gm = np.empty(ctx.n, dtype=dtype)
+                pre_gm[1:] = post_gm[:-1]
+                pre_gm[starts] = init_arr[nonempty]
+            else:
+                dtype = np.result_type(post_gm.dtype, _init_dtype(init))
+                pre_gm = np.empty(ctx.n, dtype=dtype)
+                pre_gm[1:] = post_gm[:-1]
+                pre_gm[starts] = init
             pre_rm = np.empty_like(pre_gm)
             pre_rm[order] = pre_gm
             pre[var] = pre_rm
@@ -372,18 +388,33 @@ class _FoldVectorizer:
 
     # -- strategy: segmented reduction (identity matrix) ---------------------
 
-    def reduce(self, ctx: ArrayContext, layout: _GroupLayout) -> dict[str, np.ndarray]:
+    def reduce(self, ctx: ArrayContext, layout: _GroupLayout,
+               init_override: Mapping[str, np.ndarray] | None = None,
+               ) -> dict[str, np.ndarray]:
         """Identity-matrix linear folds: ``S = S + B`` accumulated with
-        order-preserving ``np.add.at`` (one pass, no Python loop)."""
-        pre_history, final_history = self._history_values(ctx, layout)
+        order-preserving ``np.add.at`` (one pass, no Python loop).
+
+        ``init_override`` seeds selected variables with per-group
+        starting values (epoch continuation, see
+        :meth:`_history_values`); accumulation on top of a seeded value
+        performs the same additions in the same order as the scalar
+        loop resuming from that value.
+        """
+        pre_history, final_history = self._history_values(
+            ctx, layout, init_override=init_override)
         states: dict[str, np.ndarray] = dict(final_history)
         for var in self.linearity.order:
             init = self.fold.inits.get(var, 0)
             b_expr = self.linearity.offset[var]
             bctx = ArrayContext(ctx.columns, self.params, ctx.n, state=pre_history)
             b = as_column(eval_array(b_expr, bctx), ctx.n)
-            dtype = np.result_type(np.asarray(b).dtype, _init_dtype(init))
-            out = np.full(layout.n_groups, init, dtype=dtype)
+            if init_override is not None and var in init_override:
+                init_arr = init_override[var]
+                dtype = np.result_type(np.asarray(b).dtype, init_arr.dtype)
+                out = init_arr.astype(dtype, copy=True)
+            else:
+                dtype = np.result_type(np.asarray(b).dtype, _init_dtype(init))
+                out = np.full(layout.n_groups, init, dtype=dtype)
             np.add.at(out, layout.gid, b.astype(dtype, copy=False))
             states[var] = out
         return states
@@ -401,9 +432,17 @@ class _FoldVectorizer:
         np.cumsum(round_counts, out=round_offsets[1:])
         return rows_rm, layout.gid[rows_rm], round_offsets
 
-    def run_rounds(self, ctx: ArrayContext, layout: _GroupLayout) -> dict[str, np.ndarray]:
+    def run_rounds(self, ctx: ArrayContext, layout: _GroupLayout,
+                   init_override: Mapping[str, np.ndarray] | None = None,
+                   ) -> dict[str, np.ndarray]:
         """Exact general path: apply the if-converted update expressions
-        elementwise across all groups, one round per in-group rank."""
+        elementwise across all groups, one round per in-group rank.
+
+        ``init_override`` seeds selected variables with per-group
+        starting values (epoch continuation) — each seeded group then
+        undergoes exactly the state transitions the scalar loop would
+        perform resuming from that state.
+        """
         rows_rm, gid_rm, round_offsets = self.round_plan(layout)
         needed = {name: ctx.columns[name] for name in self.needed
                   if name in ctx.columns}
@@ -414,7 +453,12 @@ class _FoldVectorizer:
         for var in self.fold.state_vars:
             init = self.fold.inits.get(var, 0)
             dtype = np.float64 if isinstance(init, float) else np.int64
-            states[var] = np.full(layout.n_groups, init, dtype=dtype)
+            if init_override is not None and var in init_override:
+                init_arr = init_override[var]
+                states[var] = init_arr.astype(
+                    np.result_type(dtype, init_arr.dtype), copy=True)
+            else:
+                states[var] = np.full(layout.n_groups, init, dtype=dtype)
         for r in range(len(round_offsets) - 1):
             lo, hi = round_offsets[r], round_offsets[r + 1]
             idx = rows_rm[lo:hi]
@@ -548,11 +592,14 @@ class VectorExecutor:
 
     @staticmethod
     def _columns_from_table(table: ResultTable) -> tuple[dict[str, np.ndarray], int]:
+        """Upstream-table columns as arrays — columnar tables (the
+        vector engines' output) hand their arrays over directly, with
+        no row materialisation."""
         columns = {
             name: np.asarray(values)
-            for name, values in table.to_columns().items()
+            for name, values in table.columns().items()
         }
-        return columns, len(table.rows)
+        return columns, len(table)
 
     # -- query dispatch ----------------------------------------------------------
 
@@ -583,7 +630,7 @@ class VectorExecutor:
             # interpreter over row views.
             stream = list(rows) if not isinstance(rows, list) else rows
             return self._interp.evaluate_stage(query.name, stream, tables)
-        column_cache[query.name] = (out_columns, len(table.rows))
+        column_cache[query.name] = (out_columns, len(table))
         return table
 
     # -- SELECT ------------------------------------------------------------------

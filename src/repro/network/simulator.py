@@ -19,6 +19,7 @@ queue sees nondecreasing arrival times as its analytic model requires.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
 import zlib
@@ -92,6 +93,7 @@ class NetworkSimulator:
         # list per schema field) and become a columnar ObservationTable
         # in run() — no per-record dataclass allocation or row sort.
         self._buffers: dict[str, list] = {name: [] for name in RECORD_FIELDS}
+        self._streamed = False
         self.table = ObservationTable()
         self.delivered = 0
         self.dropped = 0
@@ -142,6 +144,13 @@ class NetworkSimulator:
         numpy columns and one ``np.lexsort((pkt_id, tin))`` replaces
         the old Python row sort (same ``(tin, pkt_id)`` order).
         """
+        if self._streamed:
+            raise RuntimeError(
+                "observations were already streamed out via "
+                "stream_into(); run() would return an empty table — "
+                "build a fresh simulator (or collect the streamed "
+                "batches) to get the whole table"
+            )
         events = self._events
         while events:
             event = heapq.heappop(events)
@@ -155,6 +164,59 @@ class NetworkSimulator:
         self.table = ObservationTable.from_arrays(
             {name: arr[order] for name, arr in arrays.items()})
         return self.table
+
+    def stream_into(self, session, chunk_size: int = 1 << 16) -> int:
+        """Drain the event heap, feeding observations into ``session``
+        (anything with an ``ingest`` method — a
+        :class:`~repro.telemetry.session.TelemetrySession` or a
+        network-wide :class:`~repro.telemetry.deploy.NetworkSession`)
+        in bounded columnar batches, in exactly the order :meth:`run`'s
+        table would hold.
+
+        Records are buffered per field as in :meth:`run`, but flushed
+        whenever roughly ``chunk_size`` have accumulated: every
+        buffered record with ``tin`` strictly below the next pending
+        event's time is final (a queue stamps ``tin`` with the event
+        time, and events pop in nondecreasing time order), so the
+        prefix can be sorted by ``(tin, pkt_id)`` and emitted — the
+        concatenation of the batches equals the one-shot table bit for
+        bit, while peak memory stays bounded by the chunk, not the
+        trace.  Returns the number of observations streamed.
+        """
+        self._streamed = True
+        events = self._events
+        streamed = 0
+        while events:
+            event = heapq.heappop(events)
+            self._arrive(event)
+            if events and len(self._buffers["tin"]) >= chunk_size:
+                streamed += self._flush_into(session, events[0].time)
+        streamed += self._flush_into(session, None)
+        return streamed
+
+    def _flush_into(self, session, horizon: int | None) -> int:
+        """Emit the finalised buffer prefix (``tin < horizon``; all of
+        it when ``horizon`` is None) into ``session``."""
+        buffers = self._buffers
+        n = len(buffers["tin"])
+        if horizon is None:
+            cut = n
+        else:
+            # tins are nondecreasing in record order (see stream_into).
+            cut = bisect.bisect_left(buffers["tin"], horizon)
+        if cut == 0:
+            return 0
+        arrays = {
+            name: np.asarray(values[:cut],
+                             dtype=np.float64 if name == "tout" else np.int64)
+            for name, values in buffers.items()
+        }
+        for name in buffers:
+            del buffers[name][:cut]
+        order = np.lexsort((arrays["pkt_id"], arrays["tin"]))
+        session.ingest(ObservationTable.from_arrays(
+            {name: arr[order] for name, arr in arrays.items()}))
+        return cut
 
     def _arrive(self, event: _Event) -> None:
         packet = event.packet

@@ -203,6 +203,19 @@ class SplitKeyValueStore:
         return build_result_table(self.stage, self.backing, self._seen,
                                   self.params, include_invalid=include_invalid)
 
+    def snapshot_backing(self) -> BackingStore:
+        """A copy of the backing store with every resident *dirty*
+        entry's value absorbed — the end-of-run backing state, computed
+        without finalizing (streaming continues untouched).  The
+        pipeline's mid-stream snapshot builds the result table,
+        writes, and accuracy off this one copy."""
+        snapshot = self.backing.clone()
+        for entry in self.cache.entries():
+            if entry.value.dirty:
+                snapshot.absorb(entry.key, entry.value.states,
+                                entry.value.aux)
+        return snapshot
+
     # -- statistics -------------------------------------------------------------
 
     @property

@@ -132,6 +132,52 @@ class _FoldEpochs:
         return aux
 
 
+class _FoldCont:
+    """Epoch-continuation inputs for one fold in one window: epochs of
+    the current window that resume a carried open epoch, with the
+    carried end state and auxiliary registers to resume from.
+
+    ``eids``, ``states`` and ``auxes`` are aligned; ``eids`` are epoch
+    ids of the *current* window's layout.
+    """
+
+    __slots__ = ("eids", "states", "auxes")
+
+    def __init__(self, eids: np.ndarray, states: list[dict],
+                 auxes: list[AuxState]):
+        self.eids = eids
+        self.states = states
+        self.auxes = auxes
+
+    def __len__(self) -> int:
+        return len(self.eids)
+
+    def p_values(self, var: str) -> np.ndarray:
+        """Carried merge products for ``var``, aligned with ``eids``."""
+        return np.asarray([aux["P"][var] for aux in self.auxes],
+                          dtype=np.float64)
+
+    def override(self, fold: FoldConfig, n_groups: int,
+                 variables) -> dict[str, np.ndarray]:
+        """Per-group initial-value arrays for ``variables``: the fold's
+        scalar init everywhere, the carried value at continuing epochs
+        (dtype-promoted so carried floats are not truncated)."""
+        out: dict[str, np.ndarray] = {}
+        for var in variables:
+            init = fold.instance.inits.get(var, 0)
+            arr = np.full(n_groups, init,
+                          dtype=np.float64 if isinstance(init, float)
+                          else np.int64)
+            if len(self.eids):
+                vals = np.asarray([s[var] for s in self.states])
+                dtype = np.result_type(arr.dtype, vals.dtype)
+                if dtype != arr.dtype:
+                    arr = arr.astype(dtype)
+                arr[self.eids] = vals
+            out[var] = arr
+        return out
+
+
 class VectorSplitStore:
     """Vectorized split cache/backing-store engine for one ``GROUPBY``
     stage — same constructor and result surface as
@@ -312,34 +358,56 @@ class VectorSplitStore:
     # -- fold evaluation -----------------------------------------------------
 
     def _eval_fold(self, fold: FoldConfig, ctx: ArrayContext,
-                   layout: GroupLayout) -> _FoldEpochs:
+                   layout: GroupLayout,
+                   cont: _FoldCont | None = None) -> _FoldEpochs:
+        """Per-epoch fold values; ``cont`` (windowed mode) seeds epochs
+        that continue a carried open epoch from an earlier window."""
         spec = fold.merge
         vec = self._vec[fold.column]
         try:
+            if cont is not None and spec.exact_history:
+                # Continuing an exact-history epoch means resuming its
+                # packet log / snapshot / seen registers mid-prefix —
+                # sequential by nature: exact scalar replay.
+                return self._replay_fold(fold, ctx, layout, cont)
             if spec.strategy == "list":
                 # Non-mergeable: only per-epoch end states are needed
                 # (the backing store keeps them as value segments).
-                states = vec.evaluate(ctx, layout)
+                if cont is None:
+                    states = vec.evaluate(ctx, layout)
+                else:
+                    override = cont.override(fold, layout.n_groups,
+                                             fold.instance.state_vars)
+                    if vec.strategy == "reduction":
+                        states = vec.reduce(ctx, layout,
+                                            init_override=override)
+                    else:
+                        states = vec.run_rounds(ctx, layout,
+                                                init_override=override)
                 return _FoldEpochs(spec, _tolist_states(states))
             if spec.strategy == "additive":
-                return self._eval_additive(fold, vec, ctx, layout)
+                return self._eval_additive(fold, vec, ctx, layout, cont)
             if spec.strategy == "scale" and not spec.exact_history:
-                return self._eval_scale(fold, vec, ctx, layout)
+                return self._eval_scale(fold, vec, ctx, layout, cont)
             # Full-matrix merge products (and exact-history scale) are
             # sequential and non-commutative: exact scalar replay.
-            return self._replay_fold(fold, ctx, layout)
+            return self._replay_fold(fold, ctx, layout, cont)
         except VectorizationError:
-            return self._replay_fold(fold, ctx, layout)
+            return self._replay_fold(fold, ctx, layout, cont)
 
     def _eval_additive(self, fold: FoldConfig, vec: FoldVectorizer,
-                       ctx: ArrayContext, layout: GroupLayout) -> _FoldEpochs:
+                       ctx: ArrayContext, layout: GroupLayout,
+                       cont: _FoldCont | None = None) -> _FoldEpochs:
         """Identity-matrix linear folds: per-epoch ``S = init + Σ B``
         via order-preserving ``np.add.at`` (bit-identical to the row
         loop), with history pre-values reset per epoch; exact-history
         snapshots are the same reduction restricted to each epoch's
-        first ``k`` packets."""
+        first ``k`` packets.  ``cont`` seeds continuing epochs' state
+        (exact-history continuation never reaches this path)."""
         spec = fold.merge
-        pre, final = vec._history_values(ctx, layout)
+        override = None if cont is None else \
+            cont.override(fold, layout.n_groups, fold.instance.state_vars)
+        pre, final = vec._history_values(ctx, layout, init_override=override)
         states = dict(final)
         k = spec.history_depth if spec.exact_history else 0
         snapshot: dict[str, np.ndarray] = {}
@@ -353,10 +421,16 @@ class VectorSplitStore:
             init = fold.instance.inits.get(var, 0)
             b = np.asarray(as_column(
                 eval_array(fold.linearity.offset[var], bctx), ctx.n))
-            dtype = np.result_type(
-                b.dtype, np.float64 if isinstance(init, float) else np.int64)
+            if override is not None:
+                init_arr = override[var]
+                dtype = np.result_type(b.dtype, init_arr.dtype)
+                out = init_arr.astype(dtype, copy=True)
+            else:
+                dtype = np.result_type(
+                    b.dtype,
+                    np.float64 if isinstance(init, float) else np.int64)
+                out = np.full(layout.n_groups, init, dtype=dtype)
             b = b.astype(dtype, copy=False)
-            out = np.full(layout.n_groups, init, dtype=dtype)
             np.add.at(out, layout.gid, b)
             states[var] = out
             if k:
@@ -371,22 +445,30 @@ class VectorSplitStore:
         )
 
     def _eval_scale(self, fold: FoldConfig, vec: FoldVectorizer,
-                    ctx: ArrayContext, layout: GroupLayout) -> _FoldEpochs:
+                    ctx: ArrayContext, layout: GroupLayout,
+                    cont: _FoldCont | None = None) -> _FoldEpochs:
         """Diagonal linear folds (EWMA class): end states via the exact
         round-major path; the merge product ``P`` is a segmented
         ``np.multiply.at`` of the per-packet coefficients (affine
         extraction guarantees they read only the packet and history
-        pre-values, so one vectorized pass evaluates them all)."""
+        pre-values, so one vectorized pass evaluates them all).
+        ``cont`` seeds continuing epochs' state and running product —
+        multiplications then continue in packet order from the carried
+        product, exactly like the scalar ``P ← a·P`` updates."""
         spec = fold.merge
-        states = vec.run_rounds(ctx, layout)
+        override = None if cont is None else \
+            cont.override(fold, layout.n_groups, fold.instance.state_vars)
+        states = vec.run_rounds(ctx, layout, init_override=override)
         coeffs = [spec.matrix.get((var, var)) for var in spec.order]
         pre = None
         if any(c is not None and _references_state(c) for c in coeffs):
-            pre, _ = vec._history_values(ctx, layout)
+            pre, _ = vec._history_values(ctx, layout, init_override=override)
         pctx = ArrayContext(ctx.columns, self.params, ctx.n, state=pre)
         P: dict[str, list] = {}
         for var, coeff in zip(spec.order, coeffs):
             prod = np.ones(layout.n_groups, dtype=np.float64)
+            if cont is not None and len(cont.eids):
+                prod[cont.eids] = cont.p_values(var)
             if coeff is None:
                 a: np.ndarray | float = 0.0
             else:
@@ -415,11 +497,14 @@ class VectorSplitStore:
         return logs
 
     def _replay_fold(self, fold: FoldConfig, ctx: ArrayContext,
-                     layout: GroupLayout) -> _FoldEpochs:
+                     layout: GroupLayout,
+                     cont: _FoldCont | None = None) -> _FoldEpochs:
         """Exact scalar replay over the packed epoch layout — the same
         update/aux calls as the row store's per-packet path, minus the
         cache machinery.  Safety net for full-matrix merges and
-        anything the array evaluator cannot express."""
+        anything the array evaluator cannot express.  ``cont`` seeds
+        continuing epochs with (copies of) the carried state and
+        auxiliary registers."""
         spec = fold.merge
         update = compile_update(fold.alu.update_exprs, self.params)
         needs_aux = spec.strategy in ("scale", "matrix") or spec.exact_history
@@ -432,6 +517,11 @@ class VectorSplitStore:
         n_epochs = layout.n_groups
         states: list[dict | None] = [None] * n_epochs
         auxes: list[AuxState | None] = [None] * n_epochs
+        if cont is not None:
+            for e, state, aux in zip(cont.eids.tolist(), cont.states,
+                                     cont.auxes):
+                states[e] = dict(state)
+                auxes[e] = _copy_aux(aux)
         exact_history = spec.exact_history
         for i in layout.order.tolist():      # epoch-major, time within
             e = gid_list[i]
@@ -578,6 +668,22 @@ class VectorSplitStore:
         if self._backing is None and self._bulk is not None:
             return 1.0
         return self.backing.accuracy
+
+
+def _copy_aux(aux: AuxState) -> AuxState:
+    """Copy carried auxiliary registers deeply enough that a replay
+    continuation cannot mutate the original (``update_aux`` mutates the
+    ``P`` dict in place and appends to the log list; the other entries
+    are replaced, never mutated)."""
+    out: AuxState = {}
+    for name, value in aux.items():
+        if isinstance(value, dict):
+            out[name] = dict(value)
+        elif isinstance(value, list):
+            out[name] = list(value)
+        else:
+            out[name] = value
+    return out
 
 
 def _tolist_states(states: dict[str, np.ndarray]) -> dict[str, list]:

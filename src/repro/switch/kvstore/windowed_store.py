@@ -1,0 +1,927 @@
+"""Windowed vectorized split store: bounded-memory streaming execution.
+
+:class:`~repro.switch.kvstore.vector_store.VectorSplitStore` defers all
+work to ``finalize()`` because the replacement schedule is a function of
+the *whole* key stream — memory grows with the stream.  This module
+executes the same schedule-driven machinery **window by window** with
+carried state, so peak memory is bounded by the window (plus per-key
+results), while every observable stays **bit-identical** to the one-shot
+store and to the per-packet row store, for *any* window partitioning:
+
+1. **Carried residency.** The cache's replacement state at a window
+   boundary is summarised and replayed into the next window's schedule:
+
+   * LRU / direct-mapped (``m == 1``, any policy — one slot per bucket
+     makes the policies indistinguishable): by the LRU inclusion
+     property, the resident keys of a set are exactly its ``m`` most
+     recently accessed distinct keys, in recency order.  Prepending one
+     *phantom access* per resident key (per set, oldest → newest) to
+     the window's stream reconstructs the exact replacement state, so
+     the unmodified
+     :meth:`~repro.switch.kvstore.vector_cache.VectorCacheSim.miss_schedule`
+     over the augmented stream yields the continuation's exact hit/miss
+     flags.  Eviction counts fall out of per-set occupancy arithmetic
+     (``max(0, occupancy + misses - m)`` per set), and the next
+     boundary's residency is read off the augmented stream's per-set
+     most-recent keys.
+   * FIFO / random: the replay loops of the one-shot engine, with their
+     per-set structures (and the shared RNG) carried across windows.
+
+2. **Carried open epochs.** A key's current cache-residency epoch can
+   span windows.  Its partial fold state (and merge registers) is
+   carried — in per-key *arrays* for the vectorizable merge classes
+   (additive, scale, non-mergeable value segments), in per-key dicts
+   for the sequential ones (full-matrix, exact history) — and injected
+   as the initial per-epoch state of the next window's segmented fold
+   evaluation (``init_override`` in :mod:`repro.core.vector_exec`);
+   accumulations and round updates then perform the same scalar
+   operations in the same order as an uncut epoch, so results are
+   bit-identical.  An epoch closes — and is absorbed into the backing
+   store, in per-key chronological order — when its key misses again,
+   when a periodic-refresh boundary passes (global positions), or when
+   the key is found non-resident at a window boundary (its next access,
+   if any, must miss, so the epoch is provably complete).  Open-epoch
+   state is therefore bounded by the cache capacity.
+
+3. **Carried merges.** The all-plain-additive fast path keeps per-key
+   accumulator arrays (one ``np.add.at`` per window over global key
+   ids) instead of a materialised backing store; the general path
+   absorbs into a real :class:`BackingStore` as epochs close.  Window
+   keys map to persistent global ids with one ``searchsorted`` over a
+   sorted view of the known unique keys — no per-access Python.
+
+Differential tests (``tests/test_session.py``) assert bit-identical
+tables, counters, accuracy, writes, and refresh counts against both the
+row store and the one-shot vector store across the query catalog,
+multiple window sizes, and refresh intervals that cut mid-window.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.errors import HardwareError
+from repro.core.eval_expr import Numeric
+from repro.core.interpreter import ResultTable
+from repro.core.merge_synthesis import AuxState, State
+from repro.core.plan import FoldConfig, GroupByStage
+from repro.core.vector_exec import (
+    ArrayContext,
+    GroupLayout,
+    VectorizationError,
+    as_column,
+    eval_array,
+    factorize,
+)
+
+from .backing import BackingStore, KeyEntry
+from .cache import CacheGeometry, CacheStats
+from .split import build_result_table
+from .vector_cache import VectorCacheSim, mix_key_array
+from .vector_store import VectorSplitStore, _FoldCont, _copy_aux
+
+#: Default window: large enough to amortise the per-window vector work,
+#: small enough that a few windows of columns stay cache-friendly.
+DEFAULT_WINDOW = 1 << 17
+
+_U = np.uint64
+
+
+@dataclass
+class StoreSnapshot:
+    """Mid-stream observable state, as if the stream ended now."""
+
+    table: ResultTable
+    stats: CacheStats
+    backing_writes: int
+    accuracy: float
+
+
+class _ArrayCont:
+    """Array-backed epoch continuation (the windowed store's carried
+    open-epoch arrays) — same interface as
+    :class:`~repro.switch.kvstore.vector_store._FoldCont`, with the
+    per-epoch dict lists materialised only on the replay fallback."""
+
+    __slots__ = ("eids", "gids", "_state", "_P", "_fold")
+
+    def __init__(self, eids: np.ndarray, gids: np.ndarray,
+                 state: dict[str, np.ndarray],
+                 P: dict[str, np.ndarray] | None, fold: FoldConfig):
+        self.eids = eids
+        self.gids = gids
+        self._state = state
+        self._P = P
+        self._fold = fold
+
+    def __len__(self) -> int:
+        return len(self.eids)
+
+    def p_values(self, var: str) -> np.ndarray:
+        return self._P[var][self.gids]
+
+    def override(self, fold: FoldConfig, n_groups: int,
+                 variables) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for var in variables:
+            init = fold.instance.inits.get(var, 0)
+            arr = np.full(n_groups, init,
+                          dtype=np.float64 if isinstance(init, float)
+                          else np.int64)
+            vals = self._state[var][self.gids]
+            dtype = np.result_type(arr.dtype, vals.dtype)
+            if dtype != arr.dtype:
+                arr = arr.astype(dtype)
+            arr[self.eids] = vals
+            out[var] = arr
+        return out
+
+    # Replay fallback only: per-epoch scalar dicts.
+
+    @property
+    def states(self) -> list[State]:
+        lists = {var: arr[self.gids].tolist()
+                 for var, arr in self._state.items()}
+        return [{var: vals[i] for var, vals in lists.items()}
+                for i in range(len(self.gids))]
+
+    @property
+    def auxes(self) -> list[AuxState]:
+        if self._P is None:
+            return [{} for _ in range(len(self.gids))]
+        lists = {var: arr[self.gids].tolist()
+                 for var, arr in self._P.items()}
+        return [{"P": {var: vals[i] for var, vals in lists.items()}}
+                for i in range(len(self.gids))]
+
+
+class _LruWindowScheduler:
+    """Carried-residency scheduler for LRU and direct-mapped caches
+    (any policy when ``m == 1``).  See the module docstring, item 1."""
+
+    def __init__(self, geometry: CacheGeometry, policy: str, seed: int):
+        self.geometry = geometry
+        self.policy = policy
+        self.seed = seed
+        self._res_keys: np.ndarray | None = None   # (r, k) key columns
+        self._res_gids = np.zeros(0, dtype=np.int64)
+
+    def schedule(self, keys2d: np.ndarray, gid: np.ndarray,
+                 ) -> tuple[np.ndarray, int, np.ndarray]:
+        """Miss flags (stream order), eviction count, and the resident
+        key ids after this window."""
+        geometry = self.geometry
+        n_buckets, m = geometry.n_buckets, geometry.m_slots
+        r = len(self._res_gids)
+        if r:
+            aug_keys = np.concatenate([self._res_keys, keys2d])
+            aug_gid = np.concatenate([self._res_gids, gid])
+        else:
+            aug_keys, aug_gid = keys2d, gid
+        n_aug = len(aug_gid)
+        sim = VectorCacheSim(aug_keys, seed=self.seed, key_ids=aug_gid)
+        miss = sim.miss_schedule(geometry, policy=self.policy)[r:]
+
+        if n_buckets == 1:
+            buckets = np.zeros(n_aug, dtype=np.int64)
+        else:
+            buckets = (sim._hash() % _U(n_buckets)).astype(np.int64)
+
+        # Evictions: LRU occupancy only grows (an eviction replaces),
+        # so per set they are max(0, occupancy_before + misses - m).
+        miss_b = buckets[r:][miss]
+        if not len(miss_b):
+            evictions = 0
+        elif n_buckets <= 1 << 22:
+            occ = np.bincount(buckets[:r], minlength=n_buckets)
+            per_set = np.bincount(miss_b, minlength=n_buckets)
+            evictions = int(np.maximum(0, occ + per_set - m).sum())
+        else:                              # degenerate bucket counts
+            all_b = np.concatenate([buckets[:r], miss_b])
+            uniq, inv = np.unique(all_b, return_inverse=True)
+            occ = np.bincount(inv[:r], minlength=len(uniq))
+            per_set = np.bincount(inv[r:], minlength=len(uniq))
+            evictions = int(np.maximum(0, occ + per_set - m).sum())
+
+        # New residency: per set, the (up to) m most recently accessed
+        # distinct keys of the augmented stream, in recency order.
+        comp = (aug_gid << np.int64(32)) | np.arange(n_aug, dtype=np.int64)
+        comp.sort()
+        pos = comp & np.int64(0xFFFFFFFF)
+        gz = comp >> np.int64(32)
+        last = np.empty(n_aug, dtype=bool)
+        last[-1] = True
+        np.not_equal(gz[1:], gz[:-1], out=last[:-1])
+        last_pos = pos[last]                      # last access per key
+        last_gid = gz[last]
+        key_bucket = buckets[last_pos]
+        order = np.argsort((key_bucket << np.int64(32)) | last_pos)
+        sb = key_bucket[order]
+        nk = len(sb)
+        seg_start = np.empty(nk, dtype=bool)
+        seg_start[0] = True
+        np.not_equal(sb[1:], sb[:-1], out=seg_start[1:])
+        seg_id = np.cumsum(seg_start) - 1
+        counts = np.bincount(seg_id)
+        ends = np.repeat(np.cumsum(counts), counts)
+        keep = (ends - np.arange(nk)) <= m        # tail m of each set
+        kept = order[keep]
+        recency = np.argsort(last_pos[kept])      # oldest → newest
+        kept = kept[recency]
+        self._res_gids = last_gid[kept]
+        self._res_keys = aug_keys[last_pos[kept]]
+        return miss, evictions, self._res_gids
+
+
+class _ReplayWindowScheduler:
+    """Carried per-set replay for the FIFO/random ablation policies —
+    the one-shot engine's exact Python loops with their bucket
+    structures (and the shared RNG) persisted across windows."""
+
+    def __init__(self, geometry: CacheGeometry, policy: str, seed: int):
+        self.geometry = geometry
+        self.policy = policy
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: bucket -> insertion-ordered {key id: None} (mirrors the
+        #: reference cache's per-bucket OrderedDict).
+        self._buckets: dict[int, dict[int, None]] = {}
+
+    def schedule(self, keys2d: np.ndarray, gid: np.ndarray,
+                 ) -> tuple[np.ndarray, int, np.ndarray]:
+        n = len(gid)
+        n_buckets, m = self.geometry.n_buckets, self.geometry.m_slots
+        if n_buckets == 1:
+            bucket_list = [0] * n
+        else:
+            bucket_list = (mix_key_array(keys2d, self.seed) %
+                           _U(n_buckets)).astype(np.int64).tolist()
+        miss = np.zeros(n, dtype=bool)
+        evictions = 0
+        randomized = self.policy == "random"
+        rng = self._rng
+        buckets = self._buckets
+        for i, (g, b) in enumerate(zip(gid.tolist(), bucket_list)):
+            resident = buckets.setdefault(b, {})
+            if g in resident:
+                continue
+            miss[i] = True
+            if len(resident) >= m:
+                if randomized:
+                    victim = rng.choice(list(resident))
+                else:
+                    victim = next(iter(resident))
+                del resident[victim]
+                evictions += 1
+            resident[g] = None
+        resident_gids = np.fromiter(
+            (g for d in buckets.values() for g in d), dtype=np.int64)
+        return miss, evictions, resident_gids
+
+
+class WindowedVectorStore(VectorSplitStore):
+    """Streaming variant of :class:`VectorSplitStore`: executes the
+    schedule-driven machinery once per ``window`` accesses with carried
+    residency/epoch state (see the module docstring), so unbounded
+    streams run in bounded memory.  Same constructor and observable
+    surface; additionally supports mid-stream :meth:`snapshot` reads.
+    """
+
+    def __init__(
+        self,
+        stage: GroupByStage,
+        geometry: CacheGeometry,
+        params: Mapping[str, Numeric] | None = None,
+        policy: str = "lru",
+        seed: int = 0,
+        refresh_interval: int | None = None,
+        window: int = DEFAULT_WINDOW,
+    ):
+        super().__init__(stage, geometry, params=params, policy=policy,
+                         seed=seed, refresh_interval=refresh_interval)
+        if window <= 0:
+            raise HardwareError("window must be positive")
+        self.window = window
+        self._buffered = 0
+        self._total = 0
+        # Persistent key table: unique key rows in first-seen
+        # (= first-access) order, with a sorted void view for
+        # vectorized window-key -> global-id matching.
+        self._nkeys = 0
+        self._all_keys = np.zeros((0, len(stage.key.fields)),
+                                  dtype=np.int64)
+        self._sorted_view: np.ndarray | None = None
+        self._sorted_perm: np.ndarray | None = None
+        self._keys_list: list[tuple] = []
+        # Open epochs, bounded by cache capacity: a per-key flag/last-
+        # position pair, per-key state arrays for the vectorizable
+        # merge classes, per-key dicts for the sequential ones.
+        self._open_mask = np.zeros(0, dtype=bool)
+        self._open_pos = np.zeros(0, dtype=np.int64)
+        self._array_carry = {
+            fold.column: (fold.merge.strategy in ("additive", "scale",
+                                                  "list")
+                          and not fold.merge.exact_history)
+            for fold in stage.folds
+        }
+        self._open_state: dict[str, dict[str, np.ndarray]] = {
+            fold.column: {} for fold in stage.folds
+            if self._array_carry[fold.column]
+        }
+        self._open_P: dict[str, dict[str, np.ndarray]] = {
+            fold.column: {} for fold in stage.folds
+            if self._array_carry[fold.column]
+            and fold.merge.strategy == "scale"
+        }
+        self._open_dicts: dict[int, dict[str, tuple[State, AuxState]]] = {}
+        if geometry.m_slots == 1 or policy == "lru":
+            self._sched = _LruWindowScheduler(geometry, policy, seed)
+        else:
+            self._sched = _ReplayWindowScheduler(geometry, policy, seed)
+        # Absorption target: per-key accumulator arrays when every fold
+        # merges by plain addition from zero (the one-shot bulk path's
+        # condition), a real backing store otherwise.
+        self._bulk_mode = self._all_plain_additive()
+        if self._bulk_mode:
+            self._acc: dict[str, dict[str, np.ndarray]] = {
+                fold.column: {} for fold in stage.folds}
+            self._hist: dict[str, dict[str, np.ndarray]] = {
+                fold.column: {} for fold in stage.folds}
+            self._epochs = np.zeros(0, dtype=np.int64)
+        else:
+            self._backing = BackingStore(stage.folds, params=self.params)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add_batch(self, keys: np.ndarray,
+                  columns: Mapping[str, np.ndarray]) -> None:
+        if self._finalized:
+            raise HardwareError("store already finalized")
+        if keys.ndim != 2 or keys.dtype.kind not in "iub":
+            raise HardwareError("vector store needs a 2-D integer key array")
+        self._key_chunks.append(keys)
+        for name in self.needed_fields:
+            try:
+                self._col_chunks[name].append(columns[name])
+            except KeyError:
+                raise HardwareError(f"missing fold input column {name!r}") \
+                    from None
+        self._buffered += len(keys)
+        if self._buffered >= self.window:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Execute everything buffered as one window."""
+        if self._buffered == 0:
+            return
+        keys2d = np.ascontiguousarray(np.concatenate(self._key_chunks))
+        if keys2d.dtype != np.int64:
+            keys2d = keys2d.astype(np.int64)
+        columns = {
+            name: np.concatenate(chunks)
+            for name, chunks in self._col_chunks.items()
+        }
+        self._key_chunks.clear()
+        for chunks in self._col_chunks.values():
+            chunks.clear()
+        self._buffered = 0
+        self._run_window(keys2d, columns)
+
+    # -- global key ids ------------------------------------------------------
+
+    def _map_global(self, unique_cols: list[np.ndarray]) -> np.ndarray:
+        """Map a window's unique key rows (first-occurrence order) to
+        persistent global ids, registering unseen keys in order — one
+        ``searchsorted`` against the sorted view of the known keys."""
+        rows = np.ascontiguousarray(np.column_stack(unique_cols))
+        view = rows.view([("", np.int64)] * rows.shape[1]).ravel()
+        u = len(rows)
+        l2g = np.empty(u, dtype=np.int64)
+        if self._sorted_view is None or self._nkeys == 0:
+            fresh = np.ones(u, dtype=bool)
+        else:
+            pos = np.searchsorted(self._sorted_view, view)
+            found = pos < len(self._sorted_view)
+            safe = np.where(found, pos, 0)
+            found &= self._sorted_view[safe] == view
+            l2g[found] = self._sorted_perm[safe[found]]
+            fresh = ~found
+        n_new = int(np.count_nonzero(fresh))
+        if n_new:
+            start = self._nkeys
+            new_gids = start + np.arange(n_new)
+            l2g[fresh] = new_gids
+            self._grow_keys(start + n_new)
+            new_rows = rows[fresh]
+            self._all_keys[start:start + n_new] = new_rows
+            self._nkeys = start + n_new
+            self._keys_list.extend(
+                zip(*(new_rows[:, j].tolist()
+                      for j in range(new_rows.shape[1]))))
+            # Merge the new keys into the sorted view incrementally —
+            # O(new log new + K) instead of re-sorting all K keys.
+            new_view = view[fresh]
+            new_order = np.argsort(new_view)
+            new_sorted = new_view[new_order]
+            if self._sorted_view is None or start == 0:
+                self._sorted_view = new_sorted
+                self._sorted_perm = new_gids[new_order]
+            else:
+                pos = np.searchsorted(self._sorted_view, new_sorted)
+                self._sorted_view = np.insert(self._sorted_view, pos,
+                                              new_sorted)
+                self._sorted_perm = np.insert(self._sorted_perm, pos,
+                                              new_gids[new_order])
+        return l2g
+
+    def _grow_keys(self, n: int) -> None:
+        """Grow every per-key array to capacity >= n (doubling)."""
+        if len(self._open_mask) >= n:
+            return
+        cap = max(n, 2 * len(self._open_mask), 1024)
+        grown = np.zeros((cap, self._all_keys.shape[1]), dtype=np.int64)
+        grown[:self._nkeys] = self._all_keys[:self._nkeys]
+        self._all_keys = grown
+        self._open_mask = _grown(self._open_mask, cap)
+        self._open_pos = _grown(self._open_pos, cap)
+        if self._bulk_mode:
+            self._epochs = _grown(self._epochs, cap)
+            per_key = [self._acc, self._hist]
+        else:
+            per_key = []
+        for group in (*per_key, self._open_state, self._open_P):
+            for per_fold in group.values():
+                for var, arr in per_fold.items():
+                    per_fold[var] = _grown(arr, cap)
+
+    # -- one window ----------------------------------------------------------
+
+    def _run_window(self, keys2d: np.ndarray,
+                    columns: dict[str, np.ndarray]) -> None:
+        n = len(keys2d)
+        offset = self._total
+        key_cols = [keys2d[:, j] for j in range(keys2d.shape[1])]
+        lgid, l_unique_cols, l_n = factorize(key_cols)
+        gid = self._map_global(l_unique_cols)[lgid]
+
+        # Replacement schedule with carried residency.
+        miss, evictions, resident = self._sched.schedule(keys2d, gid)
+        stats = self._stats
+        misses = int(np.count_nonzero(miss))
+        stats.accesses += n
+        stats.hits += n - misses
+        stats.misses += misses
+        stats.insertions += misses
+        stats.evictions += evictions
+
+        # Epoch segmentation (identical to the one-shot store, with
+        # refresh boundaries at *global* stream positions).
+        comp = (gid << np.int64(32)) | np.arange(n, dtype=np.int64)
+        comp.sort()
+        sorted_idx = comp & np.int64(0xFFFFFFFF)
+        gid_sorted = comp >> np.int64(32)
+        new_epoch = np.empty(n, dtype=bool)
+        new_epoch[0] = True
+        same_key = gid_sorted[1:] == gid_sorted[:-1]
+        new_epoch[1:] = ~same_key | miss[sorted_idx[1:]]
+        refresh = self.refresh_interval
+        if refresh is not None:
+            boundaries = (sorted_idx + offset) // refresh
+            new_epoch[1:] |= same_key & (boundaries[1:] > boundaries[:-1])
+        eid_sorted = np.cumsum(new_epoch) - 1
+        n_epochs = int(eid_sorted[-1]) + 1
+        eid = np.empty(n, dtype=np.int64)
+        eid[sorted_idx] = eid_sorted
+        epoch_key = gid_sorted[new_epoch]
+        layout = GroupLayout.from_sorted_order(eid, n_epochs, sorted_idx)
+
+        # Per-key window extent (sorted space is key-major).
+        key_start = np.empty(n, dtype=bool)
+        key_start[0] = True
+        key_start[1:] = ~same_key
+        start_pos = np.flatnonzero(key_start)
+        end_pos = np.append(start_pos[1:], n) - 1
+        win_keys = gid_sorted[start_pos]          # distinct ids, ascending
+        first_idx = sorted_idx[start_pos]
+        last_eid = eid_sorted[end_pos]
+
+        # Carried open epochs: continue into this window's first epoch
+        # of their key (first access hits, no refresh boundary passed),
+        # or close now — *before* the window's own epochs of that key.
+        open_w = self._open_mask[win_keys]
+        cont_mask = open_w & ~miss[first_idx]
+        if refresh is not None:
+            cont_mask &= (self._open_pos[win_keys] // refresh ==
+                          (first_idx + offset) // refresh)
+        self._absorb_open(win_keys[open_w & ~cont_mask])
+        cont_keys = win_keys[cont_mask]
+        cont_eids = eid_sorted[start_pos][cont_mask]
+        self._open_mask[cont_keys] = False
+        cont_dicts = [self._open_dicts.pop(int(g), None)
+                      for g in cont_keys] if self._open_dicts else \
+            [None] * len(cont_keys)
+
+        # Per-epoch fold values, with continuation injection.
+        ctx = ArrayContext(columns, self.params, n)
+        fold_epochs = {}
+        for fold in self.stage.folds:
+            col = fold.column
+            if not len(cont_keys):
+                cont = None
+            elif self._array_carry[col]:
+                cont = _ArrayCont(cont_eids, cont_keys,
+                                  self._open_state[col],
+                                  self._open_P.get(col), fold)
+            else:
+                cont = _FoldCont(
+                    cont_eids,
+                    [d[col][0] for d in cont_dicts],
+                    [d[col][1] for d in cont_dicts],
+                )
+            fold_epochs[col] = self._eval_fold(fold, ctx, layout, cont)
+
+        # Absorb every epoch that provably closed inside the window
+        # (all but each key's last), then stash the still-open ones.
+        is_open = np.zeros(n_epochs, dtype=bool)
+        is_open[last_eid] = True
+        if self._bulk_mode:
+            self._bulk_absorb_closed(fold_epochs, epoch_key, ~is_open)
+        else:
+            items = list(fold_epochs.items())
+            keys_list = self._keys_list
+            absorb = self._backing.absorb
+            open_list = is_open.tolist()
+            for e, g in enumerate(epoch_key.tolist()):
+                if open_list[e]:
+                    continue
+                absorb(keys_list[g],
+                       {col: fe.value(e) for col, fe in items},
+                       {col: fe.aux(e) for col, fe in items})
+        self._stash_open(win_keys, last_eid,
+                         offset + sorted_idx[end_pos], fold_epochs)
+
+        # Window boundary: a key that is no longer resident can only
+        # miss on its next access, so its open epoch is complete.
+        open_gids = np.flatnonzero(self._open_mask[:self._nkeys])
+        self._absorb_open(open_gids[~np.isin(open_gids, resident)])
+
+        self._total += n
+        if refresh is not None:
+            self.refreshes = self._total // refresh
+
+    # -- open-epoch carry ----------------------------------------------------
+
+    def _stash_open(self, win_keys: np.ndarray, last_eid: np.ndarray,
+                    last_pos: np.ndarray, fold_epochs) -> None:
+        """Record each window key's still-open last epoch in the carry
+        storage (vectorized for the array-carried folds)."""
+        self._open_mask[win_keys] = True
+        self._open_pos[win_keys] = last_pos
+        dict_folds = []
+        for fold in self.stage.folds:
+            col = fold.column
+            fe = fold_epochs[col]
+            if not self._array_carry[col]:
+                dict_folds.append((col, fe))
+                continue
+            target = self._open_state[col]
+            for var in fold.instance.state_vars:
+                if fe.arrays is not None:
+                    vals = fe.arrays[var]
+                else:
+                    vals = np.asarray(fe.values[var])
+                self._scatter(target, var, vals[last_eid], win_keys)
+            if fold.merge.strategy == "scale":
+                p_target = self._open_P[col]
+                for var in fold.merge.order:
+                    if fe.P is not None:
+                        pvals = np.asarray(fe.P[var],
+                                           dtype=np.float64)[last_eid]
+                    else:                  # replay fallback window
+                        pvals = np.asarray(
+                            [fe.aux_list[e]["P"][var]
+                             for e in last_eid.tolist()])
+                    self._scatter(p_target, var, pvals, win_keys)
+        if dict_folds:
+            for j, g in enumerate(win_keys.tolist()):
+                e = int(last_eid[j])
+                self._open_dicts[g] = {
+                    col: (fe.value(e), fe.aux(e)) for col, fe in dict_folds
+                }
+
+    def _scatter(self, target: dict[str, np.ndarray], var: str,
+                 vals: np.ndarray, gids: np.ndarray) -> None:
+        """``target[var][gids] = vals`` with creation/promotion."""
+        arr = target.get(var)
+        if arr is None:
+            arr = np.zeros(len(self._open_mask), dtype=vals.dtype)
+            target[var] = arr
+        promoted = np.result_type(arr.dtype, vals.dtype)
+        if promoted != arr.dtype:
+            arr = arr.astype(promoted)
+            target[var] = arr
+        arr[gids] = vals
+
+    def _open_payloads(self, gids: np.ndarray) -> list[
+            tuple[int, dict[str, State], dict[str, AuxState]]]:
+        """(gid, states, aux) for carried open epochs — scalars pulled
+        out of the carry arrays (native Python values, like the
+        one-shot absorb path) and the carry dicts."""
+        out = []
+        glist = gids.tolist()
+        per_fold: dict[str, tuple[dict[str, list], dict[str, list] | None]] = {}
+        for fold in self.stage.folds:
+            col = fold.column
+            if not self._array_carry[col]:
+                continue
+            states = {var: arr[gids].tolist()
+                      for var, arr in self._open_state[col].items()}
+            P = None
+            if fold.merge.strategy == "scale":
+                P = {var: arr[gids].tolist()
+                     for var, arr in self._open_P[col].items()}
+            per_fold[col] = (states, P)
+        for i, g in enumerate(glist):
+            states: dict[str, State] = {}
+            aux: dict[str, AuxState] = {}
+            for fold in self.stage.folds:
+                col = fold.column
+                if self._array_carry[col]:
+                    vals, P = per_fold[col]
+                    states[col] = {var: lst[i] for var, lst in vals.items()}
+                    aux[col] = {} if P is None else \
+                        {"P": {var: lst[i] for var, lst in P.items()}}
+                else:
+                    states[col], aux[col] = self._open_dicts[g][col]
+            out.append((g, states, aux))
+        return out
+
+    # -- absorption ----------------------------------------------------------
+
+    def _absorb_open(self, gids: np.ndarray) -> None:
+        """Close and absorb the carried open epochs of ``gids``
+        (vectorized on the all-additive path)."""
+        if len(gids) == 0:
+            return
+        if self._bulk_mode:
+            for fold in self.stage.folds:
+                col = fold.column
+                history = fold.linearity.history
+                for var in fold.instance.state_vars:
+                    vals = self._open_state[col][var][gids]
+                    target = self._hist if var in history else self._acc
+                    arr = self._target_array(target[col], var, vals.dtype)
+                    if var in history:
+                        arr[gids] = vals
+                    else:
+                        arr[gids] += vals      # unique ids: plain fancy add
+            self._epochs[gids] += 1
+            self._writes += len(gids)
+        else:
+            absorb = self._backing.absorb
+            keys_list = self._keys_list
+            for g, states, aux in self._open_payloads(gids):
+                absorb(keys_list[g], states, aux)
+        self._open_mask[gids] = False
+        if self._open_dicts:
+            for g in gids.tolist():
+                self._open_dicts.pop(g, None)
+
+    def _bulk_absorb_closed(self, fold_epochs, epoch_key: np.ndarray,
+                            closed: np.ndarray) -> None:
+        """Vectorized absorption of the window's closed epochs on the
+        all-additive path: one ``np.add.at`` per order variable, a
+        last-epoch-per-key assignment per history variable."""
+        closed_e = np.flatnonzero(closed)
+        if len(closed_e) == 0:
+            return
+        closed_g = epoch_key[closed_e]
+        # Epoch ids ascend per key, so each key's closed epochs are a
+        # contiguous, chronological run; its last one carries the
+        # history values.
+        run_last = np.empty(len(closed_g), dtype=bool)
+        run_last[-1] = True
+        np.not_equal(closed_g[1:], closed_g[:-1], out=run_last[:-1])
+        for fold in self.stage.folds:
+            fe = fold_epochs[fold.column]
+            history = fold.linearity.history
+            for var in fold.instance.state_vars:
+                if fe.arrays is not None:
+                    vals = fe.arrays[var]
+                else:
+                    vals = np.asarray(fe.values[var])
+                vals = vals[closed_e]
+                target = self._hist if var in history else self._acc
+                arr = self._target_array(target[fold.column], var,
+                                         vals.dtype)
+                if var in history:
+                    arr[closed_g[run_last]] = vals[run_last]
+                else:
+                    np.add.at(arr, closed_g, vals)
+        np.add.at(self._epochs, closed_g, 1)
+        self._writes += len(closed_e)
+
+    def _target_array(self, target: dict[str, np.ndarray], var: str,
+                      dtype) -> np.ndarray:
+        """The per-key accumulator for ``var``, created/promoted on
+        demand at the shared capacity."""
+        arr = target.get(var)
+        if arr is None:
+            arr = np.zeros(len(self._open_mask), dtype=dtype)
+            target[var] = arr
+        promoted = np.result_type(arr.dtype, dtype)
+        if promoted != arr.dtype:
+            arr = arr.astype(promoted)
+            target[var] = arr
+        return arr
+
+    # -- end of run / observables --------------------------------------------
+
+    def finalize(self) -> None:
+        """Process the remaining partial window and absorb every open
+        epoch (idempotent)."""
+        if self._finalized:
+            return
+        self._drain()
+        self._finalized = True
+        self._absorb_open(np.flatnonzero(self._open_mask[:self._nkeys]))
+
+    @property
+    def backing(self) -> BackingStore:
+        self.finalize()
+        if self._bulk_mode:
+            return super().backing       # materialised from the arrays
+        return self._backing
+
+    def result_table(self, include_invalid: bool = False) -> ResultTable:
+        self.finalize()
+        if self._bulk_mode:
+            try:
+                return self._bulk_table(self._bulk_states())
+            except VectorizationError:
+                pass
+        return build_result_table(self.stage, self.backing,
+                                  self._keys_list, self.params,
+                                  include_invalid=include_invalid)
+
+    def _bulk_states(self) -> dict[str, dict[str, np.ndarray]]:
+        """Merged per-key state arrays (all-additive path), trimmed to
+        the key count."""
+        nk = self._nkeys
+        out: dict[str, dict[str, np.ndarray]] = {}
+        for fold in self.stage.folds:
+            history = fold.linearity.history
+            per_var: dict[str, np.ndarray] = {}
+            for var in fold.instance.state_vars:
+                target = self._hist if var in history else self._acc
+                arr = target[fold.column].get(var)
+                if arr is None:
+                    init = fold.instance.inits.get(var, 0)
+                    arr = np.full(max(nk, 1), init)
+                per_var[var] = arr[:nk]
+            out[fold.column] = per_var
+        return out
+
+    def _bulk_table(self, merged: dict[str, dict[str, np.ndarray]],
+                    ) -> ResultTable:
+        n_groups = self._nkeys
+        keys = self._all_keys[:n_groups]
+        out: dict[str, np.ndarray] = {
+            field: keys[:, j]
+            for j, field in enumerate(self.stage.key.fields)
+        }
+        for col in self.stage.output.columns:
+            if col.kind == "agg":
+                out[col.name] = merged[col.fold][col.state_var]
+            elif col.kind == "derived":
+                dctx = ArrayContext({}, self.params, n_groups,
+                                    state=merged[col.fold])
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    out[col.name] = as_column(
+                        eval_array(col.read_expr, dctx), n_groups)
+        return ResultTable.from_columns(self.stage.output, out)
+
+    def _materialize_backing(self) -> BackingStore:
+        if not self._bulk_mode:
+            return self._backing
+        return self._backing_from_bulk(self._bulk_states(), self._writes,
+                                       self._epochs[:self._nkeys])
+
+    def _backing_from_bulk(self, merged, writes: int,
+                           epochs: np.ndarray) -> BackingStore:
+        """A real per-key :class:`BackingStore` from merged state
+        arrays (the bulk path's on-demand store surface)."""
+        backing = BackingStore(self.stage.folds, params=self.params)
+        backing.writes = writes
+        columns = [
+            (col, [(var, arr.tolist()) for var, arr in per_var.items()])
+            for col, per_var in merged.items()
+        ]
+        counts = epochs.tolist()
+        data = backing.data
+        for g, key in enumerate(self._keys_list):
+            data[key] = KeyEntry(
+                merged={col: {var: vals[g] for var, vals in items}
+                        for col, items in columns},
+                epochs=counts[g],
+            )
+        return backing
+
+    @property
+    def backing_writes(self) -> int:
+        self.finalize()
+        if self._bulk_mode:
+            return self._writes
+        return self._backing.writes
+
+    def accuracy(self) -> float:
+        self.finalize()
+        if self._bulk_mode:
+            return 1.0
+        return self._backing.accuracy
+
+    # -- mid-stream snapshots -------------------------------------------------
+
+    def snapshot(self, include_invalid: bool = False) -> StoreSnapshot:
+        """Observable state as if the stream ended now, without ending
+        it: pending input is executed (results are partition-
+        independent, so this is observation-neutral), open epochs are
+        absorbed into *copies*, and streaming continues untouched."""
+        if self._finalized:
+            return StoreSnapshot(
+                table=self.result_table(include_invalid=include_invalid),
+                stats=replace(self._stats),
+                backing_writes=self.backing_writes,
+                accuracy=self.accuracy(),
+            )
+        self._drain()
+        open_gids = np.flatnonzero(self._open_mask[:self._nkeys])
+        if self._bulk_mode:
+            merged = {
+                col: {var: arr.copy() for var, arr in per_var.items()}
+                for col, per_var in self._bulk_states().items()
+            }
+            for fold in self.stage.folds if len(open_gids) else ():
+                col = fold.column
+                history = fold.linearity.history
+                for var in fold.instance.state_vars:
+                    vals = self._open_state[col][var][open_gids]
+                    arr = merged[col][var]
+                    promoted = np.result_type(arr.dtype, vals.dtype)
+                    if promoted != arr.dtype:
+                        arr = arr.astype(promoted)
+                        merged[col][var] = arr
+                    if var in history:
+                        arr[open_gids] = vals
+                    else:
+                        arr[open_gids] += vals
+            try:
+                table = self._bulk_table(merged)
+            except VectorizationError:
+                table = build_result_table(
+                    self.stage, self._snapshot_backing(merged, open_gids),
+                    self._keys_list, self.params,
+                    include_invalid=include_invalid)
+            return StoreSnapshot(table=table, stats=replace(self._stats),
+                                 backing_writes=self._writes + len(open_gids),
+                                 accuracy=1.0)
+        snap = self._backing.clone()
+        for g, states, aux in self._open_payloads(open_gids):
+            snap.absorb(self._keys_list[g],
+                        {col: dict(s) for col, s in states.items()},
+                        {col: _copy_aux(a) for col, a in aux.items()})
+        table = build_result_table(self.stage, snap, self._keys_list,
+                                   self.params,
+                                   include_invalid=include_invalid)
+        return StoreSnapshot(table=table, stats=replace(self._stats),
+                             backing_writes=snap.writes,
+                             accuracy=snap.accuracy)
+
+    def _snapshot_backing(self, merged, open_gids) -> BackingStore:
+        epochs = self._epochs[:self._nkeys].copy()
+        epochs[open_gids] += 1
+        return self._backing_from_bulk(merged,
+                                       self._writes + len(open_gids),
+                                       epochs)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters over everything ingested so far (end-of-run values
+        once the store is finalized; open-epoch absorption never moves
+        the counters, so draining pending input suffices)."""
+        if not self._finalized:
+            self._drain()
+        return self._stats
+
+
+def _grown(arr: np.ndarray, n: int) -> np.ndarray:
+    """Capacity-doubling resize, preserving contents."""
+    if len(arr) >= n:
+        return arr
+    new = np.zeros(max(n, 2 * len(arr), 1024), dtype=arr.dtype)
+    new[:len(arr)] = arr
+    return new

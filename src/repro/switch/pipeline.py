@@ -15,11 +15,17 @@ program's software stages over the collected results.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.core.errors import CompileError, HardwareError, InterpreterError
+from repro.core.errors import (
+    CompileError,
+    HardwareError,
+    InterpreterError,
+    SessionError,
+)
 from repro.core.eval_expr import Numeric
 from repro.core.interpreter import ResultTable, Row
 from repro.core.plan import GroupByStage, SelectStage, SwitchProgram
@@ -34,8 +40,9 @@ from repro.network.records import ColumnRowView, ObservationTable
 
 from .alu import compile_predicate, compile_scalar
 from .kvstore.cache import ENGINES, CacheGeometry, CacheStats
-from .kvstore.split import SplitKeyValueStore
+from .kvstore.split import SplitKeyValueStore, build_result_table
 from .kvstore.vector_store import VectorSplitStore
+from .kvstore.windowed_store import WindowedVectorStore
 from .parser_model import ParserConfig, configure_parser
 
 #: Chunk size for the batch execution path: large enough to amortise
@@ -143,16 +150,24 @@ class _GroupByRunner:
 
     def __init__(self, stage: GroupByStage, geometry: CacheGeometry,
                  params: Mapping[str, Numeric], policy: str, seed: int,
-                 refresh_interval: int | None = None, engine: str = "auto"):
+                 refresh_interval: int | None = None, engine: str = "auto",
+                 window: int | None = None):
         self.stage = stage
         self.params = params
         self.engine = engine
+        self.window = window
         self.predicate = compile_predicate(stage.where, params)
         self._config = dict(params=params, policy=policy, seed=seed,
                             refresh_interval=refresh_interval)
         self._geometry = geometry
         self.store = SplitKeyValueStore(stage, geometry, **self._config)
         self._mode: str | None = None
+
+    def _make_vector_store(self) -> VectorSplitStore:
+        if self.window is not None:
+            return WindowedVectorStore(self.stage, self._geometry,
+                                       window=self.window, **self._config)
+        return VectorSplitStore(self.stage, self._geometry, **self._config)
 
     def process(self, record: object) -> None:
         if self._mode == "vector":
@@ -177,7 +192,7 @@ class _GroupByRunner:
         if not all(f in columns and columns[f].dtype.kind in "iub"
                    for f in self.stage.key.fields):
             return "row"
-        vstore = VectorSplitStore(self.stage, self._geometry, **self._config)
+        vstore = self._make_vector_store()
         if not all(f in columns for f in vstore.needed_fields):
             return "row"
         self.store = vstore
@@ -243,12 +258,19 @@ class SwitchPipeline:
             :class:`~repro.switch.kvstore.vector_store.VectorSplitStore`),
             ``"row"`` (per-packet :class:`SplitKeyValueStore`), or
             ``"auto"`` (vector whenever the stream supports it).  Both
-            engines produce bit-identical results.  The vector store
-            defers execution until results are read, so with
+            engines produce bit-identical results.  The one-shot vector
+            store defers execution until results are read, so with
             ``"auto"``/``"vector"`` all observables (stats, results,
             writes) are end-of-run values and further streaming after a
-            read raises — use ``"row"`` for incremental streaming with
-            mid-run reads.
+            read raises — pass ``window`` (or use ``"row"``) for
+            incremental streaming with mid-run reads.
+        window: When set, ``GROUPBY`` stages on the vector path use the
+            windowed store
+            (:class:`~repro.switch.kvstore.windowed_store.WindowedVectorStore`):
+            the schedule executes every ``window`` accesses with
+            carried state, bounding memory on unbounded streams and
+            enabling :meth:`snapshot_results` — results stay
+            bit-identical for every window size.
     """
 
     def __init__(
@@ -260,6 +282,7 @@ class SwitchPipeline:
         seed: int = 0,
         refresh_interval: int | None = None,
         engine: str = "auto",
+        window: int | None = None,
     ):
         if engine not in ENGINES:
             raise HardwareError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -273,7 +296,8 @@ class SwitchPipeline:
         self._groupbys = [
             _GroupByRunner(s, self._geometry_for(s.query_name, geometry),
                            self.params, policy, seed,
-                           refresh_interval=refresh_interval, engine=engine)
+                           refresh_interval=refresh_interval, engine=engine,
+                           window=window)
             for s in program.groupby_stages
         ]
         self.packets_seen = 0
@@ -354,6 +378,51 @@ class SwitchPipeline:
                 include_invalid=include_invalid
             )
         return out
+
+    def snapshot_results(self, include_invalid: bool = False) -> tuple[
+            dict[str, ResultTable], dict[str, CacheStats],
+            dict[str, int], dict[str, float]]:
+        """Mid-stream observables — ``(tables, cache stats, backing
+        writes, accuracy)`` as if the stream ended now — without
+        finalizing; streaming can continue afterwards.
+
+        Requires stores that support incremental reads (the row store
+        and the windowed vector store); the one-shot vector store's
+        schedule needs the whole stream, so it raises
+        :class:`~repro.core.errors.SessionError`.
+        """
+        tables: dict[str, ResultTable] = {}
+        stats: dict[str, CacheStats] = {}
+        writes: dict[str, int] = {}
+        accuracy: dict[str, float] = {}
+        for select in self._selects:
+            tables[select.stage.query_name] = ResultTable(
+                schema=select.stage.output, rows=list(select.rows))
+        for groupby in self._groupbys:
+            name = groupby.stage.query_name
+            store = groupby.store
+            if isinstance(store, WindowedVectorStore):
+                snap = store.snapshot(include_invalid=include_invalid)
+                tables[name] = snap.table
+                stats[name] = snap.stats
+                writes[name] = snap.backing_writes
+                accuracy[name] = snap.accuracy
+            elif isinstance(store, SplitKeyValueStore):
+                backing = store.snapshot_backing()
+                tables[name] = build_result_table(
+                    groupby.stage, backing, store._seen, self.params,
+                    include_invalid=include_invalid)
+                stats[name] = replace(store.stats)
+                writes[name] = backing.writes
+                accuracy[name] = backing.accuracy
+            else:
+                raise SessionError(
+                    "mid-stream results need an incremental store; the "
+                    "one-shot vector store defers its schedule to the "
+                    "end of the stream — open the session with a "
+                    "window= (or engine=\"row\") for streaming reads"
+                )
+        return tables, stats, writes, accuracy
 
     def cache_stats(self) -> dict[str, CacheStats]:
         return {g.stage.query_name: g.store.stats for g in self._groupbys}

@@ -1,16 +1,19 @@
 """End-to-end telemetry runtime and result comparison utilities."""
 
-from .deploy import NetworkDeployment, NetworkRunReport
+from .deploy import NetworkDeployment, NetworkRunReport, NetworkSession
 from .results import TableDiff, assert_tables_match, compare_tables
 from .runtime import QueryEngine, QueryInfo, RunReport, run
+from .session import TelemetrySession
 
 __all__ = [
     "NetworkDeployment",
     "NetworkRunReport",
+    "NetworkSession",
     "QueryEngine",
     "QueryInfo",
     "RunReport",
     "TableDiff",
+    "TelemetrySession",
     "assert_tables_match",
     "compare_tables",
     "run",

@@ -18,6 +18,13 @@ observations — and combines per-switch results in the collection layer:
   *per (key, switch)* — still exactly what an operator wants for
   "which queue hurts this flow".
 
+Execution rides the same :class:`~repro.telemetry.session.TelemetrySession`
+protocol as single-switch runs: :meth:`NetworkDeployment.open` yields a
+:class:`NetworkSession` holding one per-switch session; batches are
+routed to the owning switch (vectorized for columnar tables) and
+``results()``/``close()`` combine the per-switch reports.
+:meth:`NetworkDeployment.run` is the one-shot wrapper over it.
+
 This mirrors the paper's deployment story (queries are installed on
 switches; results are pulled from backing stores) one step further
 than the single-switch evaluation of §4.
@@ -28,16 +35,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.core.ast_nodes import Program
-from repro.core.compiler import CompileOptions, compile_program
+from repro.core.errors import SessionClosedError
 from repro.core.eval_expr import Numeric
 from repro.core.interpreter import ResultTable, Row
-from repro.core.parser import parse_program
-from repro.core.semantics import resolve_program
-from repro.network.records import PacketRecord
+from repro.network.records import ObservationTable, PacketRecord
 from repro.network.simulator import NetworkSimulator
-from repro.switch.kvstore.cache import CacheGeometry
-from repro.switch.pipeline import DEFAULT_GEOMETRY, GeometrySpec, SwitchPipeline
+from repro.switch.pipeline import DEFAULT_GEOMETRY, GeometrySpec
+from repro.telemetry.runtime import QueryEngine
+from repro.telemetry.session import TelemetrySession
 
 
 @dataclass
@@ -60,7 +68,7 @@ class NetworkDeployment:
         simulator: The network whose switches observe traffic.  Each
             switch is identified by its node name; observations are
             routed to the switch owning the observed queue.
-        params, geometry, policy, seed, exact_history: as in
+        params, geometry, policy, seed, exact_history, engine: as in
             :class:`repro.telemetry.runtime.QueryEngine`.
     """
 
@@ -73,54 +81,37 @@ class NetworkDeployment:
         policy: str = "lru",
         seed: int = 0,
         exact_history: bool = False,
+        engine: str = "auto",
     ):
-        program = parse_program(source) if isinstance(source, str) else source
-        self.resolved = resolve_program(program)
-        self.compiled = compile_program(
-            self.resolved, CompileOptions(exact_history=exact_history))
-        self.params = dict(params or {})
+        self.engine = QueryEngine(source, params=params, geometry=geometry,
+                                  policy=policy, seed=seed,
+                                  exact_history=exact_history, engine=engine)
+        self.resolved = self.engine.resolved
+        self.compiled = self.engine.compiled
+        self.params = self.engine.params
         self.simulator = simulator
         self._queue_owner = {
             qid: edge[0] for edge, qid in simulator.topology._qids.items()
         }
-        self.pipelines: dict[str, SwitchPipeline] = {
-            switch: SwitchPipeline(self.compiled, params=self.params,
-                                   geometry=geometry, policy=policy, seed=seed)
-            for switch in simulator.topology.switches()
-        }
+        self._session: NetworkSession | None = None
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, records: Iterable[PacketRecord]) -> NetworkRunReport:
-        """Route each observation to the switch owning its queue, then
-        collect and combine results."""
-        for record in records:
-            owner = self._queue_owner.get(record.qid)
-            if owner is None:
-                continue  # observation from an unmonitored queue
-            self.pipelines[owner].process(record)
+    def open(self, window: int | None = None) -> "NetworkSession":
+        """Open one streaming session per switch; batches ingested into
+        the returned :class:`NetworkSession` are routed to the switch
+        owning each observation's queue.  The most recently opened
+        session backs :meth:`cache_stats`."""
+        self._session = NetworkSession(self, window=window)
+        return self._session
 
-        per_switch = {
-            switch: pipeline.results()
-            for switch, pipeline in self.pipelines.items()
-        }
-        combined: dict[str, ResultTable] = {}
-        combinable: dict[str, bool] = {}
-        for stage in self.compiled.groupby_stages:
-            name = stage.query_name
-            combinable[name] = self._stage_combinable(stage)
-            if combinable[name]:
-                combined[name] = self._combine_additive(stage, per_switch)
-            else:
-                combined[name] = self._tag_per_switch(stage, per_switch)
-        for stage in self.compiled.select_stages:
-            merged = ResultTable(schema=stage.output)
-            for tables in per_switch.values():
-                merged.rows.extend(tables[stage.query_name].rows)
-            combined[stage.query_name] = merged
-            combinable[stage.query_name] = True
-        return NetworkRunReport(combined=combined, per_switch=per_switch,
-                                combinable=combinable)
+    def run(self, records: Iterable[PacketRecord]) -> NetworkRunReport:
+        """One-shot wrapper over :meth:`open`: route each observation
+        to the switch owning its queue, then collect and combine
+        results."""
+        session = self.open()
+        session.ingest(records)
+        return session.close()
 
     # -- combination ------------------------------------------------------------
 
@@ -168,5 +159,131 @@ class NetworkDeployment:
     # -- statistics -------------------------------------------------------------
 
     def cache_stats(self) -> dict[str, dict[str, object]]:
-        return {switch: pipeline.cache_stats()
-                for switch, pipeline in self.pipelines.items()}
+        if self._session is None:
+            return {}
+        return self._session.cache_stats()
+
+
+class NetworkSession:
+    """Streaming ingest across a deployment's switches: one
+    :class:`TelemetrySession` per switch, batches routed by queue
+    ownership, reports combined exactly like the one-shot path.
+    """
+
+    def __init__(self, deployment: NetworkDeployment,
+                 window: int | None = None):
+        self.deployment = deployment
+        self.window = window
+        self.sessions: dict[str, TelemetrySession] = {
+            switch: deployment.engine.open(window=window)
+            for switch in deployment.simulator.topology.switches()
+        }
+        self._switch_order = list(self.sessions)
+        owners = deployment._queue_owner
+        max_qid = max(owners, default=-1)
+        index = {s: i for i, s in enumerate(self._switch_order)}
+        self._owner_index = np.full(max_qid + 1, -1, dtype=np.int64)
+        for qid, owner in owners.items():
+            self._owner_index[qid] = index[owner]
+        self._closed = False
+        self._report: NetworkRunReport | None = None
+
+    def __enter__(self) -> "NetworkSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed and exc_type is None:
+            self.close()
+
+    # -- ingestion ------------------------------------------------------------
+
+    def ingest(self, batch: Iterable[object]) -> "NetworkSession":
+        """Route one batch of observations to the owning switches
+        (vectorized split for columnar tables; observations from
+        unmonitored queues are dropped, as in the one-shot path)."""
+        if self._closed:
+            raise SessionClosedError(
+                "network session is closed; open a new one with "
+                "NetworkDeployment.open()")
+        if isinstance(batch, ObservationTable) and batch.is_columnar:
+            if not len(self._owner_index):
+                return self        # no monitored queues
+            columns = batch.columns()
+            qid = columns["qid"]
+            valid = (qid >= 0) & (qid < len(self._owner_index))
+            clipped = np.clip(qid, 0, len(self._owner_index) - 1)
+            owner = np.where(valid, self._owner_index[clipped], -1)
+            for i, switch in enumerate(self._switch_order):
+                sel = np.flatnonzero(owner == i)
+                if len(sel):
+                    self.sessions[switch].ingest(ObservationTable.from_arrays(
+                        {name: arr[sel] for name, arr in columns.items()}))
+            return self
+        per_switch: dict[str, list] = {}
+        owners = self.deployment._queue_owner
+        for record in batch:
+            owner = owners.get(record.qid)
+            if owner is None:
+                continue
+            per_switch.setdefault(owner, []).append(record)
+        for switch, records in per_switch.items():
+            self.sessions[switch].ingest(records)
+        return self
+
+    # -- results --------------------------------------------------------------
+
+    def results(self) -> NetworkRunReport:
+        """Combined mid-stream snapshot (requires per-switch stores
+        that support streaming reads — a ``window`` or the row
+        engine)."""
+        if self._closed:
+            return self._report
+        return self._combine({
+            switch: session.results()
+            for switch, session in self.sessions.items()
+        })
+
+    def close(self) -> NetworkRunReport:
+        if self._closed:
+            raise SessionClosedError("network session is already closed")
+        self._closed = True
+        self._report = self._combine({
+            switch: session.close()
+            for switch, session in self.sessions.items()
+        })
+        return self._report
+
+    def _combine(self, reports) -> NetworkRunReport:
+        deployment = self.deployment
+        on_switch = [s.query_name for s in
+                     deployment.compiled.select_stages +
+                     deployment.compiled.groupby_stages]
+        per_switch = {
+            switch: {name: report.tables[name] for name in on_switch}
+            for switch, report in reports.items()
+        }
+        combined: dict[str, ResultTable] = {}
+        combinable: dict[str, bool] = {}
+        for stage in deployment.compiled.groupby_stages:
+            name = stage.query_name
+            combinable[name] = deployment._stage_combinable(stage)
+            if combinable[name]:
+                combined[name] = deployment._combine_additive(stage, per_switch)
+            else:
+                combined[name] = deployment._tag_per_switch(stage, per_switch)
+        for stage in deployment.compiled.select_stages:
+            merged = ResultTable(schema=stage.output)
+            for tables in per_switch.values():
+                merged.rows.extend(tables[stage.query_name].rows)
+            combined[stage.query_name] = merged
+            combinable[stage.query_name] = True
+        return NetworkRunReport(combined=combined, per_switch=per_switch,
+                                combinable=combinable)
+
+    # -- statistics ------------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, dict[str, object]]:
+        return {
+            switch: session.cache_stats()
+            for switch, session in self.sessions.items()
+        }

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.interpreter import ResultTable
 
 
@@ -55,7 +57,16 @@ def compare_tables(hardware: ResultTable, truth: ResultTable,
     Cells are "exact" when within ``rel_tol``/``abs_tol`` (the EWMA
     merge reassociates floating-point arithmetic, so bitwise equality
     is not expected even for correct merges).
+
+    When both tables are columnar (vector-engine output), the
+    comparison runs directly on the numpy columns — no per-row dict
+    materialisation; the counters and error extrema are the same the
+    row path produces.
     """
+    if hardware.is_columnar and truth.is_columnar:
+        diff = _compare_columnar(hardware, truth, rel_tol, abs_tol)
+        if diff is not None:
+            return diff
     diff = TableDiff()
     hw_rows = hardware.by_key()
     truth_rows = truth.by_key()
@@ -80,6 +91,89 @@ def compare_tables(hardware: ResultTable, truth: ResultTable,
                 diff.max_abs_error = err
                 diff.worst_column = column
             diff.max_rel_error = max(diff.max_rel_error, rel)
+    return diff
+
+
+def _compare_columnar(hardware: ResultTable, truth: ResultTable,
+                      rel_tol: float, abs_tol: float) -> TableDiff | None:
+    """Column-wise comparison of two columnar tables; ``None`` when the
+    column storage is not plain numeric arrays (caller falls back to
+    the row path)."""
+    if not truth.schema.keyed or not hardware.schema.keyed:
+        return None
+    h_cols, t_cols = hardware.columns(), truth.columns()
+    key_cols = list(truth.schema.key_columns)
+    value_cols = [name for name in t_cols
+                  if name not in key_cols and name in h_cols]
+    needed = [(h_cols, n) for n in key_cols + value_cols] + \
+             [(t_cols, n) for n in key_cols + value_cols]
+    for cols, name in needed:
+        arr = cols.get(name)
+        if not (isinstance(arr, np.ndarray) and arr.dtype.kind in "iuf"):
+            return None
+
+    diff = TableDiff()
+    # Duplicate keys collapse with the *last* row winning, exactly like
+    # the row path's by_key() dict.
+    h_index = {key: i for i, key in enumerate(
+        zip(*(h_cols[k].tolist() for k in key_cols)))} if len(hardware) \
+        else {}
+    t_index = {key: i for i, key in enumerate(
+        zip(*(t_cols[k].tolist() for k in key_cols)))} if len(truth) \
+        else {}
+    diff.missing_keys = sum(1 for k in t_index if k not in h_index)
+    diff.extra_keys = sum(1 for k in h_index if k not in t_index)
+    matched = [(t_i, h_index[k]) for k, t_i in t_index.items()
+               if k in h_index]
+    if not matched or not value_cols:
+        return diff
+    t_idx = np.fromiter((m[0] for m in matched), dtype=np.int64,
+                        count=len(matched))
+    h_idx = np.fromiter((m[1] for m in matched), dtype=np.int64,
+                        count=len(matched))
+    for name in value_cols:
+        t_raw, h_raw = t_cols[name][t_idx], h_cols[name][h_idx]
+        if t_raw.dtype.kind in "iu" and h_raw.dtype.kind in "iu":
+            # Integer columns difference exactly in int64 — a float64
+            # cast would collapse differences beyond 2^53 to "exact".
+            # Same-sign pairs can never overflow the subtraction;
+            # mixed-sign pairs can, so those fall back to the float
+            # estimate (approximate only at magnitudes where the
+            # difference dwarfs any tolerance anyway).
+            h64 = h_raw.astype(np.int64)
+            t64 = t_raw.astype(np.int64)
+            with np.errstate(over="ignore"):
+                err = np.abs(h64 - t64).astype(np.float64)
+            mixed = (h64 < 0) != (t64 < 0)
+            if mixed.any():
+                err[mixed] = np.abs(h64[mixed].astype(np.float64) -
+                                    t64[mixed].astype(np.float64))
+            rel = err / np.maximum(np.abs(t64.astype(np.float64)),
+                                   1e-300)
+        else:
+            t_val = t_raw.astype(np.float64, copy=False)
+            h_val = h_raw.astype(np.float64, copy=False)
+            with np.errstate(invalid="ignore"):
+                err = np.abs(h_val - t_val)
+                # Matching infinities count as exact (the row path's
+                # _abs_error); inf - inf is NaN otherwise.
+                same_inf = np.isinf(h_val) & np.isinf(t_val) & \
+                    ((h_val > 0) == (t_val > 0))
+                err[same_inf] = 0.0
+                rel = err / np.maximum(np.abs(t_val), 1e-300)
+            rel[np.isnan(err)] = math.inf
+        diff.compared_cells += len(err)
+        diff.exact_cells += int(np.count_nonzero(
+            (err <= abs_tol) | (rel <= rel_tol)))
+        finite = err[~np.isnan(err)]
+        col_max = float(finite.max()) if len(finite) else 0.0
+        if col_max > diff.max_abs_error:
+            diff.max_abs_error = col_max
+            diff.worst_column = name
+        rel_finite = rel[~np.isnan(rel)]
+        if len(rel_finite):
+            diff.max_rel_error = max(diff.max_rel_error,
+                                     float(rel_finite.max()))
     return diff
 
 

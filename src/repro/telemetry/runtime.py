@@ -53,7 +53,8 @@ from repro.switch.kvstore.cache import (
     CacheStats,
     simulate_eviction_count,
 )
-from repro.switch.pipeline import DEFAULT_GEOMETRY, GeometrySpec, SwitchPipeline
+from repro.switch.pipeline import DEFAULT_GEOMETRY, GeometrySpec
+from repro.telemetry.session import TelemetrySession
 
 
 @dataclass
@@ -219,14 +220,37 @@ class QueryEngine:
 
     # -- execution -------------------------------------------------------------
 
+    def open(self, window: int | None = None, exact: bool = False,
+             chunk_size: int | None = None) -> TelemetrySession:
+        """Open a streaming :class:`~repro.telemetry.session.TelemetrySession`
+        — the execution protocol every entry point compiles down to:
+        repeated :meth:`~TelemetrySession.ingest` calls, optional
+        mid-stream :meth:`~TelemetrySession.results` snapshots, one
+        :meth:`~TelemetrySession.close`.
+
+        Args:
+            window: Accesses per schedule execution for the vector
+                split store.  Set it for unbounded streams: memory
+                stays bounded by the window (plus per-key results) and
+                mid-stream snapshots are supported, with results
+                bit-identical to the one-shot path for every window
+                size.  ``None`` keeps the deferred one-shot store.
+            exact: Software-only exact evaluation (no hardware model —
+                what :meth:`run_exact` uses).
+            chunk_size: Batch-path chunk size of the switch pipeline.
+        """
+        kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+        return TelemetrySession(self, window=window, exact=exact, **kwargs)
+
     def run(
         self,
         records: Iterable[object],
         include_invalid: bool = False,
         with_ground_truth: bool = False,
     ) -> RunReport:
-        """Stream ``records`` through a fresh pipeline and collect
-        every query's result (hardware + software stages).
+        """One-shot convenience over :meth:`open`: stream ``records``
+        through a fresh session and collect every query's result
+        (hardware + software stages).
 
         Columnar observation tables keep their columnar form end to
         end: the pipeline runs its chunked batch mode with the
@@ -235,52 +259,28 @@ class QueryEngine:
         truth run on the vectorized executor.  ``engine="vector"``
         columnizes row input first so the whole run stays array-native.
         """
-        if isinstance(records, (list, ObservationTable)):
-            stream = records
-        else:
-            stream = list(records)
-        if self.engine == "vector":
-            if isinstance(stream, list):
-                stream = ObservationTable(stream)
-            if not stream.is_columnar:
-                stream = ObservationTable.from_arrays(stream.columns())
-        pipeline = SwitchPipeline(
-            self.compiled, params=self.params, geometry=self.geometry,
-            policy=self.policy, seed=self.seed,
-            refresh_interval=self.refresh_interval,
-            engine=self.engine,
-        )
-        pipeline.run(stream)
-        tables = pipeline.results(include_invalid=include_invalid)
-
-        # Software stages run over the hardware-produced tables, in
-        # program (dependency) order; the same executor instance is
-        # reused for the ground-truth pass below.
-        executor = self._executor_for(stream)
-        for stage in self.compiled.software_stages:
-            tables[stage.query.name] = executor.evaluate_stage(
-                stage.query.name, stream, tables
-            )
-
-        accuracy = {
-            s.query_name: pipeline.store_for(s.query_name).accuracy()
-            for s in self.compiled.groupby_stages
-        }
-        report = RunReport(
-            tables=tables,
-            result_name=self.compiled.result,
-            cache_stats=pipeline.cache_stats(),
-            backing_writes=pipeline.backing_writes(),
-            accuracy=accuracy,
-        )
+        if not isinstance(records, (list, ObservationTable)):
+            records = list(records)    # one-pass iterables: ingest and
+        if self.engine == "vector":    # ground truth read it twice
+            # Columnize once, up front: the session *and* the exact
+            # ground-truth pass below reuse the same columnar table.
+            if isinstance(records, list):
+                records = ObservationTable(records)
+            if not records.is_columnar:
+                records = ObservationTable.from_arrays(records.columns())
+        session = self.open()
+        session.ingest(records)
+        report = session.close(include_invalid=include_invalid)
         if with_ground_truth:
-            report.ground_truth = executor.run(stream)
+            report.ground_truth = self.run_exact(records)
         return report
 
     def run_exact(self, records: Iterable[object]) -> dict[str, ResultTable]:
         """Exact evaluation only (no hardware model), on the engine the
-        ``engine`` knob selects."""
-        return self._executor_for(records).run(records)
+        ``engine`` knob selects — an *exact* session under the hood."""
+        session = self.open(exact=True)
+        session.ingest(records)
+        return session.close().tables
 
     # -- deploy-time cache planning ---------------------------------------------
 

@@ -1,0 +1,265 @@
+"""Streaming telemetry sessions: the single execution protocol of the
+runtime.
+
+The paper's runtime monitors live switch traffic continuously; a
+:class:`TelemetrySession` is the long-lived handle that matches that
+shape — open once, then::
+
+    session = engine.open(window=1 << 17)
+    for batch in capture:              # columnar tables or row iterables
+        session.ingest(batch)
+        if time_to_report():
+            print(session.results().result.rows)   # mid-stream snapshot
+    report = session.close()                       # final RunReport
+
+Every entry point of the runtime compiles down to one of these
+sessions: :meth:`QueryEngine.run` is open–ingest–close,
+:meth:`QueryEngine.run_exact` is an *exact* session (software-only
+evaluation, no hardware model), and
+:class:`~repro.telemetry.deploy.NetworkDeployment` drives one session
+per switch — software, hardware, and network-wide paths share this one
+code path.
+
+Execution modes
+---------------
+
+* **hardware** (default): batches stream through a
+  :class:`~repro.switch.pipeline.SwitchPipeline`.  With ``window`` set,
+  ``GROUPBY`` stages on the vector path run the windowed split store —
+  memory stays bounded by the window (plus per-key results) on
+  unbounded streams, and :meth:`results` snapshots work mid-stream.
+  Without a window, the one-shot deferred vector store is used (fastest
+  for a single bounded trace, but mid-stream :meth:`results` raises
+  :class:`~repro.core.errors.SessionError`); ``engine="row"`` streams
+  per packet and always supports snapshots.
+* **exact** (``exact=True``): no hardware model — ingested batches are
+  buffered and evaluated by the engine's exact executor (the
+  interpreter or the vectorized executor) at :meth:`results`/
+  :meth:`close`.  Exact evaluation is whole-stream by nature, so this
+  mode's memory grows with the stream.
+
+Results are **bit-identical** across every mode/engine/window
+combination that the one-shot entry points produce.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.errors import SessionClosedError
+from repro.core.interpreter import ResultTable
+from repro.network.records import ObservationTable
+from repro.switch.pipeline import DEFAULT_CHUNK_SIZE, SwitchPipeline
+
+if TYPE_CHECKING:                                  # pragma: no cover
+    from .runtime import QueryEngine, RunReport
+
+
+class TelemetrySession:
+    """One long-lived ingest/query handle over one compiled program.
+
+    Built by :meth:`QueryEngine.open`; see the module docstring for the
+    protocol.  Not thread-safe (like the stores underneath).
+
+    Args:
+        engine: The compiled :class:`QueryEngine` (program, params,
+            geometry, policy, execution-engine knob).
+        window: Streaming window for the vector split store (accesses
+            per schedule execution); ``None`` keeps the one-shot
+            deferred store.
+        exact: Software-only exact evaluation (no hardware model).
+        chunk_size: Batch-path chunk size of the switch pipeline.
+    """
+
+    def __init__(self, engine: "QueryEngine", window: int | None = None,
+                 exact: bool = False,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self._engine = engine
+        self.window = window
+        self.exact = exact
+        self._chunk_size = chunk_size
+        self._closed = False
+        self._report: "RunReport | None" = None
+        self._report_include_invalid = False
+        self._saw_rows = False
+        self._vector_started = False
+        if exact:
+            self._buffered: list[ObservationTable | list] = []
+            self._pipeline = None
+        else:
+            self._pipeline = SwitchPipeline(
+                engine.compiled, params=engine.params,
+                geometry=engine.geometry, policy=engine.policy,
+                seed=engine.seed,
+                refresh_interval=engine.refresh_interval,
+                engine=engine.engine, window=window,
+            )
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed and exc_type is None:
+            self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- ingestion ------------------------------------------------------------
+
+    def ingest(self, batch: Iterable[object]) -> "TelemetrySession":
+        """Stream one batch of observations (a columnar
+        :class:`ObservationTable` or any iterable of records) through
+        every stage; returns ``self`` for chaining."""
+        if self._closed:
+            raise SessionClosedError(
+                "session is closed; open a new one with QueryEngine.open()")
+        batch = self._normalize(batch)
+        if self.exact:
+            self._buffered.append(batch)
+        else:
+            self._pipeline.run(batch, chunk_size=self._chunk_size)
+        return self
+
+    def _normalize(self, batch) -> ObservationTable | list:
+        """Mirror :meth:`QueryEngine.run`'s input handling: row input
+        stays row (and pins the ``"auto"`` software executor to the
+        interpreter), ``engine="vector"`` columnizes everything.
+
+        One asymmetry of the underlying stores is smoothed over here:
+        once a hardware session's ``GROUPBY`` stages have committed to
+        the vector store (first batch columnar under ``"auto"``), a
+        later *row* batch is columnized rather than handed to the
+        store's per-record path (which would raise)."""
+        if not isinstance(batch, (list, ObservationTable)):
+            batch = list(batch)
+        columnize = self._engine.engine == "vector" or (
+            self._engine.engine == "auto" and self._vector_started)
+        if columnize:
+            if isinstance(batch, list):
+                batch = ObservationTable(batch)
+            if not batch.is_columnar:
+                batch = ObservationTable.from_arrays(batch.columns())
+        if isinstance(batch, ObservationTable) and batch.is_columnar:
+            if not self.exact and not self._saw_rows:
+                self._vector_started = True
+        else:
+            self._saw_rows = True
+        return batch
+
+    # -- results --------------------------------------------------------------
+
+    def results(self, include_invalid: bool = False) -> "RunReport":
+        """A :class:`RunReport` snapshot as of everything ingested so
+        far — the stream can continue afterwards.  After :meth:`close`,
+        returns the final report (rebuilt from the finalized stores
+        when ``include_invalid`` differs from the close-time flag)."""
+        if self._closed:
+            if self.exact or include_invalid == self._report_include_invalid:
+                return self._report
+            return self._final_report(include_invalid)
+        if self.exact:
+            return self._exact_report()
+        tables, stats, writes, accuracy = \
+            self._pipeline.snapshot_results(include_invalid=include_invalid)
+        return self._assemble(tables, stats, writes, accuracy)
+
+    def close(self, include_invalid: bool = False) -> "RunReport":
+        """Finalize every stage (flush caches, run deferred schedules)
+        and return the final report; further :meth:`ingest` raises
+        :class:`~repro.core.errors.SessionClosedError`."""
+        if self._closed:
+            raise SessionClosedError("session is already closed")
+        self._closed = True
+        self._report_include_invalid = include_invalid
+        if self.exact:
+            self._report = self._exact_report()
+            return self._report
+        self._report = self._final_report(include_invalid)
+        return self._report
+
+    def _final_report(self, include_invalid: bool) -> "RunReport":
+        pipeline = self._pipeline
+        tables = pipeline.results(include_invalid=include_invalid)
+        accuracy = {
+            s.query_name: pipeline.store_for(s.query_name).accuracy()
+            for s in self._engine.compiled.groupby_stages
+        }
+        return self._assemble(
+            tables, pipeline.cache_stats(), pipeline.backing_writes(),
+            accuracy)
+
+    def cache_stats(self):
+        """Per-stage cache counters (hardware sessions; exact sessions
+        have no hardware model and return an empty dict)."""
+        if self._pipeline is None:
+            return {}
+        return self._pipeline.cache_stats()
+
+    # -- assembly --------------------------------------------------------------
+
+    def _executor(self):
+        """The exact evaluator for software stages / exact mode, per
+        the engine knob (``"auto"``: vectorized unless row batches were
+        ingested — the same choice the one-shot entry points make)."""
+        engine = self._engine
+        if engine.engine == "row" or (engine.engine == "auto"
+                                      and self._saw_rows):
+            return engine._row_engine()
+        return engine._vector_engine()
+
+    def _assemble(self, tables: dict[str, ResultTable],
+                  stats, writes, accuracy,
+                  software: bool = True) -> "RunReport":
+        from .runtime import RunReport
+
+        if software:
+            executor = self._executor()
+            for stage in self._engine.compiled.software_stages:
+                # Software stages read upstream *tables* only (the
+                # compiler keeps every base-stream query on-switch), so
+                # the session never retains the stream.
+                tables[stage.query.name] = executor.evaluate_stage(
+                    stage.query.name, [], tables)
+        return RunReport(
+            tables=tables,
+            result_name=self._engine.compiled.result,
+            cache_stats=stats,
+            backing_writes=writes,
+            accuracy=accuracy,
+        )
+
+    def _exact_report(self) -> "RunReport":
+        from .runtime import RunReport
+
+        tables = self._executor().run(self._exact_stream())
+        return RunReport(tables=tables,
+                         result_name=self._engine.compiled.result,
+                         cache_stats={}, backing_writes={}, accuracy={})
+
+    def _exact_stream(self):
+        """Concatenate the buffered batches (single batches pass
+        through untouched — the common ``run_exact`` wrapper case)."""
+        if len(self._buffered) == 1:
+            return self._buffered[0]
+        if not self._buffered:
+            return []
+        if all(isinstance(b, ObservationTable) and b.is_columnar
+               for b in self._buffered):
+            import numpy as np
+
+            columns = self._buffered[0].columns()
+            merged = {
+                name: np.concatenate(
+                    [b.columns()[name] for b in self._buffered])
+                for name in columns
+            }
+            return ObservationTable.from_arrays(merged)
+        stream: list = []
+        for batch in self._buffered:
+            stream.extend(batch.records if isinstance(batch, ObservationTable)
+                          else batch)
+        return stream

@@ -1,0 +1,435 @@
+"""Streaming TelemetrySession tests.
+
+The differential core of the PR's acceptance criteria: windowed
+sessions must be **bit-identical** to the one-shot ``run()`` path — all
+tables, ``CacheStats`` counters, accuracy, backing writes, refresh
+counts — across the full query catalog, both engines, and multiple
+window sizes (including windows far smaller and far larger than the
+ingest chunks, so schedule windows and ingest boundaries interleave
+every way).  Plus: refresh boundaries falling mid-chunk, mid-stream
+snapshots, session lifecycle errors, exact sessions, the windowed
+store's carried-state internals, network-wide sessions, and the lazy
+columnar ``ResultTable``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SessionClosedError, SessionError
+from repro.core.interpreter import ResultTable
+from repro.network.records import ObservationTable
+from repro.queries.catalog import FIG2_QUERIES
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.switch.kvstore.windowed_store import WindowedVectorStore
+from repro.telemetry import QueryEngine, TelemetrySession, compare_tables
+
+from tests.conftest import synthetic_trace
+
+GEOM = CacheGeometry.set_associative(128, ways=4)
+
+
+def observables(report):
+    """Everything a run produced, in comparable form."""
+    return (
+        {q: t.rows for q, t in report.tables.items()},
+        {q: (s.accesses, s.hits, s.misses, s.insertions, s.evictions)
+         for q, s in report.cache_stats.items()},
+        report.backing_writes,
+        report.accuracy,
+    )
+
+
+def chunked(table: ObservationTable, size: int):
+    columns = table.columns()
+    for lo in range(0, len(table), size):
+        yield ObservationTable.from_arrays(
+            {name: arr[lo:lo + size] for name, arr in columns.items()})
+
+
+def session_report(engine, table, window, chunk=777, include_invalid=True):
+    session = engine.open(window=window)
+    for batch in chunked(table, chunk):
+        session.ingest(batch)
+    return session.close(include_invalid=include_invalid)
+
+
+class TestWindowedBitIdentity:
+    """Windowed sessions == one-shot run(), full catalog × engines ×
+    window sizes (the PR's differential acceptance criterion)."""
+
+    @pytest.fixture(scope="class")
+    def small_trace(self):
+        return synthetic_trace(2500, seed=20)
+
+    @pytest.mark.parametrize("entry", FIG2_QUERIES, ids=lambda e: e.name)
+    @pytest.mark.parametrize("engine", ["row", "vector"])
+    def test_catalog_windows_match_one_shot(self, entry, engine,
+                                            small_trace):
+        qe = QueryEngine(entry.source, params=entry.default_params,
+                         geometry=GEOM, exact_history=True, engine=engine)
+        base = observables(qe.run(small_trace, include_invalid=True))
+        for window in (193, 1024, 10 ** 6):
+            report = session_report(qe, small_trace, window)
+            assert observables(report) == base, \
+                f"{entry.name}/{engine} diverged at window={window}"
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_eviction_policies_match_one_shot(self, policy, small_trace):
+        """The carried FIFO/random replay schedulers (persistent
+        per-bucket structures + shared RNG) and the LRU phantom-prefix
+        path all stay bit-identical across window cuts."""
+        geometry = CacheGeometry.set_associative(32, ways=2)
+        qe = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
+                         geometry=geometry, policy=policy)
+        base = observables(qe.run(small_trace, include_invalid=True))
+        for window in (167, 1024):
+            report = session_report(qe, small_trace, window, chunk=409)
+            assert observables(report) == base, (policy, window)
+
+    def test_single_ingest_equals_chunked_ingest(self, small_trace):
+        qe = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY srcip",
+                         geometry=GEOM)
+        one = qe.open(window=300).ingest(small_trace).close()
+        many = session_report(qe, small_trace, 300, chunk=211,
+                              include_invalid=False)
+        assert observables(one) == observables(many)
+
+
+class TestRefreshMidChunk:
+    """Refresh-period boundaries that fall mid-chunk (and mid-window):
+    epochs must cut at exactly the same global positions as the
+    per-packet store's counter."""
+
+    @pytest.mark.parametrize("refresh,window,chunk", [
+        (97, 256, 111),      # refresh < chunk < window
+        (250, 97, 111),      # window < chunk, refresh lands mid-chunk
+        (1000, 256, 256),    # refresh spans several windows
+        (100, 100, 100),     # aligned everywhere
+        (333, 10 ** 6, 97),  # window larger than the trace
+    ])
+    def test_refresh_boundaries(self, refresh, window, chunk):
+        trace = synthetic_trace(1500, seed=5)
+        qe = QueryEngine("SELECT COUNT, MAX(qsize) GROUPBY srcip",
+                         geometry=CacheGeometry.set_associative(32, ways=4),
+                         refresh_interval=refresh)
+        base = observables(qe.run(trace, include_invalid=True))
+        report = session_report(qe, trace, window, chunk=chunk)
+        assert observables(report) == base
+
+    def test_refresh_counts_carried_across_windows(self):
+        trace = synthetic_trace(1000, seed=6)
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM,
+                         refresh_interval=77)
+        session = qe.open(window=123)
+        for batch in chunked(trace, 89):
+            session.ingest(batch)
+        session.close()
+        pipeline = session._pipeline
+        store = pipeline.store_for(
+            qe.compiled.groupby_stages[0].query_name)
+        assert store.refreshes == len(trace) // 77
+
+
+class TestSessionLifecycle:
+    def test_ingest_after_close_raises(self, tiny_trace):
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        session = qe.open(window=64)
+        session.ingest(tiny_trace)
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.ingest(tiny_trace)
+
+    def test_double_close_raises(self, tiny_trace):
+        session = QueryEngine("SELECT COUNT GROUPBY srcip",
+                              geometry=GEOM).open(window=64)
+        session.ingest(tiny_trace)
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.close()
+
+    def test_session_errors_are_importable_from_errors(self):
+        from repro.core import errors
+        assert issubclass(errors.SessionClosedError, errors.SessionError)
+
+    def test_results_after_close_returns_final_report(self, tiny_trace):
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        session = qe.open(window=64)
+        session.ingest(tiny_trace)
+        report = session.close()
+        assert session.results() is report
+
+    def test_deferred_one_shot_rejects_mid_stream_results(self, tiny_trace):
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM,
+                         engine="vector")
+        session = qe.open()            # no window: deferred schedule
+        session.ingest(tiny_trace)
+        with pytest.raises(SessionError):
+            session.results()
+
+    def test_snapshot_with_zero_matching_records(self, tiny_trace):
+        """A WHERE that filters everything: mid-stream snapshots and
+        close both return empty tables (no carry arrays ever exist)."""
+        qe = QueryEngine(
+            "SELECT COUNT, SUM(pkt_len) GROUPBY srcip "
+            "WHERE pkt_len > 999999999",
+            geometry=GEOM, engine="vector")
+        session = qe.open(window=64)
+        session.ingest(tiny_trace)
+        assert session.results().result.rows == []
+        assert session.close().result.rows == []
+
+    def test_context_manager_closes(self, tiny_trace):
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        with qe.open(window=64) as session:
+            session.ingest(tiny_trace)
+        assert session.closed
+        assert session.results() is not None
+
+    def test_empty_session_close(self):
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        report = qe.open(window=64).close()
+        assert report.result.rows == []
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(Exception):
+            WindowedVectorStore(
+                QueryEngine("SELECT COUNT GROUPBY srcip")
+                .compiled.groupby_stages[0], GEOM, window=0)
+
+
+class TestMidStreamSnapshots:
+    """results() mid-stream == a fresh one-shot run over the prefix,
+    and never perturbs the continuing stream."""
+
+    @pytest.mark.parametrize("engine,window", [
+        ("row", None), ("auto", 177), ("vector", 512),
+    ])
+    def test_snapshot_equals_prefix_run(self, engine, window):
+        trace = synthetic_trace(1200, seed=9)
+        qe = QueryEngine(
+            "def ewma (e, (tin, tout)): e = (1 - alpha) * e + alpha * (tout - tin)\n"
+            "SELECT srcip, ewma GROUPBY srcip",
+            params={"alpha": 0.2}, geometry=GEOM, engine=engine)
+        columns = trace.columns()
+        session = qe.open(window=window)
+        seen = 0
+        for batch in chunked(trace, 289):
+            session.ingest(batch)
+            seen += len(batch)
+            prefix = ObservationTable.from_arrays(
+                {name: arr[:seen] for name, arr in columns.items()})
+            snap = session.results(include_invalid=True)
+            base = qe.run(prefix, include_invalid=True)
+            assert observables(snap) == observables(base), f"at {seen}"
+        final = session.close(include_invalid=True)
+        assert observables(final) == observables(
+            qe.run(trace, include_invalid=True))
+
+
+class TestExactSessions:
+    def test_exact_session_matches_run_exact(self, trace):
+        qe = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY srcip",
+                         geometry=GEOM)
+        with qe.open(exact=True) as session:
+            for batch in chunked(trace, 1111):
+                session.ingest(batch)
+        chunked_tables = session.results().tables
+        whole = qe.run_exact(trace)
+        assert {q: t.rows for q, t in chunked_tables.items()} == \
+            {q: t.rows for q, t in whole.items()}
+
+    def test_run_exact_row_input_uses_interpreter_results(self, tiny_trace):
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM,
+                         engine="auto")
+        name = qe.compiled.result
+        assert qe.run_exact(tiny_trace.records)[name].rows == \
+            qe.run_exact(tiny_trace)[name].rows
+
+
+class TestCarriedStateInternals:
+    """Windowed-store internals the differential tests rely on."""
+
+    def test_memory_state_bounded_by_capacity(self):
+        """Open-epoch carry must track cache residency, not the key
+        universe: after many windows of all-unique keys, the carried
+        open set stays within the cache capacity."""
+        geometry = CacheGeometry.set_associative(16, ways=4)
+        stage = QueryEngine("SELECT COUNT GROUPBY srcip") \
+            .compiled.groupby_stages[0]
+        store = WindowedVectorStore(stage, geometry, window=500)
+        keys = np.arange(20_000, dtype=np.int64).reshape(-1, 1)
+        for lo in range(0, len(keys), 400):
+            store.add_batch(keys[lo:lo + 400], {})
+        open_now = int(np.count_nonzero(store._open_mask[:store._nkeys]))
+        assert open_now <= geometry.capacity
+        assert store.result_table().rows[0]["COUNT"] == 1
+
+    def test_buffer_drains_at_window_boundary(self):
+        stage = QueryEngine("SELECT COUNT GROUPBY srcip") \
+            .compiled.groupby_stages[0]
+        store = WindowedVectorStore(stage, GEOM, window=100)
+        keys = np.ones((60, 1), dtype=np.int64)
+        store.add_batch(keys, {})
+        assert store._buffered == 60          # below window: buffered
+        store.add_batch(keys, {})
+        assert store._buffered == 0           # crossed window: executed
+        assert store._total == 120
+
+    def test_add_batch_after_finalize_rejected(self):
+        from repro.core.errors import HardwareError
+        stage = QueryEngine("SELECT COUNT GROUPBY srcip") \
+            .compiled.groupby_stages[0]
+        store = WindowedVectorStore(stage, GEOM, window=100)
+        store.add_batch(np.ones((10, 1), dtype=np.int64), {})
+        store.finalize()
+        with pytest.raises(HardwareError):
+            store.add_batch(np.ones((10, 1), dtype=np.int64), {})
+
+
+class TestNetworkSessions:
+    @pytest.fixture(scope="class")
+    def fabric(self):
+        from repro.network.simulator import NetworkSimulator
+        from repro.network.topology import LinkSpec, leaf_spine
+
+        topo = leaf_spine(2, 2, 2, edge_link=LinkSpec(rate_gbps=5.0))
+        sim = NetworkSimulator(topo)
+        hosts = sorted(topo.hosts())
+        t = 0
+        for i in range(500):
+            t += 2000
+            src = hosts[i % len(hosts)]
+            dst = hosts[(i + 1 + i // 7) % len(hosts)]
+            if src != dst:
+                sim.inject(time_ns=t, src=src, dst=dst,
+                           pkt_len=400 + (i % 900), srcport=2000 + i % 5)
+        return sim, sim.run()
+
+    def network_observables(self, report):
+        return (
+            {q: sorted(map(tuple, (sorted(r.items()) for r in t.rows)))
+             for q, t in report.combined.items()},
+            {sw: {q: t.rows for q, t in tables.items()}
+             for sw, tables in report.per_switch.items()},
+            report.combinable,
+        )
+
+    def test_streaming_deployment_matches_one_shot(self, fabric):
+        from repro.telemetry.deploy import NetworkDeployment
+
+        sim, table = fabric
+        source = "SELECT COUNT, SUM(pkt_len) GROUPBY 5tuple"
+        one_shot = NetworkDeployment(source, sim, geometry=GEOM) \
+            .run(table.records)
+        deploy = NetworkDeployment(source, sim, geometry=GEOM)
+        with deploy.open(window=333) as session:
+            for batch in chunked(table, 441):
+                session.ingest(batch)
+        assert self.network_observables(session.results()) == \
+            self.network_observables(one_shot)
+
+    def test_network_session_close_is_final(self, fabric):
+        from repro.telemetry.deploy import NetworkDeployment
+
+        sim, table = fabric
+        deploy = NetworkDeployment("SELECT COUNT GROUPBY qid", sim,
+                                   geometry=GEOM)
+        session = deploy.open(window=256)
+        session.ingest(table)
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.ingest(table)
+
+    def test_simulator_streams_into_session(self, fabric):
+        """stream_into() batches concatenate to run()'s table exactly,
+        and drive a session to the same results."""
+        from repro.network.simulator import NetworkSimulator
+        from repro.network.topology import linear_chain
+
+        def build():
+            topo = linear_chain(3)
+            sim = NetworkSimulator(topo)
+            for i in range(300):
+                sim.inject(time_ns=i * 50_000, src="h0", dst="h1",
+                           pkt_len=500 + i % 700)
+            return sim
+
+        table = build().run()
+        qe = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY 5tuple",
+                         geometry=GEOM)
+        base = observables(qe.run(table))
+
+        class Collecting:
+            def __init__(self, session):
+                self.session = session
+                self.batches = []
+
+            def ingest(self, batch):
+                self.batches.append(batch)
+                self.session.ingest(batch)
+
+        session = qe.open(window=128)
+        collector = Collecting(session)
+        streamed = build().stream_into(collector, chunk_size=100)
+        assert streamed == len(table)
+        merged = {
+            name: np.concatenate([b.columns()[name]
+                                  for b in collector.batches])
+            for name in table.columns()
+        }
+        for name, arr in table.columns().items():
+            assert np.array_equal(merged[name], arr), name
+        assert observables(session.close()) == base
+
+
+class TestLazyColumnarResultTable:
+    def schema(self):
+        return QueryEngine("SELECT COUNT GROUPBY srcip") \
+            .compiled.groupby_stages[0].output
+
+    def test_from_columns_is_columnar_until_rows_touched(self):
+        table = ResultTable.from_columns(self.schema(), {
+            "srcip": np.array([3, 1, 2]), "COUNT": np.array([7, 8, 9])})
+        assert table.is_columnar
+        assert len(table) == 3
+        assert table.column("COUNT") == [7, 8, 9]      # still columnar
+        assert table.is_columnar
+        rows = table.rows                              # materialises
+        assert rows == [{"srcip": 3, "COUNT": 7}, {"srcip": 1, "COUNT": 8},
+                        {"srcip": 2, "COUNT": 9}]
+        assert not table.is_columnar
+        assert all(isinstance(r["COUNT"], int) for r in rows)
+
+    def test_sort_key_columnar_matches_row_sort(self):
+        columns = {"srcip": np.array([3, 1, 2]), "COUNT": np.array([7, 8, 9])}
+        a = ResultTable.from_columns(self.schema(), dict(columns))
+        b = ResultTable.from_columns(self.schema(), dict(columns))
+        _ = b.rows                                     # force row authority
+        assert a.sort_key().rows == b.sort_key().rows
+        assert a.rows[0] == {"srcip": 1, "COUNT": 8}
+
+    def test_rows_setter_drops_columns(self):
+        table = ResultTable.from_columns(self.schema(), {
+            "srcip": np.array([1]), "COUNT": np.array([2])})
+        table.rows = [{"srcip": 5, "COUNT": 6}]
+        assert not table.is_columnar and len(table) == 1
+
+    def test_compare_tables_columnar_equals_row_path(self):
+        schema = self.schema()
+        h_cols = {"srcip": np.array([1, 2, 3]),
+                  "COUNT": np.array([1.0, np.inf, 5.0])}
+        t_cols = {"srcip": np.array([1, 2, 4]),
+                  "COUNT": np.array([1.0 + 5e-10, np.inf, 7.0])}
+        columnar = compare_tables(
+            ResultTable.from_columns(schema, h_cols),
+            ResultTable.from_columns(schema, t_cols))
+        h_rows = ResultTable.from_columns(schema, h_cols)
+        t_rows = ResultTable.from_columns(schema, t_cols)
+        _ = h_rows.rows, t_rows.rows
+        assert columnar == compare_tables(h_rows, t_rows)
+
+    def test_engine_result_tables_are_columnar_on_vector_path(self, trace):
+        qe = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY srcip",
+                         geometry=GEOM, engine="vector")
+        report = qe.run(trace)
+        assert report.result.is_columnar
