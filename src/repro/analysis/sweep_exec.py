@@ -16,9 +16,13 @@ Two knobs, mirrored on :func:`repro.analysis.eviction.run_eviction_sweep`,
 * ``engine="auto"|"vector"|"row"`` — which cache simulator runs each
   cell: the array-native vector engine
   (:class:`repro.switch.kvstore.vector_cache.VectorCacheSim`,
-  bit-identical counters), the per-access row reference, or ``auto``
-  (vector for integer array streams).  Mirrors
-  :class:`repro.telemetry.runtime.QueryEngine`'s knob.
+  bit-identical counters, all four eviction policies — LRU via stack
+  distances, FIFO/random via the packed per-set replay), the
+  per-access row reference, or ``auto`` (vector for integer array
+  streams).  Mirrors :class:`repro.telemetry.runtime.QueryEngine`'s
+  knob.  Replay state derives from the cell's ``seed`` alone, so row,
+  vector, and windowed-session runs of the same cell agree exactly
+  (``tests/test_replay_packed.py``).
 * ``workers`` (CLI: ``--sweep-workers``) — number of worker processes;
   ``None``/``0``/``1`` runs serially in-process.
 

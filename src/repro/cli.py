@@ -79,6 +79,21 @@ def _query_source(args: argparse.Namespace) -> tuple[str, dict[str, float]]:
     return source, defaults
 
 
+def _positive_window(raw: str) -> int:
+    """argparse type for ``--window``: sessions require a positive
+    window, so reject 0/negative at parse time with a clear message
+    instead of surfacing a deep store error mid-run."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer number of accesses, got {raw!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of accesses, got {value}")
+    return value
+
+
 def _geometry(args: argparse.Namespace) -> CacheGeometry:
     if args.ways == 0:
         return CacheGeometry.fully_associative(args.cache_pairs)
@@ -103,7 +118,8 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
                         help="enable the exact-history merge extension")
     parser.add_argument("--refresh", type=int, default=None, metavar="N",
                         help="push cache values to the backing store every N packets")
-    parser.add_argument("--window", type=int, default=None, metavar="N",
+    parser.add_argument("--window", type=_positive_window, default=None,
+                        metavar="N",
                         help="stream through a windowed telemetry session: "
                              "the vector split store executes its schedule "
                              "every N accesses with carried state (bounded "

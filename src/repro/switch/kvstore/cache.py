@@ -17,11 +17,18 @@ keeps even the 2²⁰-pair Fig. 5 sweep tractable in pure Python.
 
 Hashing uses an explicit 64-bit mix (splitmix64) so results are
 reproducible across processes and independent of ``PYTHONHASHSEED``.
+
+The ``random`` ablation policy draws its victim from a *counter-based*
+RNG (:func:`replay_victim`): the victim of a bucket's ``k``-th eviction
+is a pure function of ``(seed, bucket, k)``.  Per-bucket draw sequences
+are therefore independent of how accesses to *other* buckets interleave
+— which is what lets the array-native engines replay the policy per set
+(and in windowed chunks) while staying bit-identical to this per-access
+reference.
 """
 
 from __future__ import annotations
 
-import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Hashable, Iterator, TypeVar
@@ -51,6 +58,31 @@ def mix_key(key: Hashable, seed: int = 0) -> int:
             acc = splitmix64(acc ^ (int(part) & _MASK64))
         return acc
     return splitmix64((int(key) ^ seed) & _MASK64)
+
+
+#: Odd 64-bit constants decorrelating the bucket and counter streams of
+#: :func:`replay_victim` (golden-ratio and Pelle Evensen's moremur
+#: increments).
+_VICTIM_BUCKET_MULT = 0x9E3779B97F4A7C15
+_VICTIM_COUNT_MULT = 0xD1B54A32D192ED03
+
+
+def replay_victim(seed: int, bucket: int, count: int, size: int) -> int:
+    """Victim slot for the ``random`` policy's ``count``-th eviction in
+    ``bucket``: a uniform draw over the bucket's ``size`` resident
+    entries (in insertion order), from a counter-based RNG.
+
+    Being a pure function of ``(seed, bucket, count)`` — rather than a
+    position in one shared sequential draw stream — makes the policy
+    decomposable per set: every execution strategy (per-access row
+    loop, packed per-set array replay, windowed replay with carried
+    per-set counters) consumes exactly the same draws.
+    :func:`repro.switch.kvstore.vector_cache.replay_victim_array` is
+    the element-wise identical batch form.
+    """
+    mixed = (seed + bucket * _VICTIM_BUCKET_MULT
+             + count * _VICTIM_COUNT_MULT) & _MASK64
+    return splitmix64(mixed) % size
 
 
 @dataclass(frozen=True)
@@ -136,7 +168,8 @@ class KeyValueCache(Generic[V]):
     Args:
         geometry: Bucket layout.
         policy: ``"lru"`` (paper), ``"fifo"``, or ``"random"``.
-        seed: Hash seed (and RNG seed for the random policy).
+        seed: Hash seed (and :func:`replay_victim` seed for the random
+            policy).
 
     The central operation is :meth:`access`, which models the
     single-cycle lookup-update-or-initialise of §3.2: it returns the
@@ -156,7 +189,10 @@ class KeyValueCache(Generic[V]):
         self._buckets: list[OrderedDict[Hashable, Entry[V]]] = [
             OrderedDict() for _ in range(geometry.n_buckets)
         ]
-        self._rng = random.Random(seed)
+        #: Per-bucket eviction counters — the random policy's RNG state
+        #: (victim of eviction ``k`` in bucket ``b`` is
+        #: ``replay_victim(seed, b, k, m)``).
+        self._evict_counts: dict[int, int] = {}
 
     # -- core operation ----------------------------------------------------
 
@@ -169,7 +205,8 @@ class KeyValueCache(Generic[V]):
         refreshed per the policy (LRU moves it to the MRU position).
         """
         self.stats.accesses += 1
-        bucket = self._bucket_for(key)
+        index = self._bucket_index(key)
+        bucket = self._buckets[index]
         entry = bucket.get(key)
         if entry is not None:
             self.stats.hits += 1
@@ -180,17 +217,20 @@ class KeyValueCache(Generic[V]):
         self.stats.misses += 1
         evicted: Entry[V] | None = None
         if len(bucket) >= self.geometry.m_slots:
-            evicted = self._evict(bucket)
+            evicted = self._evict(bucket, index)
             self.stats.evictions += 1
         entry = Entry(key=key, value=make_value())
         bucket[key] = entry
         self.stats.insertions += 1
         return entry, evicted
 
-    def _evict(self, bucket: OrderedDict[Hashable, Entry[V]]) -> Entry[V]:
+    def _evict(self, bucket: OrderedDict[Hashable, Entry[V]],
+               index: int) -> Entry[V]:
         if self.policy == "random":
-            victim_key = self._rng.choice(list(bucket.keys()))
-            return bucket.pop(victim_key)
+            count = self._evict_counts.get(index, 0)
+            self._evict_counts[index] = count + 1
+            victim = replay_victim(self.seed, index, count, len(bucket))
+            return bucket.pop(list(bucket)[victim])
         # LRU and FIFO both evict the oldest dict entry; they differ in
         # whether hits refresh recency (handled in access()).
         _, entry = bucket.popitem(last=False)
@@ -198,10 +238,13 @@ class KeyValueCache(Generic[V]):
 
     # -- queries -----------------------------------------------------------------
 
-    def _bucket_for(self, key: Hashable) -> OrderedDict[Hashable, Entry[V]]:
+    def _bucket_index(self, key: Hashable) -> int:
         if self.geometry.n_buckets == 1:
-            return self._buckets[0]
-        return self._buckets[mix_key(key, self.seed) % self.geometry.n_buckets]
+            return 0
+        return mix_key(key, self.seed) % self.geometry.n_buckets
+
+    def _bucket_for(self, key: Hashable) -> OrderedDict[Hashable, Entry[V]]:
+        return self._buckets[self._bucket_index(key)]
 
     def get(self, key: Hashable) -> Entry[V] | None:
         """Read without updating recency (diagnostics only — the paper

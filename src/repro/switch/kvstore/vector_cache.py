@@ -37,10 +37,24 @@ Three execution paths, chosen per geometry/policy:
    exact for every ``m >= G`` and is cached, so a fully associative
    capacity sweep pays for it once.
 
-3. **Per-set replay** (FIFO) / **global replay** (random) fallbacks for
-   the ablation policies: compact Python loops over packed key arrays
-   that mirror the reference bucket order (and, for ``random``, the
-   shared ``random.Random`` draw sequence) exactly.
+3. **Packed per-set replay** for the FIFO/random ablation policies
+   (:func:`_replay_segments`): accesses are grouped by set with one
+   composite ``(bucket, time)`` sort, then every set's occupancy is
+   replayed *simultaneously*, one in-set step per Python iteration —
+   membership tests, ring-buffer insertions (FIFO evicts the ring
+   head; random removes a drawn slot and appends), and eviction
+   bookkeeping are all vectorized across the active sets, so the
+   Python-level iteration count is the longest set's access count, not
+   the stream length.  Random victims come from the counter-based
+   :func:`repro.switch.kvstore.cache.replay_victim` draw
+   (:func:`replay_victim_array` here), consumed in array chunks — a
+   pure function of ``(seed, set, per-set eviction count)``, so per-set
+   replay (and the windowed store's carried replay) consumes exactly
+   the reference loop's draws.  Streams without enough per-set
+   parallelism (``max segment length * _PACKED_MIN_PARALLELISM > n``,
+   e.g. a fully associative cache's single set) fall back to
+   per-access reference loops that mirror
+   :class:`~repro.switch.kvstore.cache.KeyValueCache` exactly.
 
 Use :class:`VectorCacheSim` directly when sweeping many geometries over
 one stream (layouts and distances are shared), or the one-shot
@@ -50,13 +64,19 @@ one stream (layouts and distances are shared), or the one-shot
 
 from __future__ import annotations
 
-import random
 from typing import Iterable
 
 import numpy as np
 
 from repro.core.errors import HardwareError
-from .cache import CacheGeometry, CacheStats, KeyValueCache
+from .cache import (
+    _VICTIM_BUCKET_MULT,
+    _VICTIM_COUNT_MULT,
+    CacheGeometry,
+    CacheStats,
+    KeyValueCache,
+    replay_victim,
+)
 
 _MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
 _U = np.uint64
@@ -64,6 +84,52 @@ _U = np.uint64
 #: Target chunk size for the kept-subset merge counter: chunks are cut
 #: at set boundaries so each merge stays cache-resident.
 _MERGE_CHUNK = 1 << 16
+
+#: The packed FIFO/random replay runs one vectorized step per in-set
+#: position, so it needs enough sets progressing in parallel to beat
+#: the per-access reference loop: it is used when the longest set
+#: segment times this factor fits in the stream (i.e. average
+#: parallelism is at least this many sets).  Tests monkeypatch it to
+#: force either path.
+_PACKED_MIN_PARALLELISM = 16
+
+#: Round cutoff inside one packed replay batch: once fewer than this
+#: many sets are still active (the long tail of a skewed segment
+#: distribution), a vectorized round costs more than touching the few
+#: remaining accesses directly, so the surviving segment tails finish
+#: on the scalar per-access loop (state handed over exactly).  The
+#: value is the measured break-even: ~25 array operations per round
+#: against ~0.3us per scalar access.
+_PACKED_MIN_ACTIVE = 96
+
+#: Hit-run skip width bounds of the packed replay: each round tests
+#: the next ``w`` accesses of every active set against its ring in one
+#: shot, so a round advances a set past a whole run of hits (hits
+#: never change FIFO/random state) and at most one miss.  ``w`` adapts
+#: between these bounds round by round — it grows while sets consume
+#: whole blocks (hit-dense streams skip far) and shrinks toward 1
+#: (plain step-major) while misses stop every set after an access or
+#: two, where wide membership tests are wasted work.
+_SKIP_BLOCK_MAX = 64
+_SKIP_BLOCK_START = 8
+
+#: Element budget of one round's membership block (``active sets x
+#: width``): bounds the width growth while many short segments are
+#: still active, where wide blocks would mostly compare past their
+#: ends.
+_SKIP_BLOCK_BUDGET = 1 << 17
+
+#: Maximum misses resolved inside one block per round (by exact
+#: verdict correction); deeper chains resume next round.
+_CHAIN_DEPTH = 4
+
+#: Empty ring-buffer slot: never equal to any key id (ids are int32 or
+#: nonnegative int64) nor to any raw int32-ranged key.
+_FILLER = np.iinfo(np.int64).min
+
+#: Cached ``np.arange(w)`` block offsets (w is a power of two <=
+#: :data:`_SKIP_BLOCK_MAX`).
+_wr_cache: dict[int, np.ndarray] = {}
 
 
 def splitmix64_array(values: np.ndarray) -> np.ndarray:
@@ -75,9 +141,15 @@ def splitmix64_array(values: np.ndarray) -> np.ndarray:
     """
     v = values.astype(np.uint64, copy=True)
     v += _U(0x9E3779B97F4A7C15)
-    v = (v ^ (v >> _U(30))) * _U(0xBF58476D1CE4E5B9)
-    v = (v ^ (v >> _U(27))) * _U(0x94D049BB133111EB)
-    return v ^ (v >> _U(31))
+    t = np.right_shift(v, _U(30))
+    v ^= t
+    v *= _U(0xBF58476D1CE4E5B9)
+    np.right_shift(v, _U(27), out=t)
+    v ^= t
+    v *= _U(0x94D049BB133111EB)
+    np.right_shift(v, _U(31), out=t)
+    v ^= t
+    return v
 
 
 def mix_key_array(keys: np.ndarray, seed: int = 0) -> np.ndarray:
@@ -97,6 +169,307 @@ def mix_key_array(keys: np.ndarray, seed: int = 0) -> np.ndarray:
             acc = splitmix64_array(acc ^ part)
         return acc
     raise HardwareError(f"key array must be 1-D or 2-D, got {keys.ndim}-D")
+
+
+def replay_victim_array(seed: int, buckets: np.ndarray, counts: np.ndarray,
+                        size: int) -> np.ndarray:
+    """Batch form of :func:`repro.switch.kvstore.cache.replay_victim`,
+    element-wise identical: victim slots for evictions ``counts[i]`` in
+    buckets ``buckets[i]`` (numpy's wrapping uint64 arithmetic is the
+    scalar version's ``& MASK64``)."""
+    mixed = (_U(seed & 0xFFFFFFFFFFFFFFFF)
+             + np.asarray(buckets, dtype=np.int64).view(np.uint64)
+             * _U(_VICTIM_BUCKET_MULT)
+             + np.asarray(counts, dtype=np.uint64)
+             * _U(_VICTIM_COUNT_MULT))
+    return (splitmix64_array(mixed) % _U(size)).astype(np.int64)
+
+
+def _replay_segments(kz: np.ndarray, starts: np.ndarray, lens: np.ndarray,
+                     set_ids: np.ndarray, m: int, policy: str, seed: int,
+                     ring: np.ndarray, head: np.ndarray, count: np.ndarray,
+                     counters: np.ndarray | None,
+                     in_cache: np.ndarray | None = None,
+                     state_rows: np.ndarray | None = None,
+                     start_width: int = _SKIP_BLOCK_START,
+                     ) -> tuple[np.ndarray, int, int]:
+    """Packed per-set FIFO/random replay over one batch of segments.
+
+    ``kz`` holds the key ids in (set, time) layout order; segment ``s``
+    (= one cache set's accesses in this batch) occupies
+    ``kz[starts[s]:starts[s] + lens[s]]`` and has bucket id
+    ``set_ids[s]``.  The per-set replacement state — ``ring`` (rows of
+    ``m`` slots in insertion order, :data:`_FILLER` when empty;  FIFO
+    treats the row circularly via ``head``, random keeps it compacted),
+    ``count`` (occupancy), and ``counters`` (random's per-set eviction
+    counters, the RNG state) — is carried *in place*, rows aligned with
+    segments, so callers can run one batch from empty state (one-shot)
+    or thread persistent state through successive windows (the windowed
+    store).
+
+    ``in_cache``, when the key ids are dense enough to afford one (a
+    per-key-id residency flag array, kept exactly in sync with the
+    rings, also carried across windows), turns every membership test
+    into a single gather instead of ``m`` ring compares — a key is in
+    its set's ring iff its flag is set, because each key id hashes to
+    exactly one set.
+
+    ``state_rows``, when given, maps segment ``s`` to row
+    ``state_rows[s]`` of the state arrays (and of ``set_ids``), so a
+    windowed caller can hand its *persistent* arrays straight in — no
+    per-window gather/scatter.  Without it, row ``s`` is segment ``s``.
+
+    The replay is round-major over blocks of ``w`` accesses per active
+    set (``w`` adapts between rounds): one membership test per round
+    classifies every block position against the pre-round state, then
+    each set consumes its block — leading hits are skipped wholesale
+    (hits never change FIFO/random state), and up to
+    :data:`_CHAIN_DEPTH` misses are resolved *within* the block by
+    exact verdict correction: a miss inserts one key and evicts one
+    victim, so the remaining positions' verdicts flip precisely where
+    they equal either (two compares per chained miss).  Ring
+    insert/evict reproduces, per set, exactly what
+    :class:`~repro.switch.kvstore.cache.KeyValueCache` does per access.
+    Finished sets are compacted away; once fewer than
+    :data:`_PACKED_MIN_ACTIVE` remain (skewed streams leave a long
+    tail of one or two hot sets), the survivors' tails finish on the
+    scalar per-access loop, picking up the ring state mid-segment.
+
+    Returns ``(miss flags over kz positions, eviction count, last skip
+    width)`` — windowed callers feed the width back in as the next
+    window's ``start_width`` so the adaptation warms up once, not per
+    window.
+    """
+    n = len(kz)
+    miss = np.zeros(n, dtype=bool)
+    if len(starts) == 0:
+        return miss, 0, start_width
+    w = max(2, min(int(start_width), _SKIP_BLOCK_MAX))
+    # Pad so block gathers may peek past the last segment's end; the
+    # pad value is irrelevant (phantom verdicts past a segment's end
+    # are neutralised by clamping below) but must be a safe index for
+    # the in_cache gather.
+    keys64 = np.empty(n + _SKIP_BLOCK_MAX, dtype=np.int64)
+    keys64[:n] = kz
+    keys64[n:] = 0
+    evictions = 0
+    randomized = policy == "random"
+    cols = np.arange(m - 1)
+
+    def apply_misses(sub: np.ndarray, keys_m: np.ndarray) -> np.ndarray:
+        """One miss per row of ``act[sub]``: insert ``keys_m``,
+        evicting per policy.  Returns each row's evicted key
+        (:data:`_FILLER` where the set was not yet full) — the chain
+        correction needs it."""
+        nonlocal evictions
+        rows_g = act[sub]
+        ck = count[rows_g]
+        full = ck == m
+        n_full = int(np.count_nonzero(full))
+        evictions += n_full
+        victims = np.full(len(rows_g), _FILLER, dtype=np.int64)
+        if randomized:
+            fl = np.flatnonzero(full)
+            fr = rows_g[fl]
+            if len(fr):
+                # Remove the drawn slot (shift the tail), append.
+                v = replay_victim_array(seed, set_ids[fr], counters[fr], m)
+                counters[fr] += 1
+                vk = ring[fr, v]
+                victims[fl] = vk
+                if in_cache is not None:
+                    in_cache[vk] = False
+                src = cols[None, :] + (cols[None, :] >= v[:, None])
+                ring[fr[:, None], cols[None, :]] = ring[fr[:, None], src]
+                ring[fr, m - 1] = keys_m[fl]
+            nl = np.flatnonzero(~full)
+            nf = rows_g[nl]
+            if len(nf):
+                ring[nf, count[nf]] = keys_m[nl]
+                count[nf] += 1
+        else:
+            # FIFO ring: insert at (head + count) % m; a full set's
+            # insert lands on the head slot (the victim).
+            hk = head[rows_g]
+            ins = hk + ck
+            ins[ins >= m] -= m
+            if n_full == len(rows_g):            # steady state
+                vk = ring[rows_g, ins]
+                victims[:] = vk
+            elif n_full:
+                fl = np.flatnonzero(full)
+                vk = ring[rows_g[fl], ins[fl]]
+                victims[fl] = vk
+            else:
+                vk = None
+            if in_cache is not None and vk is not None:
+                in_cache[vk] = False
+            ring[rows_g, ins] = keys_m
+            hk += full                           # full: head advances
+            hk[hk == m] = 0
+            head[rows_g] = hk
+            ck += 1
+            ck -= full                           # full: occupancy stays
+            count[rows_g] = ck
+        if in_cache is not None:
+            in_cache[keys_m] = True
+        return victims
+
+    # Compact per-active-set arrays: state row ids, cursors (in-set
+    # position), segment starts/ends.  Rounds operate on these and
+    # index the caller's state arrays through ``act``.
+    act = np.array(state_rows) if state_rows is not None \
+        else np.arange(len(starts))
+    cur = np.zeros(len(starts), dtype=np.int64)
+    seg_start = np.asarray(starts, dtype=np.int64)
+    seg_end = seg_start + np.asarray(lens, dtype=np.int64)
+    while True:
+        if not len(act):
+            break
+        if len(act) < _PACKED_MIN_ACTIVE:
+            evictions += _finish_tails(
+                keys64, miss, seg_start, seg_end, set_ids, act, cur, m,
+                policy, seed, ring, head, count, counters, in_cache)
+            break
+        base = seg_start + cur
+        wr = _wr_cache.get(w)
+        if wr is None:
+            wr = _wr_cache[w] = np.arange(w)
+        block = keys64[base[:, None] + wr]
+        if in_cache is not None:
+            hitrun = in_cache[block]
+        else:
+            # Membership per ring slot keeps the temporaries at (A, w)
+            # instead of materialising an (A, w, m) cube.
+            ring_act = ring[act]
+            hitrun = block == ring_act[:, 0, None]
+            slot_eq = np.empty_like(hitrun)
+            for c in range(1, m):
+                np.equal(block, ring_act[:, c, None], out=slot_eq)
+                hitrun |= slot_eq
+        stop = hitrun.argmin(axis=1)             # first miss in block
+        stop[hitrun.all(axis=1)] = w             # all-hit: skip whole
+        # Clamping to the segment end also neutralises any phantom
+        # verdicts the block picked up past it (neighbouring segments'
+        # keys, the pad).
+        at = np.minimum(base + stop, seg_end)
+        is_miss = (stop < w) & (at < seg_end)
+        # Default: the whole block (clamped) is consumed; rows whose
+        # miss chain is cut short overwrite this below.
+        new_cur = np.minimum(base + w, seg_end) - seg_start
+        rows = np.flatnonzero(is_miss)
+        if len(rows):
+            sub = rows                           # compact-row indices
+            at_sub = at[rows]
+            block_sub = block[rows]
+            hit_sub = hitrun[rows]
+            base_sub = base[rows]
+            end_sub = seg_end[rows]
+            depth = 0
+            while True:
+                keys_m = keys64[at_sub]
+                miss[at_sub] = True
+                victims = apply_misses(sub, keys_m)
+                depth += 1
+                if depth >= _CHAIN_DEPTH:
+                    # Budget exhausted mid-block: resume here next
+                    # round.
+                    new_cur[sub] = at_sub + 1 - seg_start[sub]
+                    break
+                # Exact correction of the remaining verdicts: this
+                # miss made exactly its key resident and its victim
+                # non-resident.
+                hit_sub = (hit_sub | (block_sub == keys_m[:, None])) & \
+                    (block_sub != victims[:, None])
+                hit_sub |= wr <= (at_sub - base_sub)[:, None]  # consumed
+                stop2 = hit_sub.argmin(axis=1)
+                done = hit_sub.all(axis=1)
+                at2 = np.minimum(base_sub + stop2, end_sub)
+                more = ~done & (at2 < end_sub)
+                if more.all():
+                    at_sub = at2
+                    continue
+                keep = np.flatnonzero(more)
+                if not len(keep):                # whole block consumed
+                    break
+                sub = sub[keep]
+                at_sub = at2[keep]
+                block_sub = block_sub[keep]
+                hit_sub = hit_sub[keep]
+                base_sub = base_sub[keep]
+                end_sub = end_sub[keep]
+        # Adapt the skip width to the stream: grow while blocks are
+        # being consumed nearly whole, shrink when miss chains keep
+        # getting cut (wide membership tests are then wasted work).
+        advanced = int(new_cur.sum() - cur.sum())
+        if advanced * 4 >= 3 * len(act) * w and w < _SKIP_BLOCK_MAX \
+                and len(act) * 2 * w <= _SKIP_BLOCK_BUDGET:
+            w *= 2
+        elif advanced * 4 < len(act) * w and w > 4:
+            w //= 2
+        cur = new_cur
+        alive = cur < seg_end - seg_start
+        if not alive.all():
+            act = act[alive]
+            cur = cur[alive]
+            seg_start = seg_start[alive]
+            seg_end = seg_end[alive]
+    return miss, evictions, w
+
+
+def _finish_tails(keys64, miss, seg_start, seg_end, set_ids, act, cur, m,
+                  policy, seed, ring, head, count, counters,
+                  in_cache=None) -> int:
+    """Scalar finish of :func:`_replay_segments`: the still-active rows
+    (``act``, each at in-set position ``cur``) replay their remaining
+    tails per access, starting from (and writing back) the packed ring
+    state.  The written-back FIFO state is canonicalised to ``head=0``
+    — an equivalent representation of the same queue.  Returns the tail
+    eviction count."""
+    randomized = policy == "random"
+    evictions = 0
+    for i, row in enumerate(act.tolist()):
+        occupancy = int(count[row])
+        if randomized:
+            resident = ring[row, :occupancy].tolist()
+        else:
+            front = int(head[row])
+            slots = ring[row].tolist()
+            resident = [slots[(front + k) % m] for k in range(occupancy)]
+        seen = set(resident)
+        touched: set = set()      # keys whose residency flag may move
+        evict_count = int(counters[row]) if randomized else 0
+        bucket = int(set_ids[row])
+        lo = int(seg_start[i]) + int(cur[i])
+        for pos, key in enumerate(keys64[lo:int(seg_end[i])].tolist(), lo):
+            if key in seen:
+                continue
+            miss[pos] = True
+            if len(resident) >= m:
+                if randomized:
+                    victim = resident[
+                        replay_victim(seed, bucket, evict_count,
+                                      len(resident))]
+                    evict_count += 1
+                    resident.remove(victim)
+                else:
+                    victim = resident.pop(0)
+                seen.discard(victim)
+                touched.add(victim)
+                evictions += 1
+            resident.append(key)
+            seen.add(key)
+            touched.add(key)
+        ring[row, :len(resident)] = resident
+        ring[row, len(resident):] = _FILLER
+        head[row] = 0
+        count[row] = len(resident)
+        if randomized:
+            counters[row] = evict_count
+        if in_cache is not None and touched:
+            in_cache[list(touched)] = False
+            in_cache[resident] = True
+    return evictions
 
 
 def _count_prev_greater(values: np.ndarray) -> np.ndarray:
@@ -176,13 +549,14 @@ def _count_prev_greater(values: np.ndarray) -> np.ndarray:
 class _Layout:
     """Accesses grouped by bucket: segment space for one bucketing."""
 
-    __slots__ = ("kz", "segstart", "order")
+    __slots__ = ("kz", "segstart", "order", "segbuckets")
 
     def __init__(self, kz: np.ndarray, segstart: np.ndarray,
-                 order: np.ndarray | None):
+                 order: np.ndarray | None, segbuckets: np.ndarray):
         self.kz = kz                # keys in (bucket, time) order
         self.segstart = segstart    # True at each bucket boundary
         self.order = order          # argsort permutation (None for n=1)
+        self.segbuckets = segbuckets  # bucket id per segment
 
 
 class _LruChains:
@@ -286,7 +660,8 @@ class VectorCacheSim:
             segstart = np.zeros(self.n, dtype=bool)
             if self.n:
                 segstart[0] = True
-            layout = _Layout(self._key_ids(), segstart, None)
+            layout = _Layout(self._key_ids(), segstart, None,
+                             np.zeros(1 if self.n else 0, dtype=np.int64))
         else:
             # One quicksort of (bucket << 32 | time) replaces a stable
             # argsort and the bucket gather — much cheaper in practice.
@@ -305,7 +680,8 @@ class VectorCacheSim:
             if self.n:
                 segstart[0] = True
                 np.not_equal(bz[1:], bz[:-1], out=segstart[1:])
-            layout = _Layout(self._key_ids()[order], segstart, order)
+            layout = _Layout(self._key_ids()[order], segstart, order,
+                             np.asarray(bz, dtype=np.int64)[segstart])
         self._layouts[n_buckets] = layout
         return layout
 
@@ -465,11 +841,70 @@ class VectorCacheSim:
 
     def _replay(self, geometry: CacheGeometry, policy: str, per_key: bool,
                 miss_out: np.ndarray | None = None):
-        """Exact Python replays for the ablation policies (FIFO is
-        per-set over packed key lists; random must follow the global
-        access order because the reference shares one RNG across
-        buckets).  ``miss_out`` (bool, stream order) records the
-        per-access miss flags for the schedule-driven store."""
+        """Exact replay of the FIFO/random ablation policies.
+
+        Dispatches to the packed per-set array replay
+        (:func:`_replay_segments`) whenever the stream has enough
+        per-set parallelism to win — its Python-level iteration count
+        is the longest set segment, so it needs many sets progressing
+        together — and otherwise (e.g. a fully associative cache's
+        single set) to the per-access reference loops of
+        :meth:`_replay_scalar`.  Both paths are bit-identical to
+        :class:`KeyValueCache`.  ``miss_out`` (bool, stream order)
+        records the per-access miss flags for the schedule-driven
+        store."""
+        chains = self._lru_chains(geometry.n_buckets)
+        starts = chains.segstarts2
+        lens = np.diff(np.append(starts, chains.n2))
+        max_len = int(lens.max()) if len(lens) else 0
+        if max_len * _PACKED_MIN_PARALLELISM > chains.n2:
+            return self._replay_scalar(geometry, policy, per_key,
+                                       miss_out=miss_out)
+        m = geometry.m_slots
+        layout = self._layout(geometry.n_buckets)
+        n_segs = len(starts)
+        ring = np.full((n_segs, m), _FILLER, dtype=np.int64)
+        head = np.zeros(n_segs, dtype=np.int64)
+        count = np.zeros(n_segs, dtype=np.int64)
+        counters = np.zeros(n_segs, dtype=np.uint64) \
+            if policy == "random" else None
+        # A residency-flag array buys one-gather membership tests when
+        # the key-id range is dense enough to afford one (always true
+        # for factorized ids; raw narrow int streams may be sparse).
+        kz2 = chains.kz2
+        kmin = int(kz2.min())
+        span = int(kz2.max()) - kmin + 1
+        if span <= 4 * chains.n2 + 1024:
+            in_cache = np.zeros(span, dtype=bool)
+            if kmin:
+                kz2 = kz2.astype(np.int64) - kmin
+        else:
+            in_cache = None
+        # Runs of the same key inside a set are collapsed (guaranteed
+        # hits that leave FIFO/random state untouched — hits never
+        # reorder these policies), exactly like the LRU path.
+        miss_kept, evictions, _ = _replay_segments(
+            kz2, starts, lens, layout.segbuckets, m, policy,
+            self.seed, ring, head, count, counters, in_cache=in_cache)
+        misses = int(np.count_nonzero(miss_kept))
+        stats = CacheStats(accesses=self.n, hits=self.n - misses,
+                           misses=misses, insertions=misses,
+                           evictions=evictions)
+        if miss_out is not None:
+            miss_layout = np.zeros(self.n, dtype=bool)
+            miss_layout[chains.keep_idx] = miss_kept
+            miss_out[:] = self._to_stream_order(layout, miss_layout)
+        if not per_key:
+            return stats, None
+        return stats, _single_miss_validity(chains.kz2[miss_kept])
+
+    def _replay_scalar(self, geometry: CacheGeometry, policy: str,
+                       per_key: bool, miss_out: np.ndarray | None = None):
+        """Per-access reference loops for the ablation policies —
+        compact Python over packed key arrays mirroring
+        :class:`KeyValueCache`'s bucket order and victim draws exactly
+        (the random policy consumes the same counter-based
+        :func:`replay_victim` stream as the packed path)."""
         n_buckets, m = geometry.n_buckets, geometry.m_slots
         stats = CacheStats()
         miss_counts: dict[int, int] = {}
@@ -508,12 +943,13 @@ class VectorCacheSim:
                 else:
                     miss_out[layout.order] = miss_layout
         else:  # random
-            rng = random.Random(self.seed)
+            seed = self.seed
             hashes = (self._hash() % _U(n_buckets)).astype(np.int64).tolist() \
                 if n_buckets > 1 else [0] * self.n
             keys = self._key_ids().tolist()
             buckets: dict[int, list[int]] = {}
             members: dict[int, set[int]] = {}
+            evict_counts: dict[int, int] = {}
             for i, (key, b) in enumerate(zip(keys, hashes)):
                 stats.accesses += 1
                 lst = buckets.setdefault(b, [])
@@ -528,7 +964,9 @@ class VectorCacheSim:
                 if per_key:
                     miss_counts[key] = miss_counts.get(key, 0) + 1
                 if len(lst) >= m:
-                    victim = rng.choice(lst)
+                    count = evict_counts.get(b, 0)
+                    evict_counts[b] = count + 1
+                    victim = lst[replay_victim(seed, b, count, len(lst))]
                     lst.remove(victim)
                     seen.discard(victim)
                     stats.evictions += 1
@@ -573,7 +1011,8 @@ class VectorCacheSim:
         * LRU: the per-kept-access mask of :meth:`_lru_miss_mask`
           scattered back through the run-collapse (collapsed duplicate
           accesses are guaranteed hits) and the layout permutation;
-        * FIFO/random: the exact replay loops, recording per access.
+        * FIFO/random: the packed per-set replay (or its per-access
+          reference fallback), recording per access.
         """
         if policy not in KeyValueCache.POLICIES:
             raise HardwareError(f"unknown eviction policy {policy!r}")
@@ -603,9 +1042,8 @@ class VectorCacheSim:
         """Counters and per-access miss flags together.
 
         For the direct-mapped and LRU paths the two share all memoized
-        work anyway; for the FIFO/random replays this runs the exact
-        Python replay **once** for both (the schedule-driven store's
-        entry point).
+        work anyway; for the FIFO/random policies this runs the replay
+        **once** for both (the schedule-driven store's entry point).
         """
         if self.n and geometry.m_slots > 1 and policy in ("fifo", "random"):
             miss = np.zeros(self.n, dtype=bool)

@@ -24,8 +24,13 @@ store and to the per-packet row store, for *any* window partitioning:
      (``max(0, occupancy + misses - m)`` per set), and the next
      boundary's residency is read off the augmented stream's per-set
      most-recent keys.
-   * FIFO / random: the replay loops of the one-shot engine, with their
-     per-set structures (and the shared RNG) carried across windows.
+   * FIFO / random: the packed per-set array replay of the one-shot
+     engine (:func:`repro.switch.kvstore.vector_cache._replay_segments`)
+     with its per-set ring buffers, occupancy, and counter-based RNG
+     counters carried across windows — one gather/replay/scatter per
+     window, no per-access Python.  Degenerate geometries with too few
+     sets for the step-major replay to win keep a per-access reference
+     scheduler (:class:`_ReplayWindowScheduler`).
 
 2. **Carried open epochs.** A key's current cache-residency epoch can
    span windows.  Its partial fold state (and merge registers) is
@@ -58,7 +63,6 @@ multiple window sizes, and refresh intervals that cut mid-window.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, replace
 from typing import Mapping
 
@@ -79,14 +83,23 @@ from repro.core.vector_exec import (
 )
 
 from .backing import BackingStore, KeyEntry
-from .cache import CacheGeometry, CacheStats
+from .cache import CacheGeometry, CacheStats, replay_victim
+from .vector_cache import _FILLER, _SKIP_BLOCK_START, VectorCacheSim, \
+    _replay_segments, mix_key_array
 from .split import build_result_table
-from .vector_cache import VectorCacheSim, mix_key_array
 from .vector_store import VectorSplitStore, _FoldCont, _copy_aux
 
 #: Default window: large enough to amortise the per-window vector work,
 #: small enough that a few windows of columns stay cache-friendly.
 DEFAULT_WINDOW = 1 << 17
+
+#: Minimum bucket count for the packed FIFO/random window scheduler:
+#: its step-major replay advances every set in parallel, so geometries
+#: with fewer sets than this keep the per-access reference scheduler
+#: (a fully associative cache is a single set — there is nothing to
+#: parallelise across).  Tests monkeypatch it to force either
+#: scheduler.
+PACKED_WINDOW_MIN_SETS = 16
 
 _U = np.uint64
 
@@ -238,18 +251,20 @@ class _LruWindowScheduler:
 
 
 class _ReplayWindowScheduler:
-    """Carried per-set replay for the FIFO/random ablation policies —
-    the one-shot engine's exact Python loops with their bucket
-    structures (and the shared RNG) persisted across windows."""
+    """Carried per-set replay for the FIFO/random ablation policies on
+    degenerate geometries (fewer than :data:`PACKED_WINDOW_MIN_SETS`
+    sets): the per-access reference loop with its bucket structures
+    (and the random policy's per-set eviction counters — the
+    counter-based RNG state) persisted across windows."""
 
     def __init__(self, geometry: CacheGeometry, policy: str, seed: int):
         self.geometry = geometry
         self.policy = policy
         self.seed = seed
-        self._rng = random.Random(seed)
         #: bucket -> insertion-ordered {key id: None} (mirrors the
         #: reference cache's per-bucket OrderedDict).
         self._buckets: dict[int, dict[int, None]] = {}
+        self._evict_counts: dict[int, int] = {}
 
     def schedule(self, keys2d: np.ndarray, gid: np.ndarray,
                  ) -> tuple[np.ndarray, int, np.ndarray]:
@@ -263,8 +278,9 @@ class _ReplayWindowScheduler:
         miss = np.zeros(n, dtype=bool)
         evictions = 0
         randomized = self.policy == "random"
-        rng = self._rng
+        seed = self.seed
         buckets = self._buckets
+        evict_counts = self._evict_counts
         for i, (g, b) in enumerate(zip(gid.tolist(), bucket_list)):
             resident = buckets.setdefault(b, {})
             if g in resident:
@@ -272,7 +288,10 @@ class _ReplayWindowScheduler:
             miss[i] = True
             if len(resident) >= m:
                 if randomized:
-                    victim = rng.choice(list(resident))
+                    count = evict_counts.get(b, 0)
+                    evict_counts[b] = count + 1
+                    victim = list(resident)[
+                        replay_victim(seed, b, count, len(resident))]
                 else:
                     victim = next(iter(resident))
                 del resident[victim]
@@ -281,6 +300,133 @@ class _ReplayWindowScheduler:
         resident_gids = np.fromiter(
             (g for d in buckets.values() for g in d), dtype=np.int64)
         return miss, evictions, resident_gids
+
+
+class _PackedWindowScheduler:
+    """Carried packed per-set replay for the FIFO/random ablation
+    policies: the persistent per-set state of the one-shot packed
+    engine — insertion-ordered ring buffers, occupancy, and the random
+    policy's per-set eviction counters — lives in flat arrays indexed
+    by a registry of touched sets; each window is grouped by set with
+    one composite sort, its sets' state rows are gathered, replayed
+    through the shared step-major core
+    (:func:`~repro.switch.kvstore.vector_cache._replay_segments`), and
+    scattered back.  Bit-identical to the per-access reference for
+    every window partitioning (the replay state a set carries is
+    independent of where windows cut)."""
+
+    def __init__(self, geometry: CacheGeometry, policy: str, seed: int):
+        self.geometry = geometry
+        self.policy = policy
+        self.seed = seed
+        m = geometry.m_slots
+        self._known_ids = np.zeros(0, dtype=np.int64)    # sorted bucket ids
+        self._known_rows = np.zeros(0, dtype=np.int64)   # their state rows
+        self._set_of_row = np.zeros(0, dtype=np.int64)   # inverse mapping
+        self._n_sets = 0
+        self._ring = np.full((0, m), _FILLER, dtype=np.int64)
+        self._head = np.zeros(0, dtype=np.int64)
+        self._count = np.zeros(0, dtype=np.int64)
+        self._counters = np.zeros(0, dtype=np.uint64)
+        #: Per-key-id residency flags, exactly the rings' content (key
+        #: ids are dense): one-gather membership tests in the core and
+        #: O(resident) boundary extraction.
+        self._in_cache = np.zeros(0, dtype=bool)
+        self._width = _SKIP_BLOCK_START      # adapted skip width carry
+
+    def schedule(self, keys2d: np.ndarray, gid: np.ndarray,
+                 ) -> tuple[np.ndarray, int, np.ndarray]:
+        n = len(gid)
+        n_buckets, m = self.geometry.n_buckets, self.geometry.m_slots
+        if n_buckets == 1:
+            buckets = np.zeros(n, dtype=np.int64)
+        else:
+            buckets = (mix_key_array(keys2d, self.seed) %
+                       _U(n_buckets)).astype(np.int64)
+        if n_buckets <= 1 << 31:
+            comp = (buckets << np.int64(32)) | np.arange(n, dtype=np.int64)
+            comp.sort()
+            order = comp & np.int64(0xFFFFFFFF)
+            bz = comp >> np.int64(32)
+        else:                              # degenerate bucket counts
+            order = np.argsort(buckets, kind="stable")
+            bz = buckets[order]
+        segstart = np.empty(n, dtype=bool)
+        segstart[0] = True
+        np.not_equal(bz[1:], bz[:-1], out=segstart[1:])
+        seg_ids = bz[segstart]
+        # Collapse runs of the same key inside a set (guaranteed hits
+        # that leave FIFO/random state untouched), exactly like the
+        # one-shot engine: a window is a contiguous chunk of the
+        # stream, so in-window adjacency in set order is true adjacency.
+        gz = gid[order]
+        keep = np.empty(n, dtype=bool)
+        keep[0] = True
+        keep[1:] = segstart[1:] | (gz[1:] != gz[:-1])
+        keep_idx = np.flatnonzero(keep)
+        kz2 = gz[keep_idx]
+        starts = np.flatnonzero(segstart[keep_idx])
+        lens = np.diff(np.append(starts, len(kz2)))
+        rows = self._rows_for(seg_ids)
+        randomized = self.policy == "random"
+        max_gid = int(gid.max()) + 1
+        if len(self._in_cache) < max_gid:
+            self._in_cache = _grown(self._in_cache, max_gid)
+        miss_kept, evictions, self._width = _replay_segments(
+            kz2, starts, lens, self._set_of_row, m, self.policy,
+            self.seed, self._ring, self._head, self._count,
+            self._counters if randomized else None,
+            in_cache=self._in_cache, state_rows=rows,
+            start_width=self._width)
+        # Scatter only the miss positions back to stream order (misses
+        # are typically a small fraction of the window).
+        miss = np.zeros(n, dtype=bool)
+        miss[order[keep_idx[np.flatnonzero(miss_kept)]]] = True
+        return miss, evictions, self._in_cache
+
+    def _rows_for(self, seg_ids: np.ndarray) -> np.ndarray:
+        """State rows for this window's (sorted, unique) bucket ids,
+        registering unseen sets with empty state."""
+        rows = np.empty(len(seg_ids), dtype=np.int64)
+        if self._n_sets == 0:
+            fresh = np.ones(len(seg_ids), dtype=bool)
+        else:
+            pos = np.searchsorted(self._known_ids, seg_ids)
+            found = pos < len(self._known_ids)
+            safe = np.where(found, pos, 0)
+            found &= self._known_ids[safe] == seg_ids
+            rows[found] = self._known_rows[safe[found]]
+            fresh = ~found
+        n_new = int(np.count_nonzero(fresh))
+        if n_new:
+            start = self._n_sets
+            new_rows = start + np.arange(n_new)
+            rows[fresh] = new_rows
+            self._grow(start + n_new)
+            self._n_sets = start + n_new
+            new_ids = seg_ids[fresh]
+            self._set_of_row[new_rows] = new_ids
+            ins = np.searchsorted(self._known_ids, new_ids)
+            self._known_ids = np.insert(self._known_ids, ins, new_ids)
+            self._known_rows = np.insert(self._known_rows, ins, new_rows)
+        return rows
+
+    def _grow(self, n: int) -> None:
+        cap = len(self._head)
+        if cap >= n:
+            return
+        # One capacity for every state array (the rows of _ring must
+        # stay aligned with the 1-D arrays and the set registry).
+        new_cap = max(n, 2 * cap, 1024)
+        ring = np.full((new_cap, self.geometry.m_slots), _FILLER,
+                       dtype=np.int64)
+        ring[:cap] = self._ring
+        self._ring = ring
+        for name in ("_head", "_count", "_counters", "_set_of_row"):
+            old = getattr(self, name)
+            new = np.zeros(new_cap, dtype=old.dtype)
+            new[:cap] = old
+            setattr(self, name, new)
 
 
 class WindowedVectorStore(VectorSplitStore):
@@ -340,6 +486,8 @@ class WindowedVectorStore(VectorSplitStore):
         self._open_dicts: dict[int, dict[str, tuple[State, AuxState]]] = {}
         if geometry.m_slots == 1 or policy == "lru":
             self._sched = _LruWindowScheduler(geometry, policy, seed)
+        elif geometry.n_buckets >= PACKED_WINDOW_MIN_SETS:
+            self._sched = _PackedWindowScheduler(geometry, policy, seed)
         else:
             self._sched = _ReplayWindowScheduler(geometry, policy, seed)
         # Absorption target: per-key accumulator arrays when every fold
@@ -567,7 +715,7 @@ class WindowedVectorStore(VectorSplitStore):
         # Window boundary: a key that is no longer resident can only
         # miss on its next access, so its open epoch is complete.
         open_gids = np.flatnonzero(self._open_mask[:self._nkeys])
-        self._absorb_open(open_gids[~np.isin(open_gids, resident)])
+        self._absorb_open(open_gids[~_is_resident(open_gids, resident)])
 
         self._total += n
         if refresh is not None:
@@ -916,6 +1064,19 @@ class WindowedVectorStore(VectorSplitStore):
         if not self._finalized:
             self._drain()
         return self._stats
+
+
+def _is_resident(gids: np.ndarray, resident: np.ndarray) -> np.ndarray:
+    """Membership of ``gids`` in a scheduler's residency report —
+    either a key-id array (LRU / per-access schedulers) or a per-gid
+    flag array (the packed scheduler's bitmap, possibly shorter than
+    the store's key table)."""
+    if resident.dtype == np.bool_:
+        out = np.zeros(len(gids), dtype=bool)
+        within = gids < len(resident)
+        out[within] = resident[gids[within]]
+        return out
+    return np.isin(gids, resident)
 
 
 def _grown(arr: np.ndarray, n: int) -> np.ndarray:

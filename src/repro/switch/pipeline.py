@@ -286,6 +286,11 @@ class SwitchPipeline:
     ):
         if engine not in ENGINES:
             raise HardwareError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if window is not None and window <= 0:
+            # Checked here (not just in the windowed store) so the row
+            # engine — which streams regardless — rejects it too.
+            raise HardwareError(
+                f"window must be a positive number of accesses, got {window!r}")
         self.program = program
         self.params = dict(params or {})
         missing = set(program.params) - set(self.params)

@@ -159,6 +159,10 @@ class NetworkDeployment:
     # -- statistics -------------------------------------------------------------
 
     def cache_stats(self) -> dict[str, dict[str, object]]:
+        """Counters of the most recently opened session ( ``{}`` before
+        any :meth:`open`).  Once that session is closed this raises
+        :class:`~repro.core.errors.SessionClosedError` like every other
+        post-close read — final counters live on the close() reports."""
         if self._session is None:
             return {}
         return self._session.cache_stats()
@@ -186,25 +190,44 @@ class NetworkSession:
         for qid, owner in owners.items():
             self._owner_index[qid] = index[owner]
         self._closed = False
-        self._report: NetworkRunReport | None = None
+        #: Per-switch close() reports already collected — close() is
+        #: retryable after a partial failure (a later switch's close
+        #: raising must not orphan the ones that already finalized).
+        self._switch_reports: dict[str, object] = {}
 
     def __enter__(self) -> "NetworkSession":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Mirrors TelemetrySession.__exit__: close only on clean exit,
+        # never suppress an in-flight exception.
         if not self._closed and exc_type is None:
             self.close()
+        return False
 
     # -- ingestion ------------------------------------------------------------
 
     def ingest(self, batch: Iterable[object]) -> "NetworkSession":
         """Route one batch of observations to the owning switches
         (vectorized split for columnar tables; observations from
-        unmonitored queues are dropped, as in the one-shot path)."""
+        unmonitored queues are dropped, as in the one-shot path).
+
+        Columnar batches are split with a **single** composite sort of
+        ``(owner, position)`` plus one ``searchsorted`` for the
+        per-switch segment bounds — one pass over the batch regardless
+        of fabric size, instead of one boolean mask per switch.  The
+        low sort bits are the arrival positions, so each switch's
+        segment is in arrival order: the split is bit-identical to
+        per-switch ``owner == i`` masking."""
         if self._closed:
             raise SessionClosedError(
                 "network session is closed; open a new one with "
                 "NetworkDeployment.open()")
+        if self._switch_reports:
+            raise SessionClosedError(
+                "network session is partially closed (an earlier "
+                "close() failed midway); retry close() instead of "
+                "ingesting")
         if isinstance(batch, ObservationTable) and batch.is_columnar:
             if not len(self._owner_index):
                 return self        # no monitored queues
@@ -213,9 +236,17 @@ class NetworkSession:
             valid = (qid >= 0) & (qid < len(self._owner_index))
             clipped = np.clip(qid, 0, len(self._owner_index) - 1)
             owner = np.where(valid, self._owner_index[clipped], -1)
+            comp = (owner << np.int64(32)) | np.arange(len(owner),
+                                                       dtype=np.int64)
+            comp.sort()
+            sorted_owner = comp >> np.int64(32)    # -1 first (unmonitored)
+            positions = comp & np.int64(0xFFFFFFFF)
+            bounds = np.searchsorted(
+                sorted_owner, np.arange(len(self._switch_order) + 1))
             for i, switch in enumerate(self._switch_order):
-                sel = np.flatnonzero(owner == i)
-                if len(sel):
+                lo, hi = bounds[i], bounds[i + 1]
+                if hi > lo:
+                    sel = positions[lo:hi]
                     self.sessions[switch].ingest(ObservationTable.from_arrays(
                         {name: arr[sel] for name, arr in columns.items()}))
             return self
@@ -235,23 +266,38 @@ class NetworkSession:
     def results(self) -> NetworkRunReport:
         """Combined mid-stream snapshot (requires per-switch stores
         that support streaming reads — a ``window`` or the row
-        engine)."""
+        engine).  Raises
+        :class:`~repro.core.errors.SessionClosedError` once closed,
+        like :class:`~repro.telemetry.session.TelemetrySession`; the
+        final report is the one :meth:`close` returned."""
         if self._closed:
-            return self._report
+            raise SessionClosedError(
+                "network session is closed; the final report is the "
+                "close() return value")
+        # After a partial close() failure, already-finalized switches
+        # answer from their stored final reports (their sessions would
+        # raise); the rest snapshot live.
         return self._combine({
-            switch: session.results()
+            switch: self._switch_reports.get(switch) or session.results()
             for switch, session in self.sessions.items()
         })
 
     def close(self) -> NetworkRunReport:
+        """Close every per-switch session and return the combined
+        final report; any further call raises
+        :class:`~repro.core.errors.SessionClosedError`.
+
+        If one switch's close fails, the already-finalized switches'
+        reports are kept and a retry resumes with the remaining
+        sessions instead of tripping over the closed ones."""
         if self._closed:
             raise SessionClosedError("network session is already closed")
+        for switch, session in self.sessions.items():
+            if switch not in self._switch_reports:
+                self._switch_reports[switch] = session.close()
+        report = self._combine(self._switch_reports)
         self._closed = True
-        self._report = self._combine({
-            switch: session.close()
-            for switch, session in self.sessions.items()
-        })
-        return self._report
+        return report
 
     def _combine(self, reports) -> NetworkRunReport:
         deployment = self.deployment
@@ -283,7 +329,16 @@ class NetworkSession:
     # -- statistics ------------------------------------------------------------
 
     def cache_stats(self) -> dict[str, dict[str, object]]:
+        """Per-switch, per-stage cache counters so far.  Raises
+        :class:`~repro.core.errors.SessionClosedError` once closed
+        (consistent with every other post-close read)."""
+        if self._closed:
+            raise SessionClosedError(
+                "network session is closed; read cache stats before "
+                "close(), or from the per-switch close() reports")
         return {
-            switch: session.cache_stats()
+            switch: (self._switch_reports[switch].cache_stats
+                     if switch in self._switch_reports
+                     else session.cache_stats())
             for switch, session in self.sessions.items()
         }

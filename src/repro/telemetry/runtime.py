@@ -235,6 +235,9 @@ class QueryEngine:
                 mid-stream snapshots are supported, with results
                 bit-identical to the one-shot path for every window
                 size.  ``None`` keeps the deferred one-shot store.
+                Must be positive when set — 0/negative raises
+                :class:`ValueError` on every engine (the row engine
+                would otherwise silently ignore it).
             exact: Software-only exact evaluation (no hardware model —
                 what :meth:`run_exact` uses).
             chunk_size: Batch-path chunk size of the switch pipeline.

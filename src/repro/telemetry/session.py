@@ -77,10 +77,12 @@ class TelemetrySession:
         self._engine = engine
         self.window = window
         self.exact = exact
+        if window is not None and window <= 0:
+            raise ValueError(
+                f"window must be a positive number of accesses, got "
+                f"{window!r} (omit it for one-shot execution)")
         self._chunk_size = chunk_size
         self._closed = False
-        self._report: "RunReport | None" = None
-        self._report_include_invalid = False
         self._saw_rows = False
         self._vector_started = False
         if exact:
@@ -100,9 +102,15 @@ class TelemetrySession:
     def __enter__(self) -> "TelemetrySession":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Close only on a clean exit: with an exception in flight the
+        # session is left open (finalizing half-ingested state could
+        # raise and mask the original error).  Never suppresses the
+        # in-flight exception; a close() failure on the clean path
+        # propagates.
         if not self._closed and exc_type is None:
             self.close()
+        return False
 
     @property
     def closed(self) -> bool:
@@ -154,13 +162,14 @@ class TelemetrySession:
 
     def results(self, include_invalid: bool = False) -> "RunReport":
         """A :class:`RunReport` snapshot as of everything ingested so
-        far — the stream can continue afterwards.  After :meth:`close`,
-        returns the final report (rebuilt from the finalized stores
-        when ``include_invalid`` differs from the close-time flag)."""
+        far — the stream can continue afterwards.  Like every other
+        method, raises :class:`~repro.core.errors.SessionClosedError`
+        once the session is closed: the final report is the one
+        :meth:`close` returned."""
         if self._closed:
-            if self.exact or include_invalid == self._report_include_invalid:
-                return self._report
-            return self._final_report(include_invalid)
+            raise SessionClosedError(
+                "session is closed; the final report is the close() "
+                "return value")
         if self.exact:
             return self._exact_report()
         tables, stats, writes, accuracy = \
@@ -169,17 +178,17 @@ class TelemetrySession:
 
     def close(self, include_invalid: bool = False) -> "RunReport":
         """Finalize every stage (flush caches, run deferred schedules)
-        and return the final report; further :meth:`ingest` raises
+        and return the final report; any further call — :meth:`ingest`,
+        :meth:`results`, :meth:`cache_stats`, :meth:`close` — raises
         :class:`~repro.core.errors.SessionClosedError`."""
         if self._closed:
             raise SessionClosedError("session is already closed")
-        self._closed = True
-        self._report_include_invalid = include_invalid
         if self.exact:
-            self._report = self._exact_report()
-            return self._report
-        self._report = self._final_report(include_invalid)
-        return self._report
+            report = self._exact_report()
+        else:
+            report = self._final_report(include_invalid)
+        self._closed = True
+        return report
 
     def _final_report(self, include_invalid: bool) -> "RunReport":
         pipeline = self._pipeline
@@ -193,8 +202,15 @@ class TelemetrySession:
             accuracy)
 
     def cache_stats(self):
-        """Per-stage cache counters (hardware sessions; exact sessions
-        have no hardware model and return an empty dict)."""
+        """Per-stage cache counters so far (hardware sessions; exact
+        sessions have no hardware model and return an empty dict).
+        After :meth:`close` raises
+        :class:`~repro.core.errors.SessionClosedError` — final counters
+        are on the report :meth:`close` returned."""
+        if self._closed:
+            raise SessionClosedError(
+                "session is closed; final cache stats are on the "
+                "close() report")
         if self._pipeline is None:
             return {}
         return self._pipeline.cache_stats()

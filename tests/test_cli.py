@@ -60,6 +60,28 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--catalog", "nope", "--trace", trace_file])
 
+    def test_windowed_run(self, trace_file, capsys):
+        code = main(["run", "--query", "SELECT COUNT GROUPBY srcip",
+                     "--trace", trace_file, "--window", "100"])
+        assert code == 0
+        assert "COUNT" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("window", ["0", "-1", "-128"])
+    def test_nonpositive_window_rejected(self, trace_file, window, capsys):
+        """Regression: --window 0/-N used to be accepted at parse time
+        and fail deep in the store (or be silently ignored on the row
+        engine); argparse now rejects it with a clear message."""
+        with pytest.raises(SystemExit):
+            main(["run", "--query", "SELECT COUNT GROUPBY srcip",
+                  "--trace", trace_file, "--window", window])
+        assert "positive number of accesses" in capsys.readouterr().err
+
+    def test_non_integer_window_rejected(self, trace_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--query", "SELECT COUNT GROUPBY srcip",
+                  "--trace", trace_file, "--window", "many"])
+        assert "integer number of accesses" in capsys.readouterr().err
+
 
 class TestPlan:
     def test_plan_prints_stages(self, capsys):

@@ -74,11 +74,14 @@ class TestWindowedBitIdentity:
                 f"{entry.name}/{engine} diverged at window={window}"
 
     @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
-    def test_eviction_policies_match_one_shot(self, policy, small_trace):
-        """The carried FIFO/random replay schedulers (persistent
-        per-bucket structures + shared RNG) and the LRU phantom-prefix
+    @pytest.mark.parametrize("ways", [2, 8])
+    def test_eviction_policies_match_one_shot(self, policy, ways,
+                                              small_trace):
+        """The carried FIFO/random replay schedulers (packed per-set
+        ring buffers + counter-based RNG, and the per-access reference
+        scheduler on few-set geometries) and the LRU phantom-prefix
         path all stay bit-identical across window cuts."""
-        geometry = CacheGeometry.set_associative(32, ways=2)
+        geometry = CacheGeometry.set_associative(32 * ways // 2, ways=ways)
         qe = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
                          geometry=geometry, policy=policy)
         base = observables(qe.run(small_trace, include_invalid=True))
@@ -151,12 +154,36 @@ class TestSessionLifecycle:
         from repro.core import errors
         assert issubclass(errors.SessionClosedError, errors.SessionError)
 
-    def test_results_after_close_returns_final_report(self, tiny_trace):
+    def test_results_after_close_raises(self, tiny_trace):
+        """The final report is close()'s return value; every post-close
+        read raises — results() included, matching ingest()/close()."""
         qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
         session = qe.open(window=64)
         session.ingest(tiny_trace)
         report = session.close()
-        assert session.results() is report
+        assert report.result.rows
+        with pytest.raises(SessionClosedError):
+            session.results()
+
+    def test_cache_stats_after_close_raises(self, tiny_trace):
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        session = qe.open(window=64)
+        session.ingest(tiny_trace)
+        assert session.cache_stats()           # open: fine
+        report = session.close()
+        assert report.cache_stats              # final counters live here
+        with pytest.raises(SessionClosedError):
+            session.cache_stats()
+
+    def test_exact_session_post_close_reads_raise(self, tiny_trace):
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        session = qe.open(exact=True)
+        session.ingest(tiny_trace)
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.results()
+        with pytest.raises(SessionClosedError):
+            session.cache_stats()
 
     def test_deferred_one_shot_rejects_mid_stream_results(self, tiny_trace):
         qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM,
@@ -183,18 +210,65 @@ class TestSessionLifecycle:
         with qe.open(window=64) as session:
             session.ingest(tiny_trace)
         assert session.closed
-        assert session.results() is not None
+
+    def test_context_manager_propagates_body_errors(self, tiny_trace):
+        """__exit__ must never swallow an in-flight error — and with
+        one in flight it leaves the session open rather than risking a
+        close() failure masking the original."""
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
+        with pytest.raises(RuntimeError, match="boom"):
+            with qe.open(window=64) as session:
+                session.ingest(tiny_trace)
+                raise RuntimeError("boom")
+        assert not session.closed
+        assert session.close().result.rows     # still usable
+
+    def test_network_context_manager_propagates_body_errors(self):
+        from repro.network.simulator import NetworkSimulator
+        from repro.network.topology import linear_chain
+
+        sim = NetworkSimulator(linear_chain(2))
+        from repro.telemetry.deploy import NetworkDeployment
+        deploy = NetworkDeployment("SELECT COUNT GROUPBY srcip", sim,
+                                   geometry=GEOM)
+        with pytest.raises(RuntimeError, match="boom"):
+            with deploy.open(window=64) as session:
+                raise RuntimeError("boom")
+        assert not session._closed
+        session.close()
 
     def test_empty_session_close(self):
         qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM)
         report = qe.open(window=64).close()
         assert report.result.rows == []
 
-    def test_window_must_be_positive(self):
+    def test_store_window_must_be_positive(self):
         with pytest.raises(Exception):
             WindowedVectorStore(
                 QueryEngine("SELECT COUNT GROUPBY srcip")
                 .compiled.groupby_stages[0], GEOM, window=0)
+
+    @pytest.mark.parametrize("engine", ["auto", "vector", "row"])
+    @pytest.mark.parametrize("window", [0, -1, -64])
+    def test_open_rejects_nonpositive_window(self, engine, window):
+        """Regression: open(window<=0) must raise up front on *every*
+        engine — the row engine used to silently ignore the knob and
+        the vector engine deferred the failure into the store."""
+        qe = QueryEngine("SELECT COUNT GROUPBY srcip", geometry=GEOM,
+                         engine=engine)
+        with pytest.raises(ValueError, match="window must be a positive"):
+            qe.open(window=window)
+
+    def test_network_open_rejects_nonpositive_window(self):
+        from repro.network.simulator import NetworkSimulator
+        from repro.network.topology import linear_chain
+        from repro.telemetry.deploy import NetworkDeployment
+
+        deploy = NetworkDeployment(
+            "SELECT COUNT GROUPBY srcip",
+            NetworkSimulator(linear_chain(2)), geometry=GEOM)
+        with pytest.raises(ValueError, match="window must be a positive"):
+            deploy.open(window=0)
 
 
 class TestMidStreamSnapshots:
@@ -230,12 +304,15 @@ class TestExactSessions:
     def test_exact_session_matches_run_exact(self, trace):
         qe = QueryEngine("SELECT COUNT, SUM(pkt_len) GROUPBY srcip",
                          geometry=GEOM)
-        with qe.open(exact=True) as session:
-            for batch in chunked(trace, 1111):
-                session.ingest(batch)
-        chunked_tables = session.results().tables
+        session = qe.open(exact=True)
+        for batch in chunked(trace, 1111):
+            session.ingest(batch)
+        mid_tables = session.results().tables   # pre-close snapshot
+        chunked_tables = session.close().tables
         whole = qe.run_exact(trace)
         assert {q: t.rows for q, t in chunked_tables.items()} == \
+            {q: t.rows for q, t in whole.items()}
+        assert {q: t.rows for q, t in mid_tables.items()} == \
             {q: t.rows for q, t in whole.items()}
 
     def test_run_exact_row_input_uses_interpreter_results(self, tiny_trace):
@@ -322,11 +399,103 @@ class TestNetworkSessions:
         one_shot = NetworkDeployment(source, sim, geometry=GEOM) \
             .run(table.records)
         deploy = NetworkDeployment(source, sim, geometry=GEOM)
-        with deploy.open(window=333) as session:
-            for batch in chunked(table, 441):
-                session.ingest(batch)
-        assert self.network_observables(session.results()) == \
+        session = deploy.open(window=333)
+        for batch in chunked(table, 441):
+            session.ingest(batch)
+        mid = session.results()                # streaming snapshot
+        report = session.close()
+        assert self.network_observables(mid) == \
             self.network_observables(one_shot)
+        assert self.network_observables(report) == \
+            self.network_observables(one_shot)
+
+    def test_single_pass_routing_matches_per_switch_masks(self, fabric):
+        """The argsort(owner) batch split must hand every switch
+        exactly the rows `owner == i` masking would, in arrival
+        order."""
+        import numpy as np
+
+        from repro.telemetry.deploy import NetworkDeployment
+
+        sim, table = fabric
+        # A columnar copy: earlier tests may have flipped the shared
+        # table's authority to rows, which would take the row-routing
+        # path instead of the single-pass split under test.
+        table = ObservationTable.from_arrays(table.columns())
+        deploy = NetworkDeployment("SELECT COUNT GROUPBY qid", sim,
+                                   geometry=GEOM)
+        session = deploy.open(window=128)
+
+        routed: dict[str, list] = {}
+        originals = {name: sess.ingest
+                     for name, sess in session.sessions.items()}
+
+        def capture(name):
+            def _ingest(batch):
+                routed.setdefault(name, []).append(batch)
+                return originals[name](batch)
+            return _ingest
+
+        for name, sess in session.sessions.items():
+            sess.ingest = capture(name)
+        session.ingest(table)
+        session.close()
+
+        columns = table.columns()
+        qid = columns["qid"]
+        owner_of = deploy._queue_owner
+        for name in session.sessions:
+            want = np.array([i for i, q in enumerate(qid.tolist())
+                             if owner_of.get(q) == name], dtype=np.int64)
+            got = routed.get(name, [])
+            if not len(want):
+                assert not got
+                continue
+            merged = {
+                col: np.concatenate([b.columns()[col] for b in got])
+                for col in columns
+            }
+            for col, arr in columns.items():
+                assert np.array_equal(merged[col], arr[want]), (name, col)
+
+    def test_network_close_retryable_after_partial_failure(self, fabric):
+        """If one switch's close() fails, the switches that already
+        finalized must not wedge the session: a retry resumes with the
+        remaining sessions and still produces the combined report."""
+        from repro.telemetry.deploy import NetworkDeployment
+
+        sim, table = fabric
+        deploy = NetworkDeployment("SELECT COUNT GROUPBY qid", sim,
+                                   geometry=GEOM)
+        session = deploy.open(window=256)
+        session.ingest(table)
+        victim = list(session.sessions)[-1]
+        real_close = session.sessions[victim].close
+        calls = {"n": 0}
+
+        def flaky_close(*args, **kwargs):
+            if calls["n"] == 0:
+                calls["n"] += 1
+                raise RuntimeError("transient close failure")
+            return real_close(*args, **kwargs)
+
+        session.sessions[victim].close = flaky_close
+        with pytest.raises(RuntimeError, match="transient"):
+            session.close()
+        assert not session._closed
+        # Half-closed window: reads stay coherent (finalized switches
+        # answer from their stored reports), ingest is refused clearly.
+        mid = session.results()
+        assert set(mid.per_switch) == set(session.sessions)
+        stats = session.cache_stats()
+        assert set(stats) == set(session.sessions)
+        with pytest.raises(SessionClosedError, match="partially closed"):
+            session.ingest(table)
+        report = session.close()               # retry resumes
+        assert victim in report.per_switch
+        total = sum(r["COUNT"] for r in
+                    report.combined[deploy.compiled.result].rows)
+        assert total == len(table)
 
     def test_network_session_close_is_final(self, fabric):
         from repro.telemetry.deploy import NetworkDeployment
@@ -336,9 +505,18 @@ class TestNetworkSessions:
                                    geometry=GEOM)
         session = deploy.open(window=256)
         session.ingest(table)
+        assert session.cache_stats()           # open: fine
         session.close()
         with pytest.raises(SessionClosedError):
             session.ingest(table)
+        with pytest.raises(SessionClosedError):
+            session.results()
+        with pytest.raises(SessionClosedError):
+            session.cache_stats()
+        with pytest.raises(SessionClosedError):
+            session.close()
+        with pytest.raises(SessionClosedError):
+            deploy.cache_stats()               # proxies the closed session
 
     def test_simulator_streams_into_session(self, fabric):
         """stream_into() batches concatenate to run()'s table exactly,
