@@ -49,6 +49,7 @@ import numpy as np
 from repro.core.errors import HardwareError
 from repro.switch.kvstore.cache import ENGINES, CacheStats, simulate_eviction_count
 from repro.switch.kvstore.vector_cache import VectorCacheSim, _as_key_array
+from repro.telemetry.shard_exec import release_shared_memory
 
 #: Per-worker shared state, installed by the pool initializer.
 _WORKER_KEYS: np.ndarray | None = None
@@ -157,13 +158,16 @@ def _fan(keys: np.ndarray, worker, tasks: Sequence[tuple], workers: int):
     try:
         view = np.ndarray(keys.shape, dtype=keys.dtype, buffer=shm.buf)
         view[...] = keys
+        del view       # drop the buffer export so close() cannot fail
         with ProcessPoolExecutor(
                 max_workers=workers, initializer=_init_worker,
                 initargs=(shm.name, keys.shape, keys.dtype.str)) as pool:
             return list(pool.map(worker, tasks))
     finally:
-        shm.close()
-        shm.unlink()
+        # Idempotent teardown shared with the session shard pool: the
+        # segment is unlinked even when a worker raised (pool.map
+        # re-raises here) or close() hits a live buffer export.
+        release_shared_memory(shm)
 
 
 def run_eviction_sweep_parallel(

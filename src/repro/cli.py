@@ -94,6 +94,19 @@ def _positive_window(raw: str) -> int:
     return value
 
 
+def _positive_shards(raw: str) -> int:
+    """argparse type for ``--shards``: a positive worker count."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {raw!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive worker count, got {value}")
+    return value
+
+
 def _geometry(args: argparse.Namespace) -> CacheGeometry:
     if args.ways == 0:
         return CacheGeometry.fully_associative(args.cache_pairs)
@@ -124,6 +137,13 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
                              "the vector split store executes its schedule "
                              "every N accesses with carried state (bounded "
                              "memory, bit-identical results)")
+    parser.add_argument("--shards", type=_positive_shards, default=None,
+                        metavar="N",
+                        help="hash-partitioned multi-core execution: fan "
+                             "each GROUPBY stage out to N worker processes "
+                             "and combine their stores via the synthesized "
+                             "merges (bit-identical results; incompatible "
+                             "with --engine row and --refresh)")
     parser.add_argument("--engine", default="auto",
                         choices=("auto", "vector", "row"),
                         help="exact-evaluation engine: vectorized batch "
@@ -140,8 +160,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                          refresh_interval=args.refresh, engine=args.engine)
     # The table is passed whole (not .records) so columnar traces take
     # the batch pipeline / vectorized-executor path end to end; every
-    # run is one TelemetrySession (--window sets the streaming window).
-    session = engine.open(window=args.window)
+    # run is one TelemetrySession (--window sets the streaming window,
+    # --shards the multi-core fan-out).
+    session = engine.open(window=args.window, shards=args.shards)
     session.ingest(table)
     report = session.close(include_invalid=args.include_invalid)
     if args.check:

@@ -47,6 +47,7 @@ short-circuit.  Integer arithmetic is 64-bit.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -77,6 +78,33 @@ class VectorizationError(Exception):
     Raising it triggers a fallback (per-fold replay or whole-stage
     interpreter evaluation); it never escapes the executor.
     """
+
+
+def guard_int64_accumulation(out: np.ndarray, b: np.ndarray) -> None:
+    """Reject an ``np.add.at`` accumulation that could exceed int64.
+
+    The reference interpreter runs on unbounded Python ints; the array
+    path runs on int64, which would *silently wrap*.  A conservative
+    bound — current accumulator magnitude plus ``len(b) * max|b|`` —
+    costs two array reductions and proves the common case safe.  When
+    the bound reaches 2^63 this warns and raises
+    :class:`VectorizationError`, which the callers turn into the exact
+    scalar replay fallback (bit-identical to the interpreter).  Bounds
+    use Python ints throughout: ``abs(np.int64.min)`` would itself
+    wrap.
+    """
+    if out.dtype.kind not in "iu" or b.dtype.kind not in "iu" or not b.size:
+        return
+    max_abs_b = max(abs(int(b.min())), abs(int(b.max())))
+    base = 0 if not out.size else max(abs(int(out.min())),
+                                      abs(int(out.max())))
+    if base + int(b.size) * max_abs_b < 2 ** 63:
+        return
+    warnings.warn(
+        "fold accumulation may exceed int64; falling back to exact "
+        "scalar replay for this fold (slower, bit-identical to the row "
+        "engine)", RuntimeWarning, stacklevel=3)
+    raise VectorizationError("potential int64 accumulator overflow")
 
 
 # ---------------------------------------------------------------------------
@@ -415,7 +443,9 @@ class _FoldVectorizer:
             else:
                 dtype = np.result_type(np.asarray(b).dtype, _init_dtype(init))
                 out = np.full(layout.n_groups, init, dtype=dtype)
-            np.add.at(out, layout.gid, b.astype(dtype, copy=False))
+            b = np.asarray(b).astype(dtype, copy=False)
+            guard_int64_accumulation(out, b)
+            np.add.at(out, layout.gid, b)
             states[var] = out
         return states
 

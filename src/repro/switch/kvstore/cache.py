@@ -67,6 +67,17 @@ _VICTIM_BUCKET_MULT = 0x9E3779B97F4A7C15
 _VICTIM_COUNT_MULT = 0xD1B54A32D192ED03
 
 
+#: Victim draws are precomputed in blocks of this many counter values
+#: per bucket (the pre-modulo mix is independent of the bucket's
+#: occupancy, so one block serves evictions at any ``size``).
+_VICTIM_BLOCK = 64
+
+#: Cap on cached victim-draw blocks (one per bucket).  Draws are pure
+#: functions of ``(seed, bucket, count)``, so dropping the cache is
+#: always safe — it only costs a recompute.
+_VICTIM_CACHE_MAX = 4096
+
+
 def replay_victim(seed: int, bucket: int, count: int, size: int) -> int:
     """Victim slot for the ``random`` policy's ``count``-th eviction in
     ``bucket``: a uniform draw over the bucket's ``size`` resident
@@ -193,6 +204,11 @@ class KeyValueCache(Generic[V]):
         #: (victim of eviction ``k`` in bucket ``b`` is
         #: ``replay_victim(seed, b, k, m)``).
         self._evict_counts: dict[int, int] = {}
+        #: bucket -> (base_count, pre-modulo uint64 draws for counts
+        #: ``base_count .. base_count + _VICTIM_BLOCK - 1``), filled by
+        #: the vectorized mixer so the per-eviction cost is one array
+        #: index instead of a Python-bignum splitmix64 round.
+        self._victim_blocks: dict[int, tuple[int, np.ndarray]] = {}
 
     # -- core operation ----------------------------------------------------
 
@@ -229,12 +245,33 @@ class KeyValueCache(Generic[V]):
         if self.policy == "random":
             count = self._evict_counts.get(index, 0)
             self._evict_counts[index] = count + 1
-            victim = replay_victim(self.seed, index, count, len(bucket))
+            victim = self._victim_premod(index, count) % len(bucket)
             return bucket.pop(list(bucket)[victim])
         # LRU and FIFO both evict the oldest dict entry; they differ in
         # whether hits refresh recency (handled in access()).
         _, entry = bucket.popitem(last=False)
         return entry
+
+    def _victim_premod(self, index: int, count: int) -> int:
+        """Pre-modulo :func:`replay_victim` draw for eviction ``count``
+        in bucket ``index``, served from a per-bucket block of
+        vectorized draws (bit-identical: ``% size`` is applied by the
+        caller on the very same 64-bit mix the scalar path computes)."""
+        cached = self._victim_blocks.get(index)
+        if cached is None or not cached[0] <= count < cached[0] + _VICTIM_BLOCK:
+            # Lazy import: vector_cache imports this module at top level.
+            from .vector_cache import splitmix64_array
+
+            if len(self._victim_blocks) >= _VICTIM_CACHE_MAX:
+                self._victim_blocks.clear()
+            base = count - count % _VICTIM_BLOCK
+            counts = np.arange(base, base + _VICTIM_BLOCK, dtype=np.uint64)
+            mixed = (np.uint64(
+                (self.seed + index * _VICTIM_BUCKET_MULT) & _MASK64)
+                + counts * np.uint64(_VICTIM_COUNT_MULT))
+            cached = (base, splitmix64_array(mixed))
+            self._victim_blocks[index] = cached
+        return int(cached[1][count - cached[0]])
 
     # -- queries -----------------------------------------------------------------
 

@@ -77,6 +77,7 @@ from repro.core.vector_exec import (
     as_column,
     eval_array,
     factorize,
+    guard_int64_accumulation,
 )
 
 from ..alu import compile_update
@@ -431,6 +432,7 @@ class VectorSplitStore:
                     np.float64 if isinstance(init, float) else np.int64)
                 out = np.full(layout.n_groups, init, dtype=dtype)
             b = b.astype(dtype, copy=False)
+            guard_int64_accumulation(out, b)
             np.add.at(out, layout.gid, b)
             states[var] = out
             if k:

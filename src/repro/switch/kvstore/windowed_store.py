@@ -63,6 +63,7 @@ multiple window sizes, and refresh intervals that cut mid-window.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Mapping
 
@@ -500,6 +501,11 @@ class WindowedVectorStore(VectorSplitStore):
             self._hist: dict[str, dict[str, np.ndarray]] = {
                 fold.column: {} for fold in stage.folds}
             self._epochs = np.zeros(0, dtype=np.int64)
+            #: Running |value| bound per (fold, var) for the int64
+            #: overflow guard on the cross-window accumulators (each
+            #: window's reduction is guarded in vector_exec; the
+            #: per-key accumulation across windows needs its own).
+            self._acc_bound: dict[tuple[str, str], int] = {}
         else:
             self._backing = BackingStore(stage.folds, params=self.params)
 
@@ -826,6 +832,8 @@ class WindowedVectorStore(VectorSplitStore):
                     if var in history:
                         arr[gids] = vals
                     else:
+                        arr = self._guard_acc(target[col], col, var, arr,
+                                              vals)
                         arr[gids] += vals      # unique ids: plain fancy add
             self._epochs[gids] += 1
             self._writes += len(gids)
@@ -869,6 +877,8 @@ class WindowedVectorStore(VectorSplitStore):
                 if var in history:
                     arr[closed_g[run_last]] = vals[run_last]
                 else:
+                    arr = self._guard_acc(target[fold.column], fold.column,
+                                          var, arr, vals)
                     np.add.at(arr, closed_g, vals)
         np.add.at(self._epochs, closed_g, 1)
         self._writes += len(closed_e)
@@ -885,6 +895,36 @@ class WindowedVectorStore(VectorSplitStore):
         if promoted != arr.dtype:
             arr = arr.astype(promoted)
             target[var] = arr
+        return arr
+
+    def _guard_acc(self, target: dict[str, np.ndarray], col: str, var: str,
+                   arr: np.ndarray, vals: np.ndarray,
+                   persist: bool = True) -> np.ndarray:
+        """int64 overflow guard for the bulk path's cross-window
+        accumulators: tracks a conservative running bound on the
+        accumulated magnitude and, before it can reach 2^63, promotes
+        the accumulator to ``object`` dtype — exact Python-int
+        arithmetic, matching the row engine's unbounded ints — with a
+        warning.  Bounds are computed with Python ints (``np.abs`` on
+        ``int64.min`` would itself wrap)."""
+        if arr.dtype.kind not in "iu":
+            return arr
+        v = np.asarray(vals)
+        if v.dtype.kind not in "iu" or v.size == 0:
+            return arr
+        step = int(v.size) * max(abs(int(v.min())), abs(int(v.max())))
+        bound = self._acc_bound.get((col, var), 0) + step
+        if persist:
+            self._acc_bound[(col, var)] = bound
+        if bound < 2 ** 63:
+            return arr
+        warnings.warn(
+            f"fold {col!r} state {var!r} may exceed int64 while merging "
+            f"epochs across windows; switching the accumulator to exact "
+            f"Python-int arithmetic (slower, bit-identical to the row "
+            f"engine)", RuntimeWarning, stacklevel=4)
+        arr = arr.astype(object)
+        target[var] = arr
         return arr
 
     # -- end of run / observables --------------------------------------------
@@ -1007,41 +1047,19 @@ class WindowedVectorStore(VectorSplitStore):
                 accuracy=self.accuracy(),
             )
         self._drain()
-        open_gids = np.flatnonzero(self._open_mask[:self._nkeys])
         if self._bulk_mode:
-            merged = {
-                col: {var: arr.copy() for var, arr in per_var.items()}
-                for col, per_var in self._bulk_states().items()
-            }
-            for fold in self.stage.folds if len(open_gids) else ():
-                col = fold.column
-                history = fold.linearity.history
-                for var in fold.instance.state_vars:
-                    vals = self._open_state[col][var][open_gids]
-                    arr = merged[col][var]
-                    promoted = np.result_type(arr.dtype, vals.dtype)
-                    if promoted != arr.dtype:
-                        arr = arr.astype(promoted)
-                        merged[col][var] = arr
-                    if var in history:
-                        arr[open_gids] = vals
-                    else:
-                        arr[open_gids] += vals
+            merged, epochs, writes = self._snapshot_bulk_state()
             try:
                 table = self._bulk_table(merged)
             except VectorizationError:
                 table = build_result_table(
-                    self.stage, self._snapshot_backing(merged, open_gids),
+                    self.stage,
+                    self._backing_from_bulk(merged, writes, epochs),
                     self._keys_list, self.params,
                     include_invalid=include_invalid)
             return StoreSnapshot(table=table, stats=replace(self._stats),
-                                 backing_writes=self._writes + len(open_gids),
-                                 accuracy=1.0)
-        snap = self._backing.clone()
-        for g, states, aux in self._open_payloads(open_gids):
-            snap.absorb(self._keys_list[g],
-                        {col: dict(s) for col, s in states.items()},
-                        {col: _copy_aux(a) for col, a in aux.items()})
+                                 backing_writes=writes, accuracy=1.0)
+        snap = self._snapshot_store()
         table = build_result_table(self.stage, snap, self._keys_list,
                                    self.params,
                                    include_invalid=include_invalid)
@@ -1049,12 +1067,47 @@ class WindowedVectorStore(VectorSplitStore):
                              backing_writes=snap.writes,
                              accuracy=snap.accuracy)
 
-    def _snapshot_backing(self, merged, open_gids) -> BackingStore:
+    def _snapshot_bulk_state(self) -> tuple[
+            dict[str, dict[str, np.ndarray]], np.ndarray, int]:
+        """Copies of the merged per-key accumulators with every carried
+        open epoch absorbed — ``(merged, epochs, writes)``.  Call after
+        :meth:`_drain`; shared by :meth:`snapshot` and the shard
+        workers' mid-stream payloads."""
+        open_gids = np.flatnonzero(self._open_mask[:self._nkeys])
+        merged = {
+            col: {var: arr.copy() for var, arr in per_var.items()}
+            for col, per_var in self._bulk_states().items()
+        }
+        for fold in self.stage.folds if len(open_gids) else ():
+            col = fold.column
+            history = fold.linearity.history
+            for var in fold.instance.state_vars:
+                vals = self._open_state[col][var][open_gids]
+                arr = merged[col][var]
+                promoted = np.result_type(arr.dtype, vals.dtype)
+                if promoted != arr.dtype:
+                    arr = arr.astype(promoted)
+                    merged[col][var] = arr
+                if var in history:
+                    arr[open_gids] = vals
+                else:
+                    arr = self._guard_acc(merged[col], col, var, arr, vals,
+                                          persist=False)
+                    arr[open_gids] += vals
         epochs = self._epochs[:self._nkeys].copy()
         epochs[open_gids] += 1
-        return self._backing_from_bulk(merged,
-                                       self._writes + len(open_gids),
-                                       epochs)
+        return merged, epochs, self._writes + len(open_gids)
+
+    def _snapshot_store(self) -> BackingStore:
+        """Clone of the general-path backing store with every carried
+        open epoch absorbed.  Call after :meth:`_drain`."""
+        open_gids = np.flatnonzero(self._open_mask[:self._nkeys])
+        snap = self._backing.clone()
+        for g, states, aux in self._open_payloads(open_gids):
+            snap.absorb(self._keys_list[g],
+                        {col: dict(s) for col, s in states.items()},
+                        {col: _copy_aux(a) for col, a in aux.items()})
+        return snap
 
     @property
     def stats(self) -> CacheStats:

@@ -151,7 +151,8 @@ class _GroupByRunner:
     def __init__(self, stage: GroupByStage, geometry: CacheGeometry,
                  params: Mapping[str, Numeric], policy: str, seed: int,
                  refresh_interval: int | None = None, engine: str = "auto",
-                 window: int | None = None):
+                 window: int | None = None, shard_pool=None,
+                 shard_index: int = 0):
         self.stage = stage
         self.params = params
         self.engine = engine
@@ -160,7 +161,15 @@ class _GroupByRunner:
         self._config = dict(params=params, policy=policy, seed=seed,
                             refresh_interval=refresh_interval)
         self._geometry = geometry
-        self.store = SplitKeyValueStore(stage, geometry, **self._config)
+        self._sharded = shard_pool is not None
+        if self._sharded:
+            from .kvstore.sharded import ShardedStoreProxy
+
+            self.store = ShardedStoreProxy(
+                stage, shard_index, shard_pool, geometry,
+                params=params, seed=seed, window=window)
+        else:
+            self.store = SplitKeyValueStore(stage, geometry, **self._config)
         self._mode: str | None = None
 
     def _make_vector_store(self) -> VectorSplitStore:
@@ -170,6 +179,8 @@ class _GroupByRunner:
         return VectorSplitStore(self.stage, self._geometry, **self._config)
 
     def process(self, record: object) -> None:
+        if self._sharded:
+            self.store.process(record)        # raises with guidance
         if self._mode == "vector":
             raise HardwareError(
                 "cannot mix per-record processing with vector-batch "
@@ -182,6 +193,9 @@ class _GroupByRunner:
             self.store.process(record)
 
     def _decide_mode(self, ctx: ArrayContext) -> str:
+        if self._sharded:
+            self._require_vector(ctx)
+            return "vector"
         if self.engine == "row" or self.store.stats.accesses > 0:
             return "row"
         try:
@@ -197,6 +211,29 @@ class _GroupByRunner:
             return "row"
         self.store = vstore
         return "vector"
+
+    def _require_vector(self, ctx: ArrayContext) -> None:
+        """Sharded stages have no row fallback — the conditions
+        ``"auto"`` would silently fall back on raise instead."""
+        try:
+            eval_mask(self.stage.where, ctx)
+        except VectorizationError as exc:
+            raise HardwareError(
+                f"sharded execution needs a vectorizable WHERE for "
+                f"stage {self.stage.query_name!r}: {exc}") from exc
+        columns = ctx.columns
+        bad = [f for f in self.stage.key.fields
+               if f not in columns or columns[f].dtype.kind not in "iub"]
+        if bad:
+            raise HardwareError(
+                f"sharded execution needs integer key columns; stage "
+                f"{self.stage.query_name!r} is missing {bad[0]!r} (or it "
+                f"is non-integer)")
+        missing = [f for f in self.store.needed_fields if f not in columns]
+        if missing:
+            raise HardwareError(
+                f"sharded execution is missing fold input column "
+                f"{missing[0]!r} for stage {self.stage.query_name!r}")
 
     def process_batch(self, ctx: ArrayContext, rows: _LazyRowLists) -> None:
         """Chunk path: the WHERE mask and the key columns are extracted
@@ -271,6 +308,17 @@ class SwitchPipeline:
             carried state, bounding memory on unbounded streams and
             enabling :meth:`snapshot_results` — results stay
             bit-identical for every window size.
+        shards: When set, every ``GROUPBY`` stage fans out to a pool of
+            ``shards`` worker processes partitioned by cache set
+            (:mod:`repro.switch.kvstore.sharded`), each running the
+            single-process engine over its key slice; observables are
+            combined via the synthesized merges, bit-identical to the
+            unsharded engines.  Stages with a non-mergeable fold route
+            their whole stream to one shard (same results, one core).
+            Requires the vector path (``engine`` ``"auto"``/
+            ``"vector"``, batch ingestion) and no ``refresh_interval``
+            (refresh epochs cut at global stream positions, which
+            per-shard streams cannot see).
     """
 
     def __init__(
@@ -283,6 +331,7 @@ class SwitchPipeline:
         refresh_interval: int | None = None,
         engine: str = "auto",
         window: int | None = None,
+        shards: int | None = None,
     ):
         if engine not in ENGINES:
             raise HardwareError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -291,6 +340,19 @@ class SwitchPipeline:
             # engine — which streams regardless — rejects it too.
             raise HardwareError(
                 f"window must be a positive number of accesses, got {window!r}")
+        if shards is not None:
+            if shards < 1:
+                raise HardwareError(
+                    f"shards must be a positive worker count, got {shards!r}")
+            if engine == "row":
+                raise HardwareError(
+                    "sharded execution runs on the vector path; "
+                    "engine=\"row\" cannot shard")
+            if refresh_interval is not None:
+                raise HardwareError(
+                    "shards= is incompatible with refresh_interval= "
+                    "(refresh epochs cut at global stream positions, "
+                    "which per-shard streams cannot see)")
         self.program = program
         self.params = dict(params or {})
         missing = set(program.params) - set(self.params)
@@ -298,12 +360,24 @@ class SwitchPipeline:
             raise InterpreterError(f"unbound query parameters: {sorted(missing)}")
         self.parser: ParserConfig = configure_parser(program.parse_fields)
         self._selects = [_SelectRunner(s, self.params) for s in program.select_stages]
+        self._shard_pool = None
+        if shards is not None and program.groupby_stages:
+            from .kvstore.sharded import make_store_pool
+
+            specs = [
+                (s, self._geometry_for(s.query_name, geometry),
+                 dict(params=self.params, policy=policy, seed=seed,
+                      refresh_interval=None))
+                for s in program.groupby_stages
+            ]
+            self._shard_pool = make_store_pool(specs, window, shards)
         self._groupbys = [
             _GroupByRunner(s, self._geometry_for(s.query_name, geometry),
                            self.params, policy, seed,
                            refresh_interval=refresh_interval, engine=engine,
-                           window=window)
-            for s in program.groupby_stages
+                           window=window, shard_pool=self._shard_pool,
+                           shard_index=i)
+            for i, s in enumerate(program.groupby_stages)
         ]
         self.packets_seen = 0
 
@@ -368,6 +442,10 @@ class SwitchPipeline:
     def finalize(self) -> None:
         for groupby in self._groupbys:
             groupby.store.finalize()
+        if self._shard_pool is not None:
+            # Every sharded stage has combined its payloads; the
+            # workers are no longer needed (idempotent).
+            self._shard_pool.close()
 
     # -- results ---------------------------------------------------------------
 
@@ -406,7 +484,9 @@ class SwitchPipeline:
         for groupby in self._groupbys:
             name = groupby.stage.query_name
             store = groupby.store
-            if isinstance(store, WindowedVectorStore):
+            if hasattr(store, "snapshot"):
+                # Windowed store or sharded proxy (whose snapshot()
+                # itself raises SessionError without a window).
                 snap = store.snapshot(include_invalid=include_invalid)
                 tables[name] = snap.table
                 stats[name] = snap.stats

@@ -97,12 +97,21 @@ class NetworkDeployment:
 
     # -- execution -----------------------------------------------------------
 
-    def open(self, window: int | None = None) -> "NetworkSession":
+    def open(self, window: int | None = None,
+             shards: int | None = None) -> "NetworkSession":
         """Open one streaming session per switch; batches ingested into
         the returned :class:`NetworkSession` are routed to the switch
         owning each observation's queue.  The most recently opened
-        session backs :meth:`cache_stats`."""
-        self._session = NetworkSession(self, window=window)
+        session backs :meth:`cache_stats`.
+
+        ``shards`` runs the per-switch sessions in that many worker
+        processes, one switch per shard round-robin — the switch is the
+        natural sharding unit: its session already owns a disjoint
+        slice of the observation stream (queue ownership), and
+        :meth:`NetworkSession.ingest`'s composite sort routes to it
+        unchanged.  Per-switch reports — and therefore the combined
+        report — are bit-identical to the unsharded deployment."""
+        self._session = NetworkSession(self, window=window, shards=shards)
         return self._session
 
     def run(self, records: Iterable[PacketRecord]) -> NetworkRunReport:
@@ -168,20 +177,127 @@ class NetworkDeployment:
         return self._session.cache_stats()
 
 
+class _NetworkShardRole:
+    """Worker-side role of a sharded network deployment: runs the
+    (unsharded) :class:`TelemetrySession` of every switch assigned to
+    this worker.  The engine object is inherited at fork — compiled
+    programs and closures ship for free, nothing is pickled."""
+
+    def __init__(self, engine: QueryEngine, window: int | None):
+        self._engine = engine
+        self._window = window
+        self._sessions: dict[str, TelemetrySession] = {}
+        self._reports: dict[str, object] = {}
+
+    def _session(self, switch: str) -> TelemetrySession:
+        session = self._sessions.get(switch)
+        if session is None:
+            session = self._engine.open(window=self._window)
+            self._sessions[switch] = session
+        return session
+
+    def handle(self, op: str, meta, arrays):
+        switch = meta["switch"]
+        if op == "ingest_cols":
+            self._session(switch).ingest(ObservationTable.from_arrays(arrays))
+            return None
+        if op == "ingest_rows":
+            self._session(switch).ingest(meta["records"])
+            return None
+        if op == "results":
+            return self._session(switch).results()
+        if op == "close":
+            # Idempotent so a partially-failed NetworkSession.close()
+            # retry re-collects already-finalized switches.
+            report = self._reports.get(switch)
+            if report is None:
+                report = self._session(switch).close()
+                self._reports[switch] = report
+            return report
+        if op == "cache_stats":
+            return self._session(switch).cache_stats()
+        raise ValueError(f"unknown network shard op {op!r}")
+
+
+class _RemoteSwitchSession:
+    """Parent-side handle of one switch's session living in a shard
+    worker — the same surface :class:`NetworkSession` drives on
+    in-process :class:`TelemetrySession` objects."""
+
+    def __init__(self, pool, worker: int, switch: str):
+        self._pool = pool
+        self._worker = worker
+        self._switch = switch
+
+    def ingest(self, batch) -> "_RemoteSwitchSession":
+        if isinstance(batch, ObservationTable) and batch.is_columnar:
+            columns = batch.columns()
+            if all(not np.asarray(arr).dtype.hasobject
+                   for arr in columns.values()):
+                self._pool.post(self._worker, "ingest_cols",
+                                {"switch": self._switch}, columns)
+                return self
+            batch = batch.records
+        self._pool.post(self._worker, "ingest_rows",
+                        {"switch": self._switch, "records": list(batch)})
+        return self
+
+    def results(self):
+        return self._pool.call(self._worker, "results",
+                               {"switch": self._switch})
+
+    def submit_close(self):
+        return self._pool.submit(self._worker, "close",
+                                 {"switch": self._switch})
+
+    def close(self):
+        return self._pool.result(self.submit_close())
+
+    def cache_stats(self):
+        return self._pool.call(self._worker, "cache_stats",
+                               {"switch": self._switch})
+
+
 class NetworkSession:
     """Streaming ingest across a deployment's switches: one
     :class:`TelemetrySession` per switch, batches routed by queue
     ownership, reports combined exactly like the one-shot path.
+
+    With ``shards`` the per-switch sessions run inside a
+    :class:`~repro.telemetry.shard_exec.ShardWorkerPool`, one switch
+    per worker round-robin; all routing, combining, and close/retry
+    semantics are unchanged (a dead worker surfaces as
+    :class:`~repro.telemetry.shard_exec.ShardError`).
     """
 
     def __init__(self, deployment: NetworkDeployment,
-                 window: int | None = None):
+                 window: int | None = None, shards: int | None = None):
         self.deployment = deployment
         self.window = window
-        self.sessions: dict[str, TelemetrySession] = {
-            switch: deployment.engine.open(window=window)
-            for switch in deployment.simulator.topology.switches()
-        }
+        switches = list(deployment.simulator.topology.switches())
+        self._pool = None
+        if shards is not None and switches:
+            if shards < 1:
+                raise ValueError(
+                    f"shards must be a positive worker count, got "
+                    f"{shards!r}")
+            from repro.telemetry.shard_exec import ShardWorkerPool
+
+            n_workers = min(shards, len(switches))
+            self._pool = ShardWorkerPool(
+                [_NetworkShardRole(deployment.engine, window)
+                 for _ in range(n_workers)],
+                name="netshard")
+            self.sessions = {
+                switch: _RemoteSwitchSession(self._pool, i % n_workers,
+                                             switch)
+                for i, switch in enumerate(switches)
+            }
+        else:
+            self.sessions: dict[str, TelemetrySession] = {
+                switch: deployment.engine.open(window=window)
+                for switch in switches
+            }
         self._switch_order = list(self.sessions)
         owners = deployment._queue_owner
         max_qid = max(owners, default=-1)
@@ -292,11 +408,26 @@ class NetworkSession:
         sessions instead of tripping over the closed ones."""
         if self._closed:
             raise SessionClosedError("network session is already closed")
-        for switch, session in self.sessions.items():
-            if switch not in self._switch_reports:
-                self._switch_reports[switch] = session.close()
+        if self._pool is not None:
+            # Submit every pending close before collecting the first
+            # result so the switch finalizations run concurrently
+            # across the shard workers (the worker-side close is
+            # idempotent, preserving partial-failure retries).
+            handles = {
+                switch: session.submit_close()
+                for switch, session in self.sessions.items()
+                if switch not in self._switch_reports
+            }
+            for switch, handle in handles.items():
+                self._switch_reports[switch] = self._pool.result(handle)
+        else:
+            for switch, session in self.sessions.items():
+                if switch not in self._switch_reports:
+                    self._switch_reports[switch] = session.close()
         report = self._combine(self._switch_reports)
         self._closed = True
+        if self._pool is not None:
+            self._pool.close()
         return report
 
     def _combine(self, reports) -> NetworkRunReport:

@@ -221,7 +221,8 @@ class QueryEngine:
     # -- execution -------------------------------------------------------------
 
     def open(self, window: int | None = None, exact: bool = False,
-             chunk_size: int | None = None) -> TelemetrySession:
+             chunk_size: int | None = None,
+             shards: int | None = None) -> TelemetrySession:
         """Open a streaming :class:`~repro.telemetry.session.TelemetrySession`
         — the execution protocol every entry point compiles down to:
         repeated :meth:`~TelemetrySession.ingest` calls, optional
@@ -241,9 +242,18 @@ class QueryEngine:
             exact: Software-only exact evaluation (no hardware model —
                 what :meth:`run_exact` uses).
             chunk_size: Batch-path chunk size of the switch pipeline.
+            shards: Hash-partitioned multi-core execution — fan every
+                ``GROUPBY`` stage out to this many worker processes
+                and combine their stores via the synthesized merges,
+                bit-identical to the single-process engines (see
+                :mod:`repro.switch.kvstore.sharded`).  Composes with
+                ``window`` (each shard runs the windowed store over
+                its key slice) but not ``refresh_interval`` or
+                ``engine="row"``.
         """
         kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
-        return TelemetrySession(self, window=window, exact=exact, **kwargs)
+        return TelemetrySession(self, window=window, exact=exact,
+                                shards=shards, **kwargs)
 
     def run(
         self,

@@ -69,18 +69,34 @@ class TelemetrySession:
             deferred store.
         exact: Software-only exact evaluation (no hardware model).
         chunk_size: Batch-path chunk size of the switch pipeline.
+        shards: Fan every ``GROUPBY`` stage out to this many worker
+            processes, hash-partitioned by cache set and combined via
+            the synthesized merges — bit-identical to the unsharded
+            engines (see :mod:`repro.switch.kvstore.sharded` for the
+            mergeable/non-mergeable contract).  Implies columnar
+            (vector-path) ingestion: row batches are columnized.
     """
 
     def __init__(self, engine: "QueryEngine", window: int | None = None,
                  exact: bool = False,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE):
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 shards: int | None = None):
         self._engine = engine
         self.window = window
         self.exact = exact
+        self.shards = shards
         if window is not None and window <= 0:
             raise ValueError(
                 f"window must be a positive number of accesses, got "
                 f"{window!r} (omit it for one-shot execution)")
+        if shards is not None and shards < 1:
+            raise ValueError(
+                f"shards must be a positive worker count, got {shards!r} "
+                f"(omit it for single-process execution)")
+        if exact and shards is not None:
+            raise ValueError(
+                "exact sessions have no hardware stores to shard; "
+                "drop shards= (or exact=True)")
         self._chunk_size = chunk_size
         self._closed = False
         self._saw_rows = False
@@ -94,7 +110,7 @@ class TelemetrySession:
                 geometry=engine.geometry, policy=engine.policy,
                 seed=engine.seed,
                 refresh_interval=engine.refresh_interval,
-                engine=engine.engine, window=window,
+                engine=engine.engine, window=window, shards=shards,
             )
 
     # -- context manager ------------------------------------------------------
@@ -141,11 +157,13 @@ class TelemetrySession:
         once a hardware session's ``GROUPBY`` stages have committed to
         the vector store (first batch columnar under ``"auto"``), a
         later *row* batch is columnized rather than handed to the
-        store's per-record path (which would raise)."""
+        store's per-record path (which would raise).  Sharded sessions
+        are batch-only, so they always columnize."""
         if not isinstance(batch, (list, ObservationTable)):
             batch = list(batch)
         columnize = self._engine.engine == "vector" or (
-            self._engine.engine == "auto" and self._vector_started)
+            self._engine.engine == "auto" and self._vector_started) or (
+            self.shards is not None)
         if columnize:
             if isinstance(batch, list):
                 batch = ObservationTable(batch)

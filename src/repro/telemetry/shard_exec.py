@@ -1,0 +1,357 @@
+"""Reusable multi-process worker pool for sharded session execution.
+
+The Fig. 5/6 sweeps (:mod:`repro.analysis.sweep_exec`) already fan
+independent cells across processes over one ``multiprocessing.shared_memory``
+segment.  This module generalises that plumbing into a long-lived pool
+that sharded *sessions* can stream through:
+
+* **Batch framing.** :meth:`ShardWorkerPool.post` ships a dict of numpy
+  arrays to one worker by packing them into a single shared-memory
+  segment (one copy in, one copy out — no pickling of the bulk data);
+  scalar metadata rides the control pipe.  Each segment lives until the
+  worker acknowledges the copy-out, then the parent unlinks it, so the
+  ``/dev/shm`` footprint is bounded by :data:`MAX_PENDING` segments per
+  worker regardless of stream length.
+* **Worker lifecycle.** Workers are forked (role objects are inherited
+  by memory, never pickled — compiled programs and closures ship for
+  free), run a recv/handle loop, and stop on a sentinel;
+  :meth:`ShardWorkerPool.close` joins them with a terminate fallback
+  and a ``weakref.finalize`` backstop for abandoned pools, releasing
+  any still-pending segments either way.
+* **Crash propagation.** A worker exception travels back as a formatted
+  traceback and re-raises in the parent as :class:`ShardError`; a dead
+  worker (EOF/broken pipe) raises with its exit code.  Either way no
+  segment leaks: pending ones are unlinked on every failure path via
+  the same idempotent :func:`release_shared_memory` teardown the sweep
+  pool uses.
+
+The pool is transport only — all sharding semantics (key partitioning,
+merge combining) live with the roles, see
+:mod:`repro.switch.kvstore.sharded` and
+:class:`repro.telemetry.deploy.NetworkSession`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import HardwareError
+
+#: Cap on unacknowledged in-flight batches per worker: bounds both the
+#: transient /dev/shm footprint (a segment lives until its worker
+#: copies it out) and how far the parent can run ahead of a slow shard.
+MAX_PENDING = 8
+
+
+class ShardError(HardwareError):
+    """A shard worker failed: raised in its handler, died, or the pool
+    was asked to operate after such a failure poisoned it."""
+
+
+def release_shared_memory(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink one shared-memory segment, tolerating partial
+    or repeated teardown: a ``close()`` failure (e.g. a live buffer
+    export) must not leak the ``/dev/shm`` segment, and releasing twice
+    is a no-op.  Shared by this pool and the sweep pool's ``_fan``."""
+    try:
+        shm.close()
+    except BufferError:
+        # A numpy view still references the buffer; the mapping stays
+        # until the view dies, but the segment must still be unlinked.
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _pack_frames(arrays: Mapping[str, np.ndarray] | None) -> tuple[
+        shared_memory.SharedMemory | None, tuple]:
+    """Pack named arrays into one fresh segment; returns the segment
+    (``None`` when there is nothing to ship) and the per-array specs
+    ``(name, offset, dtype, shape)`` the receiver rebuilds from."""
+    if not arrays:
+        return None, ()
+    packed = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype.hasobject:
+            raise ShardError(
+                f"cannot ship object-dtype column {name!r} through "
+                f"shared memory")
+        packed.append((name, offset, arr))
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    specs = []
+    for name, off, arr in packed:
+        if arr.nbytes:
+            view = np.ndarray(arr.shape, dtype=arr.dtype,
+                              buffer=shm.buf, offset=off)
+            view[...] = arr
+            del view       # drop the buffer export before any close()
+        specs.append((name, off, arr.dtype.str, arr.shape))
+    return shm, tuple(specs)
+
+
+def _unpack_frames(shm_name: str | None,
+                   specs: tuple) -> dict[str, np.ndarray]:
+    """Copy the framed arrays out of the named segment (receiver side);
+    the segment is closed before returning — the parent unlinks it on
+    the acknowledgement this copy-out enables."""
+    if shm_name is None:
+        return {}
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        # Attaching registered the segment with the (fork-shared)
+        # resource tracker a second time; the parent owns the unlink,
+        # so drop this registration or the tracker warns about a
+        # "leaked" segment at shutdown.
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:                    # pragma: no cover - best effort
+        pass
+    try:
+        out = {}
+        for name, offset, dtype, shape in specs:
+            view = np.ndarray(shape, dtype=np.dtype(dtype),
+                              buffer=shm.buf, offset=offset)
+            out[name] = view.copy()
+            del view
+    finally:
+        try:
+            shm.close()
+        except BufferError:      # pragma: no cover - views are deleted
+            pass
+    return out
+
+
+def _worker_main(role, conn) -> None:
+    """Worker loop: receive, ack the segment, dispatch to the role."""
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return
+            if msg[0] == "stop":
+                return
+            _, token, op, meta, reply, shm_name, specs = msg
+            try:
+                arrays = _unpack_frames(shm_name, specs)
+            except Exception:
+                conn.send(("error", token, traceback.format_exc()))
+                continue
+            conn.send(("ack", token))
+            try:
+                result = role.handle(op, meta, arrays)
+            except Exception:
+                conn.send(("error", token, traceback.format_exc()))
+                continue
+            if reply:
+                conn.send(("result", token, result))
+    except (BrokenPipeError, OSError):   # parent went away mid-send
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "index", "pending", "results", "failed")
+
+    def __init__(self, proc, conn, index: int):
+        self.proc = proc
+        self.conn = conn
+        self.index = index
+        #: token -> SharedMemory segments awaiting the worker's ack.
+        self.pending: dict[int, shared_memory.SharedMemory] = {}
+        #: token -> payload for completed calls not yet collected.
+        self.results: dict[int, Any] = {}
+        self.failed: str | None = None
+
+
+def _shutdown(workers: list[_Worker]) -> None:
+    """Stop every worker and release every pending segment; used by
+    both :meth:`ShardWorkerPool.close` and the GC backstop."""
+    for w in workers:
+        try:
+            w.conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+    for w in workers:
+        try:
+            w.conn.close()
+        except OSError:
+            pass
+        for shm in w.pending.values():
+            release_shared_memory(shm)
+        w.pending.clear()
+    for w in workers:
+        w.proc.join(timeout=5.0)
+        if w.proc.is_alive():          # pragma: no cover - stuck worker
+            w.proc.terminate()
+            w.proc.join(timeout=1.0)
+
+
+class ShardWorkerPool:
+    """One forked worker process per role, with shared-memory batch
+    shipping, bounded run-ahead, and crash propagation.
+
+    ``post`` is fire-and-forget (ordering per worker is the pipe's
+    FIFO, so a later ``call`` observes every earlier post — what makes
+    mid-stream snapshots consistent); ``submit``/``result`` split a
+    call so finalization can run on all shards concurrently
+    (:meth:`call_all`).
+    """
+
+    def __init__(self, roles: Sequence[object], name: str = "shard"):
+        if not roles:
+            raise ShardError("worker pool needs at least one role")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:             # pragma: no cover - non-POSIX
+            raise ShardError(
+                "sharded execution requires the fork start method "
+                "(POSIX); this platform does not provide it") from None
+        self._workers: list[_Worker] = []
+        self._token = 0
+        self._closed = False
+        for i, role in enumerate(roles):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(role, child_conn),
+                               name=f"{name}-{i}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self._workers.append(_Worker(proc, parent_conn, i))
+        self._finalizer = weakref.finalize(
+            self, _shutdown, list(self._workers))
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- sending -------------------------------------------------------------
+
+    def post(self, worker: int, op: str, meta: Any = None,
+             arrays: Mapping[str, np.ndarray] | None = None) -> None:
+        """Fire-and-forget: ship ``arrays``/``meta`` to one worker.  A
+        handler failure surfaces as :class:`ShardError` on a later
+        interaction with that worker."""
+        self._send(worker, op, meta, arrays, reply=False)
+
+    def submit(self, worker: int, op: str, meta: Any = None,
+               arrays: Mapping[str, np.ndarray] | None = None,
+               ) -> tuple[int, int]:
+        """Start a call; pass the returned handle to :meth:`result`."""
+        return self._send(worker, op, meta, arrays, reply=True)
+
+    def call(self, worker: int, op: str, meta: Any = None,
+             arrays: Mapping[str, np.ndarray] | None = None) -> Any:
+        """Synchronous round trip to one worker."""
+        return self.result(self.submit(worker, op, meta, arrays))
+
+    def call_all(self, op: str, meta: Any = None) -> list[Any]:
+        """Run ``op`` on every worker *concurrently* (all requests are
+        in flight before the first result is awaited) and return the
+        payloads in worker order."""
+        handles = [self.submit(i, op, meta)
+                   for i in range(len(self._workers))]
+        return [self.result(h) for h in handles]
+
+    def result(self, handle: tuple[int, int]) -> Any:
+        """Collect one submitted call's payload (blocking)."""
+        index, token = handle
+        w = self._workers[index]
+        self._check(w)
+        while token not in w.results:
+            self._handle_msg(w, self._recv(w))
+        return w.results.pop(token)
+
+    # -- internals -----------------------------------------------------------
+
+    def _send(self, index: int, op: str, meta: Any,
+              arrays: Mapping[str, np.ndarray] | None,
+              reply: bool) -> tuple[int, int]:
+        w = self._workers[index]
+        self._check(w)
+        # Opportunistically drain acks, then block while over the cap.
+        while w.conn.poll(0):
+            self._handle_msg(w, self._recv(w))
+        while len(w.pending) >= MAX_PENDING:
+            self._handle_msg(w, self._recv(w))
+        self._token += 1
+        token = self._token
+        shm, specs = _pack_frames(arrays)
+        if shm is not None:
+            w.pending[token] = shm
+        try:
+            w.conn.send(("op", token, op, meta, reply,
+                         None if shm is None else shm.name, specs))
+        except (OSError, ValueError) as exc:
+            if shm is not None:
+                release_shared_memory(w.pending.pop(token))
+            w.failed = f"send failed: {exc}"
+            raise ShardError(
+                f"shard worker {w.index} is gone "
+                f"(exitcode {w.proc.exitcode}): {exc}") from exc
+        return index, token
+
+    def _recv(self, w: _Worker):
+        try:
+            return w.conn.recv()
+        except (EOFError, OSError) as exc:
+            w.failed = f"worker died (exitcode {w.proc.exitcode})"
+            for shm in w.pending.values():
+                release_shared_memory(shm)
+            w.pending.clear()
+            raise ShardError(
+                f"shard worker {w.index} died "
+                f"(exitcode {w.proc.exitcode})") from exc
+
+    def _handle_msg(self, w: _Worker, msg) -> None:
+        kind = msg[0]
+        if kind == "ack":
+            shm = w.pending.pop(msg[1], None)
+            if shm is not None:
+                release_shared_memory(shm)
+        elif kind == "result":
+            w.results[msg[1]] = msg[2]
+        else:                                    # ("error", token, tb)
+            w.failed = msg[2]
+            raise ShardError(
+                f"shard worker {w.index} raised:\n{msg[2]}")
+
+    def _check(self, w: _Worker) -> None:
+        if self._closed:
+            raise ShardError("worker pool is closed")
+        if w.failed is not None:
+            raise ShardError(
+                f"shard worker {w.index} already failed:\n{w.failed}")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and release pending segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()          # runs _shutdown exactly once
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
