@@ -1,0 +1,172 @@
+"""PERF — durable sessions: checkpoint/restore overhead + crash recovery.
+
+``TelemetrySession.checkpoint()`` serializes the full mid-stream state
+(windowed carried residency, open epochs, fold accumulators, replay
+rings, RNG counters) into a versioned, checksummed byte string;
+``QueryEngine.resume()`` rebuilds the session and continues the stream
+**bit-identically** to a run that never stopped — asserted here on
+every run and in CI by the ``smoke`` tests, including after an injected
+shard-worker SIGKILL recovered through the pool's journal replay.
+
+The overhead bench streams the datacenter trace once uninterrupted and
+once with a checkpoint taken (and a fresh session resumed from it)
+mid-stream, and records both runtimes into ``BENCH_durability.json``.
+The acceptance ceiling: the checkpointed+resumed run must finish within
+``MAX_OVERHEAD``x of the uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.network.records import ObservationTable
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.telemetry.faults import FaultInjector, FaultPlan
+from repro.telemetry.runtime import QueryEngine
+
+GEOMETRY = CacheGeometry.set_associative(512, ways=8)
+WINDOW = 1 << 15
+CHUNK = 8192
+MAX_OVERHEAD = 1.25
+QUERY = "SELECT COUNT, SUM(pkt_len) GROUPBY srcip"
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+
+def observables(report):
+    return (
+        {q: t.rows for q, t in report.tables.items()},
+        {q: (s.accesses, s.hits, s.misses, s.insertions, s.evictions)
+         for q, s in report.cache_stats.items()},
+        report.backing_writes,
+        report.accuracy,
+    )
+
+
+def chunked(table: ObservationTable, size: int):
+    columns = table.columns()
+    for lo in range(0, len(table), size):
+        yield ObservationTable.from_arrays(
+            {name: arr[lo:lo + size] for name, arr in columns.items()})
+
+
+def slice_from(table: ObservationTable, lo: int) -> ObservationTable:
+    return ObservationTable.from_arrays(
+        {name: arr[lo:] for name, arr in table.columns().items()})
+
+
+def run_uninterrupted(engine, table, shards=None, faults=None,
+                      checkpoint_every=None):
+    session = engine.open(window=WINDOW, shards=shards, faults=faults,
+                          checkpoint_every=checkpoint_every)
+    for batch in chunked(table, CHUNK):
+        session.ingest(batch)
+    return session.close(include_invalid=True)
+
+
+def run_with_checkpoint(engine, table, cut, shards=None):
+    """Stream to ``cut``, checkpoint, abandon, resume, stream the rest —
+    the full save/kill/restore cycle a durable driver performs."""
+    session = engine.open(window=WINDOW, shards=shards)
+    for batch in chunked(slice_from(table, 0), CHUNK):
+        if session.packets_ingested >= cut:
+            break
+        session.ingest(batch)
+    snapshot = session.checkpoint()
+    session.close()  # the "crash": this session's state is discarded
+    resumed = engine.resume(snapshot)
+    for batch in chunked(slice_from(table, resumed.packets_ingested), CHUNK):
+        resumed.ingest(batch)
+    return snapshot, resumed.close(include_invalid=True)
+
+
+# -- smoke (CI): tiny trace, 2 shards, injected worker kill -------------------
+
+def _tiny_trace() -> ObservationTable:
+    from repro.traffic.datacenter import DatacenterConfig, DatacenterWorkload
+
+    workload = DatacenterWorkload(DatacenterConfig(
+        n_flows=30, duration_ns=5_000_000, seed=5))
+    return ObservationTable.from_arrays(
+        workload.observation_table().columns())
+
+
+def test_smoke_checkpoint_resume_bit_identical():
+    table = _tiny_trace()
+    engine = QueryEngine(QUERY, geometry=GEOMETRY)
+    base = observables(run_uninterrupted(engine, table))
+    _, got = run_with_checkpoint(engine, table, cut=len(table) // 2)
+    assert observables(got) == base
+
+
+def test_smoke_crash_recovery_bit_identical():
+    """2 shards, one injected SIGKILL: the pool respawns the worker,
+    restores its periodic checkpoint, replays the journal — results
+    identical to a clean run."""
+    table = _tiny_trace()
+    engine = QueryEngine(QUERY, geometry=GEOMETRY)
+    base = observables(run_uninterrupted(engine, table))
+    injector = FaultInjector(FaultPlan(kill_posts={0: {2}}))
+    got = run_uninterrupted(engine, table, shards=2, faults=injector,
+                            checkpoint_every=4)
+    assert [e[0] for e in injector.events] == ["kill"], \
+        "scheduled worker kill never fired"
+    assert observables(got) == base
+
+
+# -- overhead: checkpoint+resume vs uninterrupted -----------------------------
+
+@pytest.fixture(scope="module")
+def durability(report, dc_trace):
+    table = ObservationTable.from_arrays(dc_trace.columns())
+    engine = QueryEngine(QUERY, geometry=GEOMETRY)
+    cut = len(table) // 2
+
+    start = time.perf_counter()
+    base = observables(run_uninterrupted(engine, table))
+    plain_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    snapshot, got = run_with_checkpoint(engine, table, cut=cut)
+    durable_s = time.perf_counter() - start
+    assert observables(got) == base, "resumed run diverged"
+
+    overhead = durable_s / plain_s
+    payload = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count() or 1,
+        "records": len(table),
+        "window": WINDOW,
+        "chunk": CHUNK,
+        "geometry": GEOMETRY.describe(),
+        "query": QUERY,
+        "cut": cut,
+        "snapshot_bytes": len(snapshot),
+        "uninterrupted_seconds": round(plain_s, 4),
+        "checkpoint_resume_seconds": round(durable_s, 4),
+        "overhead": round(overhead, 4),
+        "max_overhead": MAX_OVERHEAD,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report("PERF: durable sessions (checkpoint/restore overhead)", "\n".join([
+        f"{len(table)} records, window {WINDOW}, chunk {CHUNK}, "
+        f"cut at {cut}",
+        f"  uninterrupted      {plain_s:7.3f}s",
+        f"  checkpoint+resume  {durable_s:7.3f}s  "
+        f"({overhead:.3f}x, snapshot {len(snapshot) / 1024:.1f} KiB)",
+        f"artifact: {ARTIFACT.name}",
+    ]))
+    return payload
+
+
+def test_durability_overhead_ceiling(durability):
+    """Checkpoint+restore mid-stream costs <= 1.25x the uninterrupted
+    runtime (the save/restore cycle re-buys one engine spin-up plus the
+    serialization itself)."""
+    assert durability["overhead"] <= MAX_OVERHEAD, durability

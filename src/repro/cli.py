@@ -32,7 +32,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.report import format_table
-from repro.core.errors import QueryError
+from repro.core.errors import QueryError, SessionError
 from repro.queries.catalog import ALL_QUERIES
 from repro.switch.kvstore.cache import CacheGeometry
 from repro.telemetry.runtime import QueryEngine
@@ -151,6 +151,16 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
                              "for columnar traces)")
 
 
+def _slice_table(table, lo: int, hi: int):
+    from repro.network.records import ObservationTable
+
+    if isinstance(table, ObservationTable) and table.is_columnar:
+        return ObservationTable.from_arrays(
+            {name: col[lo:hi] for name, col in table.columns().items()})
+    records = table.records if isinstance(table, ObservationTable) else table
+    return list(records[lo:hi])
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     source, params = _query_source(args)
     params.update(_parse_params(args.param))
@@ -161,9 +171,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     # The table is passed whole (not .records) so columnar traces take
     # the batch pipeline / vectorized-executor path end to end; every
     # run is one TelemetrySession (--window sets the streaming window,
-    # --shards the multi-core fan-out).
-    session = engine.open(window=args.window, shards=args.shards)
-    session.ingest(table)
+    # --shards the multi-core fan-out).  --resume-from restores a
+    # checkpointed session and skips the trace prefix it already saw;
+    # --checkpoint-to saves one for a later resume.
+    if args.checkpoint_every and not args.checkpoint_to:
+        raise SystemExit("--checkpoint-every requires --checkpoint-to")
+    if args.resume_from:
+        session = engine.resume(Path(args.resume_from).read_bytes())
+        skip = session.packets_ingested
+        print(f"resumed session from {args.resume_from}: "
+              f"skipping {skip} already-ingested packets", file=sys.stderr)
+    else:
+        session = engine.open(window=args.window, shards=args.shards)
+        skip = 0
+    total = len(table)
+    if skip > total:
+        raise SystemExit(
+            f"checkpoint has already ingested {skip} packets but the trace "
+            f"holds only {total} — resume with the original trace")
+    if args.checkpoint_every:
+        for lo in range(skip, total, args.checkpoint_every):
+            session.ingest(_slice_table(table, lo, min(lo + args.checkpoint_every, total)))
+            Path(args.checkpoint_to).write_bytes(session.checkpoint())
+    else:
+        if skip < total:
+            session.ingest(table if skip == 0 else _slice_table(table, skip, total))
+        if args.checkpoint_to:
+            Path(args.checkpoint_to).write_bytes(session.checkpoint())
     report = session.close(include_invalid=args.include_invalid)
     if args.check:
         report.ground_truth = engine.run_exact(table)
@@ -189,6 +223,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 0 if diff.exact else 1
         print(f"\nvs exact interpreter: {len(result)} vs {len(truth)} rows")
         return 0 if len(result) == len(truth) else 1
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.telemetry.checkpoint import describe_checkpoint
+
+    info = describe_checkpoint(Path(args.snapshot).read_bytes())
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        if value is not None:
+            print(f"{key:<{width}}  {value}")
     return 0
 
 
@@ -330,6 +375,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="include invalid (multi-epoch) keys in results")
     run_p.add_argument("--check", action="store_true",
                        help="verify against the exact interpreter")
+    run_p.add_argument("--checkpoint-to", metavar="PATH",
+                       help="write a durable session checkpoint to PATH "
+                            "(after ingest, or per batch with "
+                            "--checkpoint-every); resume later with "
+                            "--resume-from")
+    run_p.add_argument("--checkpoint-every", type=_positive_window,
+                       default=None, metavar="N",
+                       help="ingest the trace in batches of N packets and "
+                            "rewrite --checkpoint-to after each batch, so a "
+                            "crash loses at most one batch of work")
+    run_p.add_argument("--resume-from", metavar="PATH",
+                       help="restore the session from a checkpoint file and "
+                            "skip the trace prefix it already ingested "
+                            "(bit-identical to an uninterrupted run)")
     run_p.set_defaults(func=cmd_run)
 
     plan_p = sub.add_parser("plan", help="show the compiled switch config")
@@ -374,6 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
     cat_p = sub.add_parser("catalog", help="list or show catalog queries")
     cat_p.add_argument("--show", help="print one query's source")
     cat_p.set_defaults(func=cmd_catalog)
+
+    ckpt_p = sub.add_parser(
+        "checkpoint", help="inspect a session checkpoint file")
+    ckpt_p.add_argument("snapshot",
+                        help="checkpoint written by run --checkpoint-to "
+                             "or TelemetrySession.checkpoint()")
+    ckpt_p.set_defaults(func=cmd_checkpoint)
     return parser
 
 
@@ -384,6 +450,9 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except QueryError as exc:
         print(f"query error: {exc}", file=sys.stderr)
+        return 2
+    except SessionError as exc:
+        print(f"session error: {exc}", file=sys.stderr)
         return 2
 
 

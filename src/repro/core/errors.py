@@ -72,3 +72,10 @@ class SessionError(Exception):
 class SessionClosedError(SessionError):
     """Raised when a closed :class:`~repro.telemetry.session.TelemetrySession`
     is asked to ingest more observations (or to close again)."""
+
+
+class CheckpointError(SessionError):
+    """Raised when a session snapshot cannot be produced or restored:
+    truncated/corrupted/wrong-version checkpoint bytes, or a resume
+    against an engine whose configuration does not match the one that
+    produced the snapshot."""

@@ -69,12 +69,16 @@ _U = np.uint64
 
 
 def make_store_pool(specs: Sequence[tuple], window: int | None,
-                    n_shards: int) -> ShardWorkerPool:
+                    n_shards: int, checkpoint_every: int | None = None,
+                    faults=None) -> ShardWorkerPool:
     """One worker per shard, each holding every ``GROUPBY`` stage's
     spec (``(stage, geometry, config)``); stores are built lazily in
-    the worker on first use."""
+    the worker on first use.  ``checkpoint_every`` enables the pool's
+    periodic role checkpoints and crash recovery; ``faults`` threads a
+    deterministic fault injector into the transport."""
     roles = [_StoreShardRole(list(specs), window) for _ in range(n_shards)]
-    return ShardWorkerPool(roles, name="kvshard")
+    return ShardWorkerPool(roles, name="kvshard",
+                           checkpoint_every=checkpoint_every, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -123,6 +127,32 @@ class _StoreShardRole:
         if op == "snapshot":
             return self._snapshot_payload(idx, store)
         raise ShardError(f"unknown shard store op {op!r}")
+
+    # -- durable checkpoints (pool-internal __checkpoint__/__restore__) ------
+
+    def checkpoint(self) -> dict:
+        """Plain-data snapshot of this shard's slice: every live
+        store's state plus the global first-access positions (the
+        combine's ordering key).  Finalized stores carry no state —
+        their combined payload already left for the parent, and no op
+        can touch them again."""
+        return {
+            "stores": {idx: (None if store._finalized
+                             else store.checkpoint_state())
+                       for idx, store in self._stores.items()},
+            "firsts": {idx: dict(firsts)
+                       for idx, firsts in self._firsts.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`checkpoint` payload into this (freshly forked)
+        role: rebuild each store from its spec, then load its state."""
+        for idx, store_state in state["stores"].items():
+            if store_state is not None:
+                self._store(idx).restore_state(store_state)
+        for idx, firsts in state["firsts"].items():
+            self._firsts[idx] = dict(firsts)
+        return None
 
     def _record_firsts(self, idx: int, keys: np.ndarray,
                        pos: np.ndarray) -> None:

@@ -19,10 +19,10 @@ the cache before :meth:`result_table` builds the output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Hashable, Iterable, Mapping
 
-from repro.core.errors import HardwareError
+from repro.core.errors import CheckpointError, HardwareError
 from repro.core.eval_expr import EvalContext, Numeric, evaluate
 from repro.core.interpreter import ResultTable, Row
 from repro.core.merge_synthesis import (
@@ -216,6 +216,66 @@ class SplitKeyValueStore:
                                 entry.value.aux)
         return snapshot
 
+    # -- durable checkpoints -------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Plain-data snapshot of the full engine state: per-bucket
+        entries *in replacement order* (the OrderedDict order is the
+        LRU/FIFO state), counters (incl. the random policy's per-bucket
+        eviction counts — its RNG state), the backing store, and the
+        first-access key order.  The vectorized per-bucket victim draw
+        blocks are a pure-function cache and are rebuilt on demand."""
+        if self._finalized:
+            raise CheckpointError("cannot checkpoint a finalized store")
+        cache = self.cache
+        backing = self.backing.clone()
+        return {
+            "kind": "row",
+            "buckets": [
+                (i, [(e.key,
+                      {c: dict(s) for c, s in e.value.states.items()},
+                      {c: _copy_row_aux(a) for c, a in e.value.aux.items()},
+                      e.value.dirty)
+                     for e in bucket.values()])
+                for i, bucket in enumerate(cache._buckets) if bucket
+            ],
+            "stats": replace(cache.stats),
+            "evict_counts": dict(cache._evict_counts),
+            "backing_data": backing.data,
+            "backing_writes": backing.writes,
+            "seen": list(self._seen),
+            "since_refresh": self._since_refresh,
+            "refreshes": self.refreshes,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`checkpoint_state` payload into this (freshly
+        constructed) store.  Takes ownership of the payload's
+        containers."""
+        if state.get("kind") != "row":
+            raise CheckpointError(
+                f"store state mismatch: snapshot carries "
+                f"{state.get('kind')!r}, expected 'row'")
+        if self._finalized or self._seen or self.cache.stats.accesses:
+            raise CheckpointError("restore target store must be fresh")
+        cache = self.cache
+        for i, entries in state["buckets"]:
+            if i >= len(cache._buckets):
+                raise CheckpointError(
+                    f"snapshot bucket {i} exceeds the cache geometry "
+                    f"({len(cache._buckets)} buckets)")
+            bucket = cache._buckets[i]
+            for key, states, aux, dirty in entries:
+                bucket[key] = Entry(key=key, value=CacheValue(
+                    states=states, aux=aux, dirty=dirty))
+        cache.stats = state["stats"]
+        cache._evict_counts = dict(state["evict_counts"])
+        self.backing.data = state["backing_data"]
+        self.backing.writes = state["backing_writes"]
+        self._seen = dict.fromkeys(state["seen"])
+        self._since_refresh = state["since_refresh"]
+        self.refreshes = state["refreshes"]
+
     # -- statistics -------------------------------------------------------------
 
     @property
@@ -235,6 +295,22 @@ class SplitKeyValueStore:
         """Fig. 6 metric — fraction of keys whose value is valid."""
         self.finalize()
         return self.backing.accuracy
+
+
+def _copy_row_aux(aux: AuxState) -> AuxState:
+    """Copy auxiliary registers deeply enough that the live store
+    cannot mutate the checkpointed copy (``update_aux`` mutates the
+    ``P`` dict in place and appends to the log list; other entries are
+    replaced, never mutated)."""
+    out: AuxState = {}
+    for name, value in aux.items():
+        if isinstance(value, dict):
+            out[name] = dict(value)
+        elif isinstance(value, list):
+            out[name] = list(value)
+        else:
+            out[name] = value
+    return out
 
 
 def build_result_table(stage: GroupByStage, backing: BackingStore,

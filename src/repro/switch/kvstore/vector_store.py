@@ -58,7 +58,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.core.ast_nodes import StateRef, walk
-from repro.core.errors import HardwareError
+from repro.core.errors import CheckpointError, HardwareError
 from repro.core.eval_expr import Numeric
 from repro.core.interpreter import ResultTable
 from repro.core.merge_synthesis import (
@@ -275,6 +275,35 @@ class VectorSplitStore:
             except KeyError:
                 raise HardwareError(f"missing fold input column {name!r}") \
                     from None
+
+    # -- durable checkpoints -------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Plain-data snapshot of the deferred store: everything it
+        holds pre-finalize is the buffered input itself."""
+        if self._finalized:
+            raise CheckpointError("cannot checkpoint a finalized store")
+        return {
+            "kind": "oneshot",
+            "pending_keys": np.concatenate(self._key_chunks)
+            if self._key_chunks else None,
+            "pending_cols": {
+                name: np.concatenate(chunks) if chunks else None
+                for name, chunks in self._col_chunks.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "oneshot":
+            raise CheckpointError(
+                f"store state mismatch: snapshot carries "
+                f"{state.get('kind')!r}, expected 'oneshot'")
+        if self._finalized or self._key_chunks:
+            raise CheckpointError("restore target store must be fresh")
+        if state["pending_keys"] is not None:
+            self._key_chunks = [state["pending_keys"]]
+            for name, pending in state["pending_cols"].items():
+                self._col_chunks[name] = [pending]
 
     def process(self, record: object) -> None:
         raise HardwareError(

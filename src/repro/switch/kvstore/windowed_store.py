@@ -69,7 +69,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.errors import HardwareError
+from repro.core.errors import CheckpointError, HardwareError
 from repro.core.eval_expr import Numeric
 from repro.core.interpreter import ResultTable
 from repro.core.merge_synthesis import AuxState, State
@@ -250,6 +250,22 @@ class _LruWindowScheduler:
         self._res_keys = aug_keys[last_pos[kept]]
         return miss, evictions, self._res_gids
 
+    def checkpoint_state(self) -> dict:
+        return {
+            "kind": "lru",
+            "res_keys": None if self._res_keys is None
+            else self._res_keys.copy(),
+            "res_gids": self._res_gids.copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "lru":
+            raise CheckpointError(
+                f"scheduler state mismatch: snapshot carries "
+                f"{state.get('kind')!r}, store expects 'lru'")
+        self._res_keys = state["res_keys"]
+        self._res_gids = state["res_gids"]
+
 
 class _ReplayWindowScheduler:
     """Carried per-set replay for the FIFO/random ablation policies on
@@ -301,6 +317,24 @@ class _ReplayWindowScheduler:
         resident_gids = np.fromiter(
             (g for d in buckets.values() for g in d), dtype=np.int64)
         return miss, evictions, resident_gids
+
+    def checkpoint_state(self) -> dict:
+        # Per-bucket insertion order *is* the replacement state; the
+        # random policy's RNG is the counter dict.
+        return {
+            "kind": "replay",
+            "buckets": {b: list(d) for b, d in self._buckets.items()},
+            "evict_counts": dict(self._evict_counts),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "replay":
+            raise CheckpointError(
+                f"scheduler state mismatch: snapshot carries "
+                f"{state.get('kind')!r}, store expects 'replay'")
+        self._buckets = {b: dict.fromkeys(ids)
+                         for b, ids in state["buckets"].items()}
+        self._evict_counts = dict(state["evict_counts"])
 
 
 class _PackedWindowScheduler:
@@ -411,6 +445,38 @@ class _PackedWindowScheduler:
             self._known_ids = np.insert(self._known_ids, ins, new_ids)
             self._known_rows = np.insert(self._known_rows, ins, new_rows)
         return rows
+
+    def checkpoint_state(self) -> dict:
+        n = self._n_sets
+        return {
+            "kind": "packed",
+            "known_ids": self._known_ids.copy(),
+            "known_rows": self._known_rows.copy(),
+            "set_of_row": self._set_of_row[:n].copy(),
+            "n_sets": n,
+            "ring": self._ring[:n].copy(),
+            "head": self._head[:n].copy(),
+            "count": self._count[:n].copy(),
+            "counters": self._counters[:n].copy(),
+            "in_cache": self._in_cache.copy(),
+            "width": self._width,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "packed":
+            raise CheckpointError(
+                f"scheduler state mismatch: snapshot carries "
+                f"{state.get('kind')!r}, store expects 'packed'")
+        self._known_ids = state["known_ids"]
+        self._known_rows = state["known_rows"]
+        self._n_sets = state["n_sets"]
+        self._ring = state["ring"]
+        self._head = state["head"]
+        self._count = state["count"]
+        self._counters = state["counters"]
+        self._set_of_row = state["set_of_row"]
+        self._in_cache = state["in_cache"]
+        self._width = state["width"]
 
     def _grow(self, n: int) -> None:
         cap = len(self._head)
@@ -1117,6 +1183,126 @@ class WindowedVectorStore(VectorSplitStore):
         if not self._finalized:
             self._drain()
         return self._stats
+
+    # -- durable checkpoints -------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Plain-data snapshot of *everything* the continuation needs:
+        pending (undrained) input, the persistent key table, carried
+        residency (scheduler state incl. RNG counters), carried open
+        epochs, and the absorption target (bulk accumulators with their
+        overflow bounds, or the general backing store).  Pending input
+        is serialized as-is — not drained — so a restored store runs
+        the byte-for-byte same window schedule as an uninterrupted one.
+        """
+        if self._finalized:
+            raise CheckpointError("cannot checkpoint a finalized store")
+        nk = self._nkeys
+        state = {
+            "kind": "windowed",
+            "window": self.window,
+            "bulk": self._bulk_mode,
+            "buffered": self._buffered,
+            "pending_keys": np.concatenate(self._key_chunks)
+            if self._key_chunks else None,
+            "pending_cols": {
+                name: np.concatenate(chunks) if chunks else None
+                for name, chunks in self._col_chunks.items()
+            },
+            "total": self._total,
+            "nkeys": nk,
+            "keys": self._all_keys[:nk].copy(),
+            "open_mask": self._open_mask[:nk].copy(),
+            "open_pos": self._open_pos[:nk].copy(),
+            "open_state": {
+                col: {var: arr[:nk].copy() for var, arr in per.items()}
+                for col, per in self._open_state.items()
+            },
+            "open_P": {
+                col: {var: arr[:nk].copy() for var, arr in per.items()}
+                for col, per in self._open_P.items()
+            },
+            "open_dicts": {
+                g: {col: (dict(s), _copy_aux(a))
+                    for col, (s, a) in folds.items()}
+                for g, folds in self._open_dicts.items()
+            },
+            "stats": replace(self._stats),
+            "refreshes": self.refreshes,
+            "sched": self._sched.checkpoint_state(),
+        }
+        if self._bulk_mode:
+            state["acc"] = {
+                col: {var: arr[:nk].copy() for var, arr in per.items()}
+                for col, per in self._acc.items()
+            }
+            state["hist"] = {
+                col: {var: arr[:nk].copy() for var, arr in per.items()}
+                for col, per in self._hist.items()
+            }
+            state["epochs"] = self._epochs[:nk].copy()
+            state["acc_bound"] = dict(self._acc_bound)
+            state["writes"] = self._writes
+        else:
+            backing = self._backing.clone()
+            state["backing_data"] = backing.data
+            state["backing_writes"] = backing.writes
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`checkpoint_state` payload into this (freshly
+        constructed) store.  The store takes ownership of the payload's
+        arrays and containers."""
+        if state.get("kind") != "windowed":
+            raise CheckpointError(
+                f"store state mismatch: snapshot carries "
+                f"{state.get('kind')!r}, expected 'windowed'")
+        if self._finalized or self._total or self._nkeys or self._buffered:
+            raise CheckpointError("restore target store must be fresh")
+        if state["window"] != self.window or state["bulk"] != self._bulk_mode:
+            raise CheckpointError(
+                "store configuration mismatch: snapshot was taken with "
+                f"window={state['window']} bulk={state['bulk']}, store has "
+                f"window={self.window} bulk={self._bulk_mode}")
+        self._buffered = state["buffered"]
+        if state["pending_keys"] is not None:
+            self._key_chunks = [state["pending_keys"]]
+            for name, pending in state["pending_cols"].items():
+                self._col_chunks[name] = [pending]
+        self._total = state["total"]
+        nk = self._nkeys = state["nkeys"]
+        if nk:
+            # Every per-key array shares one capacity (the _grow_keys
+            # invariant) — restore them all at exactly nk.
+            rows = np.ascontiguousarray(state["keys"])
+            self._all_keys = rows
+            view = rows.view([("", np.int64)] * rows.shape[1]).ravel()
+            perm = np.argsort(view)
+            self._sorted_view = view[perm]
+            self._sorted_perm = perm.astype(np.int64, copy=False)
+            self._keys_list = list(zip(
+                *(rows[:, j].tolist() for j in range(rows.shape[1]))))
+            self._open_mask = state["open_mask"]
+            self._open_pos = state["open_pos"]
+        self._open_state = {col: dict(per)
+                            for col, per in state["open_state"].items()}
+        self._open_P = {col: dict(per)
+                        for col, per in state["open_P"].items()}
+        self._open_dicts = {
+            int(g): dict(folds) for g, folds in state["open_dicts"].items()}
+        self._stats = state["stats"]
+        self.refreshes = state["refreshes"]
+        self._sched.restore_state(state["sched"])
+        if self._bulk_mode:
+            self._acc = {col: dict(per) for col, per in state["acc"].items()}
+            self._hist = {col: dict(per)
+                          for col, per in state["hist"].items()}
+            self._epochs = state["epochs"]
+            self._acc_bound = dict(state["acc_bound"])
+            self._writes = state["writes"]
+        else:
+            self._backing.data = state["backing_data"]
+            self._backing.writes = state["backing_writes"]
 
 
 def _is_resident(gids: np.ndarray, resident: np.ndarray) -> np.ndarray:

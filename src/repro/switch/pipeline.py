@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Mapping
 import numpy as np
 
 from repro.core.errors import (
+    CheckpointError,
     CompileError,
     HardwareError,
     InterpreterError,
@@ -332,6 +333,8 @@ class SwitchPipeline:
         engine: str = "auto",
         window: int | None = None,
         shards: int | None = None,
+        checkpoint_every: int | None = None,
+        faults=None,
     ):
         if engine not in ENGINES:
             raise HardwareError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -370,7 +373,9 @@ class SwitchPipeline:
                       refresh_interval=None))
                 for s in program.groupby_stages
             ]
-            self._shard_pool = make_store_pool(specs, window, shards)
+            self._shard_pool = make_store_pool(
+                specs, window, shards, checkpoint_every=checkpoint_every,
+                faults=faults)
         self._groupbys = [
             _GroupByRunner(s, self._geometry_for(s.query_name, geometry),
                            self.params, policy, seed,
@@ -447,6 +452,13 @@ class SwitchPipeline:
             # workers are no longer needed (idempotent).
             self._shard_pool.close()
 
+    def release(self) -> None:
+        """Release the shard workers *without* finalizing the stores —
+        the teardown path for broken sessions, where finalizing
+        half-ingested state would compute untrustworthy results."""
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+
     # -- results ---------------------------------------------------------------
 
     def results(self, include_invalid: bool = False) -> dict[str, ResultTable]:
@@ -508,6 +520,60 @@ class SwitchPipeline:
                     "window= (or engine=\"row\") for streaming reads"
                 )
         return tables, stats, writes, accuracy
+
+    # -- durable checkpoints -------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Plain-data snapshot of every stage: accumulated select rows,
+        each groupby runner's decided mode and store state (collected
+        per worker over the shard fabric when sharded)."""
+        state = {
+            "packets_seen": self.packets_seen,
+            "selects": [list(s.rows) for s in self._selects],
+            "modes": [g._mode for g in self._groupbys],
+            "sharded": self._shard_pool is not None,
+        }
+        if self._shard_pool is not None:
+            state["workers"] = self._shard_pool.checkpoint_workers()
+            state["proxy_pos"] = [g.store._pos for g in self._groupbys]
+        else:
+            state["stores"] = [
+                g.store.checkpoint_state() if g._mode is not None else None
+                for g in self._groupbys
+            ]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`checkpoint_state` payload into this (freshly
+        constructed) pipeline."""
+        if self.packets_seen:
+            raise CheckpointError("restore target pipeline must be fresh")
+        if (len(state["selects"]) != len(self._selects)
+                or len(state["modes"]) != len(self._groupbys)):
+            raise CheckpointError(
+                "snapshot stage layout does not match the compiled program")
+        if state["sharded"] != (self._shard_pool is not None):
+            raise CheckpointError(
+                "snapshot was taken with a different shards= setting; "
+                "resume with the same shard count it was saved with")
+        self.packets_seen = state["packets_seen"]
+        for select, rows in zip(self._selects, state["selects"]):
+            select.rows = list(rows)
+        if self._shard_pool is not None:
+            self._shard_pool.restore_workers(state["workers"])
+            for g, pos, mode in zip(self._groupbys, state["proxy_pos"],
+                                    state["modes"]):
+                g.store._pos = pos
+                g._mode = mode
+        else:
+            for g, store_state, mode in zip(self._groupbys, state["stores"],
+                                            state["modes"]):
+                g._mode = mode
+                if store_state is None:
+                    continue
+                if mode == "vector":
+                    g.store = g._make_vector_store()
+                g.store.restore_state(store_state)
 
     def cache_stats(self) -> dict[str, CacheStats]:
         return {g.stage.query_name: g.store.stats for g in self._groupbys}

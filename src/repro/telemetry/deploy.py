@@ -38,7 +38,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core.ast_nodes import Program
-from repro.core.errors import SessionClosedError
+from repro.core.errors import CheckpointError, SessionClosedError, SessionError
 from repro.core.eval_expr import Numeric
 from repro.core.interpreter import ResultTable, Row
 from repro.network.records import ObservationTable, PacketRecord
@@ -98,7 +98,9 @@ class NetworkDeployment:
     # -- execution -----------------------------------------------------------
 
     def open(self, window: int | None = None,
-             shards: int | None = None) -> "NetworkSession":
+             shards: int | None = None,
+             checkpoint_every: int | None = None,
+             faults=None) -> "NetworkSession":
         """Open one streaming session per switch; batches ingested into
         the returned :class:`NetworkSession` are routed to the switch
         owning each observation's queue.  The most recently opened
@@ -110,9 +112,63 @@ class NetworkDeployment:
         slice of the observation stream (queue ownership), and
         :meth:`NetworkSession.ingest`'s composite sort routes to it
         unchanged.  Per-switch reports — and therefore the combined
-        report — are bit-identical to the unsharded deployment."""
-        self._session = NetworkSession(self, window=window, shards=shards)
+        report — are bit-identical to the unsharded deployment.
+
+        ``checkpoint_every`` enables shard-worker crash recovery and
+        ``faults`` threads a deterministic fault injector into the
+        transport, exactly as in :meth:`QueryEngine.open`."""
+        self._session = NetworkSession(self, window=window, shards=shards,
+                                       checkpoint_every=checkpoint_every,
+                                       faults=faults)
         return self._session
+
+    def resume(self, snapshot: bytes,
+               checkpoint_every: int | None = None,
+               faults=None) -> "NetworkSession":
+        """Rebuild a mid-stream network session from a
+        :meth:`NetworkSession.checkpoint` byte string — the deployment
+        (program, params, geometry, knobs, *and topology*) must match
+        the one that saved it."""
+        from repro.telemetry.checkpoint import unpack_checkpoint
+
+        payload = unpack_checkpoint(snapshot)
+        kind = payload.get("kind")
+        if kind == "session":
+            raise CheckpointError(
+                "this is a single-session checkpoint; resume it with "
+                "QueryEngine.resume()")
+        if kind != "network":
+            raise CheckpointError(
+                f"not a network checkpoint (kind={kind!r})")
+        if payload.get("config") != self.engine._config_fingerprint():
+            raise CheckpointError(
+                "checkpoint was produced by a differently configured "
+                "deployment (queries, params, geometry, policy, seed, "
+                "and the refresh/engine knobs must all match)")
+        session = self.open(window=payload["window"],
+                            shards=payload["shards"],
+                            checkpoint_every=checkpoint_every,
+                            faults=faults)
+        if session._switch_order != payload["switches"]:
+            raise CheckpointError(
+                "checkpoint was taken on a different topology (the "
+                "switch set does not match); resume on the same "
+                "simulated network")
+        if payload["sharded"]:
+            if session._pool is None:
+                raise CheckpointError(
+                    "snapshot was taken with a sharded deployment; "
+                    "resume with the same shards= setting")
+            session._pool.restore_workers(payload["workers"])
+        else:
+            if session._pool is not None:
+                raise CheckpointError(
+                    "snapshot was taken without shards; resume with "
+                    "shards=None")
+            for switch, sess_payload in payload["sessions"].items():
+                session.sessions[switch]._restore_payload(sess_payload)
+        self._session = session
+        return session
 
     def run(self, records: Iterable[PacketRecord]) -> NetworkRunReport:
         """One-shot wrapper over :meth:`open`: route each observation
@@ -218,6 +274,28 @@ class _NetworkShardRole:
             return self._session(switch).cache_stats()
         raise ValueError(f"unknown network shard op {op!r}")
 
+    # -- durable checkpoints (pool-internal __checkpoint__/__restore__) ------
+
+    def checkpoint(self) -> dict:
+        """Plain-data snapshot of every switch session living in this
+        worker, plus any already-collected close() reports (so a crash
+        mid-close keeps its idempotency).  Closed sessions carry no
+        state — their contribution is the stored final report."""
+        return {
+            "sessions": {switch: session._checkpoint_payload()
+                         for switch, session in self._sessions.items()
+                         if not session.closed},
+            "reports": dict(self._reports),
+        }
+
+    def restore(self, state: dict) -> None:
+        for switch, payload in state["sessions"].items():
+            session = self._engine.open(window=self._window)
+            session._restore_payload(payload)
+            self._sessions[switch] = session
+        self._reports = dict(state["reports"])
+        return None
+
 
 class _RemoteSwitchSession:
     """Parent-side handle of one switch's session living in a shard
@@ -271,11 +349,14 @@ class NetworkSession:
     """
 
     def __init__(self, deployment: NetworkDeployment,
-                 window: int | None = None, shards: int | None = None):
+                 window: int | None = None, shards: int | None = None,
+                 checkpoint_every: int | None = None, faults=None):
         self.deployment = deployment
         self.window = window
+        self.shards = shards
         switches = list(deployment.simulator.topology.switches())
         self._pool = None
+        self._broken: str | None = None
         if shards is not None and switches:
             if shards < 1:
                 raise ValueError(
@@ -287,7 +368,8 @@ class NetworkSession:
             self._pool = ShardWorkerPool(
                 [_NetworkShardRole(deployment.engine, window)
                  for _ in range(n_workers)],
-                name="netshard")
+                name="netshard", checkpoint_every=checkpoint_every,
+                faults=faults)
             self.sessions = {
                 switch: _RemoteSwitchSession(self._pool, i % n_workers,
                                              switch)
@@ -339,11 +421,32 @@ class NetworkSession:
             raise SessionClosedError(
                 "network session is closed; open a new one with "
                 "NetworkDeployment.open()")
+        self._check_broken()
         if self._switch_reports:
             raise SessionClosedError(
                 "network session is partially closed (an earlier "
                 "close() failed midway); retry close() instead of "
                 "ingesting")
+        try:
+            return self._route(batch)
+        except Exception as exc:
+            # Fail fast: some switches may have absorbed the batch and
+            # others not, so the combined view can no longer be
+            # trusted (per-switch ShardError/SessionError poisoning
+            # already covers the switch that raised).
+            self._broken = f"{type(exc).__name__}: {exc}"
+            raise
+
+    def _check_broken(self) -> None:
+        if self._broken is not None:
+            raise SessionError(
+                f"network session is broken — an earlier ingest() "
+                f"failed ({self._broken}) after routing part of a "
+                f"batch; close() this session and open a new one (or "
+                f"resume from the last checkpoint() with "
+                f"NetworkDeployment.resume())")
+
+    def _route(self, batch: Iterable[object]) -> "NetworkSession":
         if isinstance(batch, ObservationTable) and batch.is_columnar:
             if not len(self._owner_index):
                 return self        # no monitored queues
@@ -390,6 +493,7 @@ class NetworkSession:
             raise SessionClosedError(
                 "network session is closed; the final report is the "
                 "close() return value")
+        self._check_broken()
         # After a partial close() failure, already-finalized switches
         # answer from their stored final reports (their sessions would
         # raise); the rest snapshot live.
@@ -408,6 +512,15 @@ class NetworkSession:
         sessions instead of tripping over the closed ones."""
         if self._closed:
             raise SessionClosedError("network session is already closed")
+        if self._broken is not None:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.close()
+            raise SessionError(
+                f"closing a broken network session (an earlier "
+                f"ingest() failed: {self._broken}); its partial state "
+                f"was discarded — open a new session, or resume from "
+                f"the last checkpoint()")
         if self._pool is not None:
             # Submit every pending close before collecting the first
             # result so the switch finalizations run concurrently
@@ -456,6 +569,43 @@ class NetworkSession:
             combinable[stage.query_name] = True
         return NetworkRunReport(combined=combined, per_switch=per_switch,
                                 combinable=combinable)
+
+    # -- durable checkpoints ---------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Serialize every per-switch session into one composite,
+        checksummed checkpoint.  Feed it to
+        :meth:`NetworkDeployment.resume` on an identically configured
+        deployment (same program, knobs, and topology) to continue the
+        stream bit-identically; the session itself keeps streaming."""
+        if self._closed:
+            raise SessionClosedError(
+                "network session is closed; there is no state left to "
+                "checkpoint")
+        self._check_broken()
+        if self._switch_reports:
+            raise SessionError(
+                "network session is partially closed (an earlier "
+                "close() failed midway); retry close() instead of "
+                "checkpointing")
+        from repro.telemetry.checkpoint import pack_checkpoint
+
+        payload = {
+            "kind": "network",
+            "config": self.deployment.engine._config_fingerprint(),
+            "window": self.window,
+            "shards": self.shards,
+            "switches": list(self._switch_order),
+            "sharded": self._pool is not None,
+        }
+        if self._pool is not None:
+            payload["workers"] = self._pool.checkpoint_workers()
+        else:
+            payload["sessions"] = {
+                switch: session._checkpoint_payload()
+                for switch, session in self.sessions.items()
+            }
+        return pack_checkpoint(payload)
 
     # -- statistics ------------------------------------------------------------
 

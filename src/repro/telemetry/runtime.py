@@ -222,7 +222,9 @@ class QueryEngine:
 
     def open(self, window: int | None = None, exact: bool = False,
              chunk_size: int | None = None,
-             shards: int | None = None) -> TelemetrySession:
+             shards: int | None = None,
+             checkpoint_every: int | None = None,
+             faults=None) -> TelemetrySession:
         """Open a streaming :class:`~repro.telemetry.session.TelemetrySession`
         — the execution protocol every entry point compiles down to:
         repeated :meth:`~TelemetrySession.ingest` calls, optional
@@ -250,10 +252,82 @@ class QueryEngine:
                 ``window`` (each shard runs the windowed store over
                 its key slice) but not ``refresh_interval`` or
                 ``engine="row"``.
+            checkpoint_every: Sharded sessions only — take a periodic
+                per-worker role checkpoint every this many shard posts
+                and enable crash *recovery*: a worker process that dies
+                is respawned, restored from its last checkpoint, and
+                fed only the batches since (bounded retries; see
+                :class:`~repro.telemetry.shard_exec.ShardWorkerPool`).
+                Independent of :meth:`TelemetrySession.checkpoint`,
+                which serializes the whole session on demand.
+            faults: A :class:`~repro.telemetry.faults.FaultInjector`
+                for deterministic fault injection (tests/benchmarks).
         """
         kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
         return TelemetrySession(self, window=window, exact=exact,
-                                shards=shards, **kwargs)
+                                shards=shards,
+                                checkpoint_every=checkpoint_every,
+                                faults=faults, **kwargs)
+
+    def resume(self, snapshot: bytes,
+               checkpoint_every: int | None = None,
+               faults=None) -> TelemetrySession:
+        """Rebuild a mid-stream session from a
+        :meth:`TelemetrySession.checkpoint` byte string.
+
+        The engine must be configured identically to the one that
+        saved the snapshot (queries, params, geometry, policy, seed,
+        refresh/engine knobs) — the snapshot carries a configuration
+        fingerprint and a mismatch raises
+        :class:`~repro.core.errors.CheckpointError`.  The resumed
+        session continues the stream exactly where the checkpoint was
+        taken: feed it the remaining records (everything after
+        ``session.packets_ingested``) and its results are bit-identical
+        to a run that never stopped."""
+        from repro.core.errors import CheckpointError
+
+        from .checkpoint import unpack_checkpoint
+
+        payload = unpack_checkpoint(snapshot)
+        kind = payload.get("kind")
+        if kind == "network":
+            raise CheckpointError(
+                "this is a network-deployment checkpoint; resume it "
+                "with NetworkDeployment.resume()")
+        if kind != "session":
+            raise CheckpointError(
+                f"not a session checkpoint (kind={kind!r})")
+        if payload.get("config") != self._config_fingerprint():
+            raise CheckpointError(
+                "checkpoint was produced by a differently configured "
+                "engine (queries, params, geometry, policy, seed, and "
+                "the refresh/engine knobs must all match); resume on "
+                "an engine configured like the one that saved it")
+        session = TelemetrySession(
+            self, window=payload["window"], exact=payload["exact"],
+            chunk_size=payload["chunk_size"], shards=payload["shards"],
+            checkpoint_every=checkpoint_every, faults=faults)
+        session._restore_payload(payload)
+        return session
+
+    def _config_fingerprint(self) -> dict:
+        """Plain-data identity of everything that shapes session
+        results — embedded in checkpoints and compared on resume."""
+        if isinstance(self.geometry, CacheGeometry):
+            geom = self.geometry.describe()
+        else:
+            geom = {name: g.describe()
+                    for name, g in sorted(self.geometry.items())}
+        return {
+            "plan": self.compiled.describe(),
+            "result": self.compiled.result,
+            "params": sorted(self.params.items()),
+            "geometry": geom,
+            "policy": self.policy,
+            "seed": self.seed,
+            "refresh_interval": self.refresh_interval,
+            "engine": self.engine,
+        }
 
     def run(
         self,

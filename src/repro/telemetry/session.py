@@ -46,10 +46,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
-from repro.core.errors import SessionClosedError
+from repro.core.errors import SessionClosedError, SessionError
 from repro.core.interpreter import ResultTable
 from repro.network.records import ObservationTable
 from repro.switch.pipeline import DEFAULT_CHUNK_SIZE, SwitchPipeline
+
+from .checkpoint import pack_checkpoint
 
 if TYPE_CHECKING:                                  # pragma: no cover
     from .runtime import QueryEngine, RunReport
@@ -80,7 +82,9 @@ class TelemetrySession:
     def __init__(self, engine: "QueryEngine", window: int | None = None,
                  exact: bool = False,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 shards: int | None = None):
+                 shards: int | None = None,
+                 checkpoint_every: int | None = None,
+                 faults=None):
         self._engine = engine
         self.window = window
         self.exact = exact
@@ -99,8 +103,10 @@ class TelemetrySession:
                 "drop shards= (or exact=True)")
         self._chunk_size = chunk_size
         self._closed = False
+        self._broken: str | None = None
         self._saw_rows = False
         self._vector_started = False
+        self._faults = faults
         if exact:
             self._buffered: list[ObservationTable | list] = []
             self._pipeline = None
@@ -111,6 +117,7 @@ class TelemetrySession:
                 seed=engine.seed,
                 refresh_interval=engine.refresh_interval,
                 engine=engine.engine, window=window, shards=shards,
+                checkpoint_every=checkpoint_every, faults=faults,
             )
 
     # -- context manager ------------------------------------------------------
@@ -132,20 +139,50 @@ class TelemetrySession:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def broken(self) -> bool:
+        """True once an ingest failed mid-stream: stage state may be
+        partially applied and no further results can be trusted (see
+        :meth:`ingest`)."""
+        return self._broken is not None
+
+    def _check_broken(self) -> None:
+        if self._broken is not None:
+            raise SessionError(
+                f"session is broken — an earlier ingest() failed "
+                f"({self._broken}) and may have applied a batch "
+                f"partially, so its state cannot be trusted; close() "
+                f"this session and open a new one (or resume a fresh "
+                f"session from the last checkpoint() with "
+                f"QueryEngine.resume())")
+
     # -- ingestion ------------------------------------------------------------
 
     def ingest(self, batch: Iterable[object]) -> "TelemetrySession":
         """Stream one batch of observations (a columnar
         :class:`ObservationTable` or any iterable of records) through
-        every stage; returns ``self`` for chaining."""
+        every stage; returns ``self`` for chaining.
+
+        **Fail-fast poisoning:** an exception escaping mid-ingest may
+        leave some stages having absorbed the batch and others not, so
+        the session is marked *broken* — every subsequent call raises
+        :class:`~repro.core.errors.SessionError` with recovery guidance
+        rather than silently serving corrupt results."""
         if self._closed:
             raise SessionClosedError(
                 "session is closed; open a new one with QueryEngine.open()")
-        batch = self._normalize(batch)
-        if self.exact:
-            self._buffered.append(batch)
-        else:
-            self._pipeline.run(batch, chunk_size=self._chunk_size)
+        self._check_broken()
+        try:
+            if self._faults is not None:
+                self._faults.on_ingest()
+            batch = self._normalize(batch)
+            if self.exact:
+                self._buffered.append(batch)
+            else:
+                self._pipeline.run(batch, chunk_size=self._chunk_size)
+        except Exception as exc:
+            self._broken = f"{type(exc).__name__}: {exc}"
+            raise
         return self
 
     def _normalize(self, batch) -> ObservationTable | list:
@@ -188,6 +225,7 @@ class TelemetrySession:
             raise SessionClosedError(
                 "session is closed; the final report is the close() "
                 "return value")
+        self._check_broken()
         if self.exact:
             return self._exact_report()
         tables, stats, writes, accuracy = \
@@ -201,6 +239,18 @@ class TelemetrySession:
         :class:`~repro.core.errors.SessionClosedError`."""
         if self._closed:
             raise SessionClosedError("session is already closed")
+        if self._broken is not None:
+            # Release worker processes and shared-memory segments, then
+            # report the breakage: a broken session has no trustworthy
+            # final report to return.
+            self._closed = True
+            if self._pipeline is not None:
+                self._pipeline.release()
+            raise SessionError(
+                f"closing a broken session (an earlier ingest() failed: "
+                f"{self._broken}); its partial state was discarded — "
+                f"open a new session, or resume from the last "
+                f"checkpoint() with QueryEngine.resume()")
         if self.exact:
             report = self._exact_report()
         else:
@@ -229,9 +279,61 @@ class TelemetrySession:
             raise SessionClosedError(
                 "session is closed; final cache stats are on the "
                 "close() report")
+        self._check_broken()
         if self._pipeline is None:
             return {}
         return self._pipeline.cache_stats()
+
+    # -- durable checkpoints ---------------------------------------------------
+
+    @property
+    def packets_ingested(self) -> int:
+        """Observations absorbed so far — what a resumed driver skips
+        when replaying its input stream."""
+        if self.exact:
+            return sum(len(b) for b in self._buffered)
+        return self._pipeline.packets_seen
+
+    def checkpoint(self) -> bytes:
+        """Serialize the full mid-stream state into a self-describing,
+        checksummed byte string.  Feed it to :meth:`QueryEngine.resume`
+        on an engine with the *same* configuration to continue the
+        stream — results from the resumed session are bit-identical to
+        never having stopped.  The session itself is untouched and can
+        keep streaming."""
+        if self._closed:
+            raise SessionClosedError(
+                "session is closed; there is no state left to checkpoint")
+        self._check_broken()
+        return pack_checkpoint(self._checkpoint_payload())
+
+    def _checkpoint_payload(self) -> dict:
+        payload = {
+            "kind": "session",
+            "config": self._engine._config_fingerprint(),
+            "window": self.window,
+            "exact": self.exact,
+            "shards": self.shards,
+            "chunk_size": self._chunk_size,
+            "saw_rows": self._saw_rows,
+            "vector_started": self._vector_started,
+            "packets_ingested": self.packets_ingested,
+        }
+        if self.exact:
+            payload["buffered"] = [_pack_batch(b) for b in self._buffered]
+        else:
+            payload["pipeline"] = self._pipeline.checkpoint_state()
+        return payload
+
+    def _restore_payload(self, payload: dict) -> None:
+        """Load a :meth:`_checkpoint_payload` dict into this (freshly
+        opened) session — :meth:`QueryEngine.resume` only."""
+        self._saw_rows = payload["saw_rows"]
+        self._vector_started = payload["vector_started"]
+        if self.exact:
+            self._buffered = [_unpack_batch(b) for b in payload["buffered"]]
+        else:
+            self._pipeline.restore_state(payload["pipeline"])
 
     # -- assembly --------------------------------------------------------------
 
@@ -297,3 +399,22 @@ class TelemetrySession:
             stream.extend(batch.records if isinstance(batch, ObservationTable)
                           else batch)
         return stream
+
+
+def _pack_batch(batch: ObservationTable | list) -> tuple:
+    """Tag one buffered exact-mode batch as plain data (the table
+    class itself stays out of the checkpoint payload)."""
+    if isinstance(batch, ObservationTable):
+        if batch.is_columnar:
+            return ("cols", dict(batch.columns()))
+        return ("table", list(batch.records))
+    return ("list", list(batch))
+
+
+def _unpack_batch(packed: tuple) -> ObservationTable | list:
+    tag, data = packed
+    if tag == "cols":
+        return ObservationTable.from_arrays(data)
+    if tag == "table":
+        return ObservationTable(data)
+    return data
