@@ -1,0 +1,290 @@
+"""PERF — live ingest service: bounded server memory under backpressure.
+
+The ingest service's robustness headline is that a fast client cannot
+inflate the server: per-session queues are bounded by byte watermarks,
+and once the high watermark is hit the server answers ``BUSY`` and
+stops reading that connection until the worker drains below the low
+watermark.  This bench pins that down:
+
+* **flat RSS** — the server phase runs in its own subprocess (so
+  ``ru_maxrss`` is the server's alone) with a deliberately slow
+  consumer (``ingest_delay``) and a small queue watermark, while the
+  parent streams **10x the window budget** flat out; peak RSS after
+  the full stream must stay ≤ 1.5x the steady-state peak recorded
+  after the first window's worth of records;
+* **backpressure observed** — the client must see ``BUSY`` frames
+  (and matching ``READY`` resumes), and the server's exact-accounting
+  metadata must agree;
+* **bit-identical results** — the served report equals the one-shot
+  ``run()`` of the same stream;
+* **shed accounting is exact** — in shed mode every record is either
+  ingested or counted dropped (``records_in + shed_records == sent``),
+  and the executed report's access count equals ``records_in``.
+
+``BENCH_serve.json`` at the repo root records the measured numbers.
+The ``smoke`` tests replay a small stream through a real server +
+client under one injected mid-frame disconnect and assert the result
+is bit-identical to ``run()`` — CI runs only those.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.network.records import ObservationTable
+from repro.switch.kvstore.cache import CacheGeometry
+from repro.telemetry.client import IngestClient
+from repro.telemetry.faults import FaultInjector, FaultPlan
+from repro.telemetry.runtime import QueryEngine
+
+QUERY = "SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip"
+GEOMETRY = CacheGeometry.set_associative(1 << 10, ways=8)
+WINDOW = 1 << 15
+N_WINDOWS = 10
+BATCH = 4096
+FLOWS = 20_000
+SEED = 2016_08
+
+# slow-consumer knobs: the worker naps per batch while the queue may
+# hold at most ~2 batches before the high watermark trips.
+QUEUE_HIGH = 2 * 6 * 8 * BATCH          # ~2 batches of 6 int64 columns
+INGEST_DELAY = 0.003
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def make_batch(i: int, size: int, flows: int = FLOWS) -> ObservationTable:
+    """Deterministic columnar batch ``i`` of a heavy-tailed flow
+    stream — parent and differential baseline rebuild identical
+    batches, so neither has to hold the whole stream."""
+    rng = np.random.default_rng(SEED + i)
+    flow = rng.zipf(1.2, size).astype(np.int64) % flows
+    tin = np.arange(i * size, (i + 1) * size, dtype=np.int64) * 100
+    return ObservationTable.from_arrays({
+        "srcip": 0x0A000000 + flow,
+        "dstip": 0x0B000000 + (flow * 7 + 3) % flows,
+        "srcport": 1000 + (flow % 53),
+        "pkt_len": rng.integers(64, 1500, size),
+        "tin": tin,
+        "tout": (tin + rng.integers(1000, 9000, size)).astype(np.float64),
+    })
+
+
+def _concat(batches: list[ObservationTable]) -> ObservationTable:
+    return ObservationTable.from_arrays({
+        name: np.concatenate([b.columns()[name] for b in batches])
+        for name in batches[0].columns()
+    })
+
+
+def _engine() -> QueryEngine:
+    return QueryEngine(QUERY, geometry=GEOMETRY)
+
+
+def _result_fingerprint(report) -> tuple:
+    table = report.result
+    return (len(table),
+            int(sum(table.column("COUNT"))),
+            int(sum(table.column("SUM(pkt_len)"))))
+
+
+def _peak_rss_mb() -> float:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":       # bytes on macOS, KiB on Linux
+        peak //= 1024
+    return round(peak / 1024, 1)
+
+
+# -- server phase (runs in its own spawn process) -----------------------------
+
+def _serve_phase(done, out) -> None:
+    """Host the ingest service and sample its own peak RSS: once after
+    one window budget has been ingested (steady state), once after the
+    parent finished streaming 10x that."""
+    server = _engine().serve(window=WINDOW, queue_high_bytes=QUEUE_HIGH,
+                             ingest_delay=INGEST_DELAY)
+    host, port = server.start()
+    out["port"] = port
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        served = server._sessions.get("bench")
+        if served is not None and served.records_in >= WINDOW:
+            break
+        if "bench" in server._final:        # stream outran the poll
+            break
+        time.sleep(0.002)
+    out["rss_steady_mb"] = _peak_rss_mb()
+    done.wait(300.0)
+    report = server.stop()
+    out["rss_total_mb"] = _peak_rss_mb()
+    meta = report["sessions"].get("bench", {})
+    out["server_meta"] = {k: v for k, v in meta.get("serve", meta).items()
+                          if not isinstance(v, (bytes, bytearray))}
+
+
+def _stream_against_server(port: int) -> tuple[dict, dict]:
+    """Stream the full 10x-window budget flat out; returns the final
+    close payload and the client-side counters."""
+    client = IngestClient(("127.0.0.1", port), session="bench",
+                          io_timeout=120.0)
+    client.connect()
+    for i in range(N_WINDOWS * WINDOW // BATCH):
+        client.send(make_batch(i, BATCH))
+    final = client.close_session()
+    client.disconnect()
+    counters = {"busy_events": client.busy_events,
+                "ready_events": client.ready_events,
+                "reconnects": client.reconnects}
+    return final, counters
+
+
+# -- smoke (CI): served result ≡ run() under one injected disconnect ----------
+
+def test_smoke_served_matches_run_with_disconnect():
+    """A real server + client on localhost, one mid-frame disconnect
+    injected into the stream, a queue small enough to force BUSY — the
+    final report must be bit-identical to the one-shot ``run()``."""
+    batches = [make_batch(i, 256) for i in range(6)]
+    server = _engine().serve(window=512, queue_high_bytes=20_000,
+                             queue_low_bytes=5_000, ingest_delay=0.01)
+    host, port = server.start()
+    try:
+        injector = FaultInjector(FaultPlan(disconnect_sends={3}))
+        client = IngestClient(("127.0.0.1", port), session="smoke",
+                              faults=injector, retry_seed=7)
+        client.connect()
+        for batch in batches:
+            client.send(batch)
+        final = client.close_session()
+        client.disconnect()
+    finally:
+        server.stop()
+    assert client.reconnects >= 1, "injected disconnect never fired"
+    expected = _engine().run(_concat(batches))
+    assert _result_fingerprint(final["report"]) == \
+        _result_fingerprint(expected)
+    meta = final["serve"]
+    assert meta["records_in"] == 6 * 256
+    assert meta["shed_batches"] == 0
+
+
+def test_smoke_shed_accounting_exact():
+    """Shed mode on a tiny overloaded server: every record is either
+    ingested or counted dropped, and the executed report agrees."""
+    batches = [make_batch(100 + i, 256) for i in range(8)]
+    server = _engine().serve(window=512, shed=True, queue_high_bytes=6_000,
+                             ingest_delay=0.05)
+    host, port = server.start()
+    try:
+        client = IngestClient(("127.0.0.1", port), session="shed")
+        client.connect()
+        for batch in batches:
+            client.send(batch)
+        final = client.close_session()
+        client.disconnect()
+    finally:
+        server.stop()
+    meta = final["serve"]
+    assert meta["shed_batches"] == client.shed_batches > 0
+    assert meta["records_in"] + meta["shed_records"] == 8 * 256
+    assert meta["batches_in"] + meta["shed_batches"] == 8
+    stats = next(iter(final["report"].cache_stats.values()))
+    assert stats.accesses == meta["records_in"]
+    assert client.busy_events == 0, "shed mode must never send BUSY"
+
+
+# -- perf: flat RSS while a fast client streams 10x the window budget ---------
+
+@pytest.fixture(scope="module")
+def serve_bench(report):
+    ctx = mp.get_context("spawn")
+    with ctx.Manager() as manager:
+        out = manager.dict()
+        done = manager.Event()
+        proc = ctx.Process(target=_serve_phase, args=(done, out))
+        proc.start()
+        try:
+            deadline = time.monotonic() + 60.0
+            while "port" not in out.keys() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert "port" in out.keys(), "server phase never came up"
+            t0 = time.perf_counter()
+            final, counters = _stream_against_server(out["port"])
+            stream_seconds = time.perf_counter() - t0
+            done.set()
+            proc.join(120)
+            assert proc.exitcode == 0, "server phase crashed"
+            measured = dict(out)
+        finally:
+            done.set()
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(10)
+
+    total = N_WINDOWS * WINDOW
+    expected = _engine().run(_concat(
+        [make_batch(i, BATCH) for i in range(total // BATCH)]))
+    payload = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "query": QUERY,
+        "window": WINDOW,
+        "records_streamed": total,
+        "batch_records": BATCH,
+        "queue_high_bytes": QUEUE_HIGH,
+        "ingest_delay_s": INGEST_DELAY,
+        "stream_seconds": round(stream_seconds, 2),
+        "rss_steady_mb": measured["rss_steady_mb"],
+        "rss_total_mb": measured["rss_total_mb"],
+        "rss_ratio": round(
+            measured["rss_total_mb"] / measured["rss_steady_mb"], 3),
+        "client": counters,
+        "server_meta": measured["server_meta"],
+        "result_fingerprint": list(_result_fingerprint(final["report"])),
+        "matches_one_shot": (_result_fingerprint(final["report"])
+                             == _result_fingerprint(expected)),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    report("serve: bounded RSS under 10x-window backpressure",
+           f"steady {payload['rss_steady_mb']} MB -> "
+           f"peak {payload['rss_total_mb']} MB "
+           f"(ratio {payload['rss_ratio']}), "
+           f"{counters['busy_events']} BUSY / "
+           f"{counters['ready_events']} READY over "
+           f"{total} records in {payload['stream_seconds']}s")
+    return payload
+
+
+def test_serve_rss_stays_flat(serve_bench):
+    """10x the window budget through a slow consumer must not inflate
+    the server: peak RSS ≤ 1.5x the steady-state peak."""
+    assert serve_bench["rss_ratio"] <= 1.5, (
+        f"server RSS grew {serve_bench['rss_ratio']}x while streaming "
+        f"10x the window budget (steady {serve_bench['rss_steady_mb']} MB, "
+        f"peak {serve_bench['rss_total_mb']} MB)")
+
+
+def test_serve_backpressure_observed(serve_bench):
+    """The fast client must actually have been paused — BUSY frames on
+    the client and matching counts in the server's accounting."""
+    assert serve_bench["client"]["busy_events"] > 0
+    assert serve_bench["client"]["ready_events"] >= \
+        serve_bench["client"]["busy_events"]
+    assert serve_bench["server_meta"]["busy_events"] == \
+        serve_bench["client"]["busy_events"]
+
+
+def test_serve_results_match_one_shot(serve_bench):
+    """Backpressure must not cost correctness: the served report is
+    bit-identical to ``run()`` on the same stream."""
+    assert serve_bench["matches_one_shot"]
+    assert serve_bench["server_meta"]["records_in"] == \
+        serve_bench["records_streamed"]
+    assert serve_bench["server_meta"]["shed_batches"] == 0

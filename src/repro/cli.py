@@ -13,6 +13,10 @@ Commands:
               picks the cache simulator (vector / row, identical
               numbers) and ``--sweep-workers N`` fans the sweep grid
               across N worker processes.
+``serve``     Run the live ingest service: a localhost socket front
+              end with per-session backpressure, admission control,
+              optional load shedding, auto-checkpointing, and graceful
+              drain on SIGTERM (plus an optional trace-file tailer).
 ``catalog``   List the Fig. 2 catalog, or show one entry's source.
 
 Examples::
@@ -226,6 +230,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    source, params = _query_source(args)
+    params.update(_parse_params(args.param))
+    engine = QueryEngine(source, params=params, geometry=_geometry(args),
+                         policy=args.policy, exact_history=args.exact_history,
+                         refresh_interval=args.refresh, engine=args.engine)
+    server = engine.serve(
+        host=args.host, port=args.port, unix_path=args.unix_socket,
+        window=args.window, shards=args.shards,
+        max_sessions=args.max_sessions,
+        max_inflight_bytes=args.max_inflight_bytes,
+        queue_high_bytes=args.queue_high_bytes,
+        shed=args.shed, idle_timeout=args.idle_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_batches=args.checkpoint_every_batches)
+    if args.tail:
+        server.attach_tailer(args.tail, session=args.tail_session)
+    shown = args.unix_socket or f"{args.host}:{args.port}"
+    print(f"ingest service listening on {shown} "
+          f"(SIGTERM/SIGINT drains gracefully)", file=sys.stderr)
+    # run_forever installs the SIGTERM/SIGINT drain handler: finish
+    # open windows, checkpoint each session, close, and report.
+    report = server.run_forever()
+    print(f"drained ingest service on {shown}", file=sys.stderr)
+    print(json.dumps(report, indent=2, default=str))
+    return 0
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     from repro.telemetry.checkpoint import describe_checkpoint
 
@@ -429,6 +463,48 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("lru", "fifo", "random"),
                          help="fig5 only: eviction policy to sweep")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the live ingest service (socket front end)")
+    _add_query_args(serve_p)
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="TCP listen host (loopback only by design)")
+    serve_p.add_argument("--port", type=int, default=9016,
+                         help="TCP listen port")
+    serve_p.add_argument("--unix-socket", metavar="PATH", default=None,
+                         help="listen on a UNIX socket instead of TCP")
+    serve_p.add_argument("--max-sessions", type=int, default=8,
+                         help="admission control: max live sessions")
+    serve_p.add_argument("--max-inflight-bytes", type=int,
+                         default=256 << 20,
+                         help="admission control: max queued batch bytes "
+                              "across all sessions")
+    serve_p.add_argument("--queue-high-bytes", type=int, default=32 << 20,
+                         help="per-session backpressure high watermark "
+                              "(BUSY above, READY once drained to 1/4)")
+    serve_p.add_argument("--shed", action="store_true",
+                         help="load-shedding mode: drop whole batches over "
+                              "the watermark instead of backpressure, with "
+                              "exact accounting in results metadata")
+    serve_p.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="close connections silent this long (the "
+                              "session survives for a reconnect)")
+    serve_p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="directory for per-session checkpoint files "
+                              "(written on drain, and periodically with "
+                              "--checkpoint-every-batches)")
+    serve_p.add_argument("--checkpoint-every-batches", type=_positive_window,
+                         default=None, metavar="N",
+                         help="auto-checkpoint each session every N "
+                              "ingested batches (requires --checkpoint-dir)")
+    serve_p.add_argument("--tail", metavar="PATH", default=None,
+                         help="also follow a growing CSV trace file into a "
+                              "served session (survives truncation and "
+                              "rotation)")
+    serve_p.add_argument("--tail-session", default="tail",
+                         help="session name the tailed file feeds")
+    serve_p.set_defaults(func=cmd_serve)
 
     cat_p = sub.add_parser("catalog", help="list or show catalog queries")
     cat_p.add_argument("--show", help="print one query's source")

@@ -1,11 +1,16 @@
 """End-to-end telemetry runtime and result comparison utilities."""
 
+from .client import ClientError, IngestClient, stream_file
 from .deploy import NetworkDeployment, NetworkRunReport, NetworkSession
 from .results import TableDiff, assert_tables_match, compare_tables
 from .runtime import QueryEngine, QueryInfo, RunReport, run
+from .serve import IngestServer, TraceTailer
 from .session import TelemetrySession
 
 __all__ = [
+    "ClientError",
+    "IngestClient",
+    "IngestServer",
     "NetworkDeployment",
     "NetworkRunReport",
     "NetworkSession",
@@ -14,7 +19,9 @@ __all__ = [
     "RunReport",
     "TableDiff",
     "TelemetrySession",
+    "TraceTailer",
     "assert_tables_match",
     "compare_tables",
     "run",
+    "stream_file",
 ]

@@ -357,6 +357,7 @@ class NetworkSession:
         switches = list(deployment.simulator.topology.switches())
         self._pool = None
         self._broken: str | None = None
+        self._broken_cause: BaseException | None = None
         if shards is not None and switches:
             if shards < 1:
                 raise ValueError(
@@ -435,6 +436,7 @@ class NetworkSession:
             # trusted (per-switch ShardError/SessionError poisoning
             # already covers the switch that raised).
             self._broken = f"{type(exc).__name__}: {exc}"
+            self._broken_cause = exc
             raise
 
     def _check_broken(self) -> None:
@@ -444,7 +446,7 @@ class NetworkSession:
                 f"failed ({self._broken}) after routing part of a "
                 f"batch; close() this session and open a new one (or "
                 f"resume from the last checkpoint() with "
-                f"NetworkDeployment.resume())")
+                f"NetworkDeployment.resume())") from self._broken_cause
 
     def _route(self, batch: Iterable[object]) -> "NetworkSession":
         if isinstance(batch, ObservationTable) and batch.is_columnar:
@@ -520,7 +522,7 @@ class NetworkSession:
                 f"closing a broken network session (an earlier "
                 f"ingest() failed: {self._broken}); its partial state "
                 f"was discarded — open a new session, or resume from "
-                f"the last checkpoint()")
+                f"the last checkpoint()") from self._broken_cause
         if self._pool is not None:
             # Submit every pending close before collecting the first
             # result so the switch finalizations run concurrently

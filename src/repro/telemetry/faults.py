@@ -11,6 +11,18 @@ across runs — the property the differential checkpoint tests and
 ``benchmarks/bench_durability.py`` rely on: a crashed-and-recovered run
 must be bit-identical to an uninterrupted one.
 
+Connection-level faults cover the live ingest service
+(:mod:`repro.telemetry.serve` / :mod:`repro.telemetry.client`): the Nth
+batch *send* on the wire can disconnect mid-frame (half the frame's
+bytes are written, then the socket drops — the server discards the
+incomplete frame and the client's sequence resync delivers the batch
+exactly once on retry), corrupt the frame (a payload byte is flipped,
+tripping the frame checksum server-side), or stall (the client sleeps
+past the server's idle timeout, exercising dead-client reaping).  The
+served differential property in ``tests/test_serve.py`` runs under
+these plans: socket ingest with injected connection faults must stay
+bit-identical to :meth:`QueryEngine.run`.
+
 The :class:`FaultInjector` is the live counterpart threaded through
 ``QueryEngine.open(..., faults=...)`` down to the
 :class:`~repro.telemetry.shard_exec.ShardWorkerPool` transport.  The
@@ -44,20 +56,33 @@ class FaultPlan:
         dup_acks: Ack ordinals processed twice.
         abort_ingests: Session-level ingest ordinals that raise
             :class:`InjectedFault` mid-call.
+        disconnect_sends: Wire-send ordinals (client side) where only
+            half of the batch frame is written before the socket drops.
+        corrupt_sends: Wire-send ordinals whose frame payload has one
+            byte flipped (checksum failure at the server).
+        stall_sends: Wire-send ordinals preceded by a
+            ``stall_seconds`` sleep (idle/dead-client timeout fodder).
+        stall_seconds: How long a stalled send sleeps.
     """
 
     kill_posts: dict[int, set[int]] = field(default_factory=dict)
     drop_acks: set[int] = field(default_factory=set)
     dup_acks: set[int] = field(default_factory=set)
     abort_ingests: set[int] = field(default_factory=set)
+    disconnect_sends: set[int] = field(default_factory=set)
+    corrupt_sends: set[int] = field(default_factory=set)
+    stall_sends: set[int] = field(default_factory=set)
+    stall_seconds: float = 0.5
 
     @classmethod
     def seeded(cls, seed: int, n_workers: int, kills: int = 1,
                drops: int = 1, dups: int = 1, aborts: int = 0,
+               disconnects: int = 0, corrupts: int = 0, stalls: int = 0,
+               stall_seconds: float = 0.5,
                horizon: int = 20) -> "FaultPlan":
         """A reproducible plan: ``kills``/``drops``/``dups``/``aborts``
-        events drawn uniformly from the first ``horizon`` ordinals of
-        each event type."""
+        (and the connection-fault counts) drawn uniformly from the
+        first ``horizon`` ordinals of each event type."""
         rng = random.Random(seed)
         kill_posts: dict[int, set[int]] = {}
         for _ in range(kills):
@@ -69,6 +94,11 @@ class FaultPlan:
             drop_acks={rng.randint(1, horizon) for _ in range(drops)},
             dup_acks={rng.randint(1, horizon) for _ in range(dups)},
             abort_ingests={rng.randint(1, horizon) for _ in range(aborts)},
+            disconnect_sends={rng.randint(1, horizon)
+                              for _ in range(disconnects)},
+            corrupt_sends={rng.randint(1, horizon) for _ in range(corrupts)},
+            stall_sends={rng.randint(1, horizon) for _ in range(stalls)},
+            stall_seconds=stall_seconds,
         )
 
 
@@ -83,6 +113,7 @@ class FaultInjector:
         self._posts: dict[int, int] = {}
         self._acks = 0
         self._ingests = 0
+        self._sends = 0
 
     # -- pool transport hooks ------------------------------------------------
 
@@ -120,3 +151,25 @@ class FaultInjector:
             raise InjectedFault(
                 f"injected fault: ingest #{self._ingests} aborted "
                 f"mid-window on schedule")
+
+    # -- wire transport hook (ingest client) ----------------------------------
+
+    def on_send(self) -> str | None:
+        """Consulted before every batch frame leaves the client's
+        socket; returns ``"disconnect"`` (write half the frame, drop
+        the connection), ``"corrupt"`` (flip a payload byte), or
+        ``"stall"`` (sleep ``stall_seconds`` first), else ``None``.
+        Each ordinal counts one *transmission attempt* — a retried
+        batch is a fresh send event, so every scheduled fault fires
+        exactly once and every plan terminates."""
+        self._sends += 1
+        if self._sends in self.plan.disconnect_sends:
+            self.events.append(("disconnect_send", self._sends))
+            return "disconnect"
+        if self._sends in self.plan.corrupt_sends:
+            self.events.append(("corrupt_send", self._sends))
+            return "corrupt"
+        if self._sends in self.plan.stall_sends:
+            self.events.append(("stall_send", self._sends))
+            return "stall"
+        return None

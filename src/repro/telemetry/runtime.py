@@ -269,6 +269,19 @@ class QueryEngine:
                                 checkpoint_every=checkpoint_every,
                                 faults=faults, **kwargs)
 
+    def serve(self, **kwargs):
+        """Build a live ingest front end over this engine: a
+        long-running socket service whose named sessions are
+        :meth:`open`-ed on demand, with per-session backpressure,
+        admission control, optional load shedding, auto-checkpointing,
+        and graceful drain (see
+        :class:`~repro.telemetry.serve.IngestServer` for every knob).
+        Call :meth:`~repro.telemetry.serve.IngestServer.start` (or
+        ``run_forever()``) on the returned server."""
+        from .serve import IngestServer
+
+        return IngestServer(self, **kwargs)
+
     def resume(self, snapshot: bytes,
                checkpoint_every: int | None = None,
                faults=None) -> TelemetrySession:

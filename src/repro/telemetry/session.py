@@ -104,6 +104,7 @@ class TelemetrySession:
         self._chunk_size = chunk_size
         self._closed = False
         self._broken: str | None = None
+        self._broken_cause: BaseException | None = None
         self._saw_rows = False
         self._vector_started = False
         self._faults = faults
@@ -154,7 +155,7 @@ class TelemetrySession:
                 f"partially, so its state cannot be trusted; close() "
                 f"this session and open a new one (or resume a fresh "
                 f"session from the last checkpoint() with "
-                f"QueryEngine.resume())")
+                f"QueryEngine.resume())") from self._broken_cause
 
     # -- ingestion ------------------------------------------------------------
 
@@ -181,7 +182,11 @@ class TelemetrySession:
             else:
                 self._pipeline.run(batch, chunk_size=self._chunk_size)
         except Exception as exc:
+            # Keep the original exception: every later SessionError on
+            # this poisoned session chains it as __cause__, so the real
+            # failure survives to wherever the breakage is discovered.
             self._broken = f"{type(exc).__name__}: {exc}"
+            self._broken_cause = exc
             raise
         return self
 
@@ -250,7 +255,8 @@ class TelemetrySession:
                 f"closing a broken session (an earlier ingest() failed: "
                 f"{self._broken}); its partial state was discarded — "
                 f"open a new session, or resume from the last "
-                f"checkpoint() with QueryEngine.resume()")
+                f"checkpoint() with QueryEngine.resume()"
+            ) from self._broken_cause
         if self.exact:
             report = self._exact_report()
         else:

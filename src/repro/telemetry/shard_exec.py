@@ -52,6 +52,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import random
 import signal
 import threading
 import time
@@ -73,7 +74,8 @@ MAX_PENDING = 8
 DEFAULT_MAX_RESTARTS = 3
 
 #: Base of the exponential restart backoff (seconds): restart ``k``
-#: sleeps ``backoff * 2**(k-1)``.
+#: sleeps ``U(0, backoff * 2**(k-1))`` — *full jitter*, so workers
+#: restarting off the same failure don't synchronize into a storm.
 DEFAULT_RESTART_BACKOFF = 0.05
 
 
@@ -345,8 +347,18 @@ class ShardWorkerPool:
             Roles must implement ``checkpoint()``/``restore(state)``.
         max_restarts: Per-worker restart budget before a dead worker
             becomes a terminal :class:`ShardError`.
-        restart_backoff: Base of the exponential backoff slept before
-            each restart attempt.
+        restart_backoff: Cap base of the jittered exponential backoff
+            slept before each restart attempt: restart ``k`` sleeps
+            ``U(0, restart_backoff * 2**(k-1))``.
+        restart_jitter: Seed for the backoff jitter RNG (reproducible
+            restart timing in tests); ``None`` seeds from the OS.
+        ack_timeout: Seconds a synchronous wait on a worker reply may
+            block before the pool gives up on the worker.  A crashed
+            worker breaks its pipe and is detected immediately, but a
+            *wedged-but-alive* worker (deadlocked handler, stuck
+            syscall) would otherwise hang the parent forever; the
+            timeout turns it into a :class:`ShardError` naming the
+            worker.  ``None`` (the default) waits indefinitely.
         faults: Optional
             :class:`~repro.telemetry.faults.FaultInjector` consulted on
             public sends and acks (deterministic fault injection).
@@ -356,6 +368,8 @@ class ShardWorkerPool:
                  checkpoint_every: int | None = None,
                  max_restarts: int = DEFAULT_MAX_RESTARTS,
                  restart_backoff: float = DEFAULT_RESTART_BACKOFF,
+                 restart_jitter: int | None = None,
+                 ack_timeout: float | None = None,
                  faults=None):
         if not roles:
             raise ShardError("worker pool needs at least one role")
@@ -387,6 +401,12 @@ class ShardWorkerPool:
         self._checkpoint_every = checkpoint_every
         self._max_restarts = max_restarts
         self._restart_backoff = restart_backoff
+        self._restart_rng = random.Random(restart_jitter)
+        if ack_timeout is not None and ack_timeout <= 0:
+            raise ShardError(
+                f"ack_timeout must be a positive number of seconds "
+                f"(or None to wait forever), got {ack_timeout!r}")
+        self._ack_timeout = ack_timeout
         self._faults = faults
         self._workers: list[_Worker] = []
         self._token = 0
@@ -533,7 +553,13 @@ class ShardWorkerPool:
                     f"shard worker {w.index} cannot be recovered: "
                     f"{reason} after {self._max_restarts} restart "
                     f"attempt(s) — giving up")
-            time.sleep(self._restart_backoff * (2 ** (w.restarts - 1)))
+            # Full jitter: U(0, backoff * 2**k) rather than the bare
+            # exponential — deterministic backoff would march every
+            # worker felled by the same cause through identical restart
+            # instants (a restart storm); the seeded RNG keeps tests
+            # reproducible.
+            time.sleep(self._restart_rng.uniform(
+                0.0, self._restart_backoff * (2 ** (w.restarts - 1))))
             try:
                 w.conn.close()
             except OSError:
@@ -656,7 +682,23 @@ class ShardWorkerPool:
             self._handle_msg(w, self._recv_direct(w))
         return w.results.pop(token)
 
+    def _await_readable(self, w: _Worker) -> None:
+        """Ack-timeout guard: a dead worker breaks the pipe, but a
+        wedged-but-alive one never writes — without a timeout the
+        parent inherits the wedge.  Raises :class:`ShardError` naming
+        the worker when ``ack_timeout`` elapses with no reply."""
+        if self._ack_timeout is None:
+            return
+        if not w.conn.poll(self._ack_timeout):
+            w.failed = (f"no reply within ack_timeout="
+                        f"{self._ack_timeout}s (worker alive but wedged)")
+            raise ShardError(
+                f"shard worker {w.index} (pid {w.proc.pid}) sent no "
+                f"reply within {self._ack_timeout}s — the process is "
+                f"still alive but wedged; the pool has given up on it")
+
     def _recv_direct(self, w: _Worker):
+        self._await_readable(w)
         try:
             return w.conn.recv()
         except (EOFError, OSError):
@@ -669,6 +711,7 @@ class ShardWorkerPool:
     def _recv(self, w: _Worker):
         """Receive one message, or recover a dead worker and return
         ``None`` (the caller re-checks its wait condition)."""
+        self._await_readable(w)
         try:
             return w.conn.recv()
         except (EOFError, OSError) as exc:

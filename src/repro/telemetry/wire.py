@@ -1,0 +1,123 @@
+"""Length-framed wire protocol of the live ingest service.
+
+Every message between :class:`~repro.telemetry.client.IngestClient`
+and :class:`~repro.telemetry.serve.IngestServer` is one *frame*::
+
+    MAGIC (4) | type (u8) | payload length (u32 LE) | crc32 (u32 LE)
+    payload (pickled plain-data dict)
+
+The checksum covers the payload, so a corrupted frame (bit flips, a
+mid-frame disconnect spliced onto a new write) surfaces as
+:class:`FrameError` instead of deserializing garbage — the server
+answers with an ``ERROR`` frame and drops the connection, and the
+client's sequence-number resync makes the retry exactly-once.
+
+Payloads are pickled, which is only safe between mutually trusting
+endpoints: the service binds to localhost TCP or a UNIX socket by
+design (the paper's deployment puts collection on the switch's local
+management plane), never to an untrusted network.
+
+Frame types (client → server)::
+
+    HELLO       {"session": name}                 attach/create a session
+    BATCH       {"seq": n, "columns": {f: arr}}   one columnar batch
+    RESULTS     {}                                mid-stream snapshot
+    CHECKPOINT  {}                                durable session checkpoint
+    CLOSE       {}                                finalize, final report
+
+and (server → client)::
+
+    OK      {"seq"?, "next_seq"?, ...}   ack / HELLO reply
+    BUSY    {"seq": n}                   batch accepted; STOP sending
+    READY   {}                           backpressure released, resume
+    SHED    {"seq": n, "records": k}     batch dropped (shed mode), counted
+    REJECT  {"reason": str}              admission refused; do not retry
+    ERROR   {"reason": str, "fatal": bool}
+    RESULT  {...}                        RESULTS/CHECKPOINT/CLOSE payload
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+from repro.core.errors import SessionError
+
+MAGIC = b"RPRS"
+HEADER = struct.Struct("<4sBII")  # magic, type, payload length, crc32
+
+#: Refuse absurd frame lengths before allocating (a corrupt length
+#: field must not turn into a multi-GiB read).
+MAX_PAYLOAD = 1 << 28
+
+# client -> server
+T_HELLO = 1
+T_BATCH = 2
+T_RESULTS = 3
+T_CHECKPOINT = 4
+T_CLOSE = 5
+# server -> client
+T_OK = 16
+T_BUSY = 17
+T_READY = 18
+T_SHED = 19
+T_REJECT = 20
+T_ERROR = 21
+T_RESULT = 22
+
+
+class FrameError(SessionError):
+    """A frame failed validation: bad magic, oversized length, checksum
+    mismatch, or an undecodable payload.  The connection it arrived on
+    cannot be trusted to be in frame sync and is dropped."""
+
+
+def pack_frame(ftype: int, payload: dict) -> bytes:
+    """Serialize one frame (header + checksummed pickled payload)."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return HEADER.pack(MAGIC, ftype, len(body), zlib.crc32(body)) + body
+
+
+def parse_header(header: bytes) -> tuple[int, int, int]:
+    """Validate a frame header; returns ``(type, length, crc32)``."""
+    magic, ftype, length, crc = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(
+            f"bad frame magic {magic!r} — peer is not speaking the "
+            f"ingest protocol (or the stream lost frame sync)")
+    if length > MAX_PAYLOAD:
+        raise FrameError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte limit")
+    return ftype, length, crc
+
+
+def decode_payload(body: bytes, crc: int) -> dict:
+    """Checksum-validate and deserialize one frame payload."""
+    if zlib.crc32(body) != crc:
+        raise FrameError("corrupt frame: payload checksum mismatch")
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise FrameError(f"corrupt frame: payload does not decode ({exc})") \
+            from exc
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"corrupt frame: payload is {type(payload).__name__}, "
+            f"expected a dict")
+    return payload
+
+
+async def read_frame(reader) -> tuple[int, dict]:
+    """Read one complete frame from an :mod:`asyncio` stream reader.
+
+    Raises :class:`FrameError` on validation failures and lets the
+    stream's own ``IncompleteReadError``/``ConnectionError`` propagate
+    for disconnects (including a mid-frame EOF, which simply never
+    completes the read — a half-sent frame is discarded, the basis of
+    the client's exactly-once retry)."""
+    header = await reader.readexactly(HEADER.size)
+    ftype, length, crc = parse_header(header)
+    body = await reader.readexactly(length)
+    return ftype, decode_payload(body, crc)

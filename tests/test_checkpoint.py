@@ -410,6 +410,70 @@ class TestSessionPoisoning:
         with pytest.raises(SessionError, match="resume"):
             session.results()
 
+    def test_broken_error_chains_original_cause(self, trace):
+        """Regression: the SessionError raised by a poisoned session
+        carries the original ingest exception as __cause__ — not just
+        its stringified name — on every surface (results, checkpoint,
+        ingest, close)."""
+        engine = make_engine()
+        injector = FaultInjector(FaultPlan(abort_ingests={2}))
+        session = engine.open(window=128, faults=injector)
+        batches = list(chunked(trace, CHUNK))
+        session.ingest(batches[0])
+        with pytest.raises(InjectedFault) as first:
+            session.ingest(batches[1])
+        original = first.value
+        for poke in (session.results, session.checkpoint,
+                     lambda: session.ingest(batches[2])):
+            with pytest.raises(SessionError) as err:
+                poke()
+            assert err.value.__cause__ is original
+        with pytest.raises(SessionError) as closing:
+            session.close()
+        assert closing.value.__cause__ is original
+
+
+# -- zero-ingest edge cases ---------------------------------------------------
+
+
+class TestZeroIngest:
+    def test_checkpoint_resume_of_never_ingested_session(self, trace):
+        """A checkpoint taken before any ingest restores to a fresh
+        session: feeding it the whole trace matches an uninterrupted
+        run exactly."""
+        engine = make_engine()
+        session = engine.open(window=128)
+        snapshot = session.checkpoint()
+        session.close()
+        resumed = engine.resume(snapshot)
+        assert resumed.packets_ingested == 0
+        for batch in chunked(trace, CHUNK):
+            resumed.ingest(batch)
+        assert observables(resumed.close(include_invalid=True)) == \
+            uninterrupted(make_engine(), trace, window=128)
+
+    def test_zero_ingest_results_and_close(self):
+        engine = make_engine()
+        session = engine.open(window=128)
+        snap = session.results(include_invalid=True)
+        assert len(snap.result) == 0
+        report = session.close(include_invalid=True)
+        assert len(report.result) == 0
+        assert all(s.accesses == 0 for s in report.cache_stats.values())
+
+    def test_zero_ingest_sharded_checkpoint_resume(self, trace):
+        """Same, across the shard fabric: the checkpoint captures the
+        pristine worker roles."""
+        engine = make_engine()
+        session = engine.open(window=128, shards=2)
+        snapshot = session.checkpoint()
+        session.close()
+        resumed = engine.resume(snapshot)
+        for batch in chunked(trace, CHUNK):
+            resumed.ingest(batch)
+        assert observables(resumed.close(include_invalid=True)) == \
+            uninterrupted(make_engine(), trace, window=128)
+
 
 # -- network deployments -----------------------------------------------------
 

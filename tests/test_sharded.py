@@ -520,3 +520,92 @@ class TestShardedCLI:
         with pytest.raises(SystemExit):
             main(["run", "--query", "SELECT COUNT GROUPBY srcip",
                   "--trace", "unused.npz", "--shards", "0"])
+
+
+class _NapRole:
+    """Role whose handler can wedge: alive, healthy pipe, no reply."""
+
+    def handle(self, op, meta, arrays):
+        if op == "nap":
+            import time
+            time.sleep(meta)
+        return op
+
+    def checkpoint(self):
+        return None
+
+    def restore(self, state):
+        pass
+
+
+class TestAckTimeout:
+    def test_wedged_worker_raises_named_shard_error(self):
+        """A wedged-but-alive worker (handler stuck, process healthy)
+        no longer hangs the parent forever: the ack timeout turns it
+        into a ShardError naming the worker."""
+        from repro.telemetry.shard_exec import ShardError, ShardWorkerPool
+
+        pool = ShardWorkerPool([_NapRole()], ack_timeout=0.3)
+        try:
+            with pytest.raises(ShardError, match="worker 0 .*wedged"):
+                pool.call(0, "nap", meta=30.0)
+            # the worker really was alive the whole time — this was a
+            # wedge, not a crash
+            assert pool._workers[0].proc.is_alive()
+            with pytest.raises(ShardError, match="already failed"):
+                pool.call(0, "nap", meta=0.0)
+        finally:
+            # unwedge teardown: the worker would nap through the stop
+            pool._workers[0].proc.kill()
+            pool.close()
+
+    def test_timeout_does_not_trip_on_slow_but_live_replies(self):
+        from repro.telemetry.shard_exec import ShardWorkerPool
+
+        with ShardWorkerPool([_NapRole()], ack_timeout=2.0) as pool:
+            assert pool.call(0, "nap", meta=0.2) == "nap"
+
+    def test_ack_timeout_validated(self):
+        from repro.telemetry.shard_exec import ShardError, ShardWorkerPool
+
+        with pytest.raises(ShardError, match="ack_timeout"):
+            ShardWorkerPool([_NapRole()], ack_timeout=0.0)
+
+
+class TestRestartJitter:
+    def test_restart_backoff_is_jittered_and_seedable(self, monkeypatch):
+        """Worker-restart backoff draws U(0, base * 2**k) from a
+        seedable RNG: same seed, same delays (reproducible tests); the
+        draw stays under the exponential cap (no synchronized storms)."""
+        import random as random_mod
+
+        from repro.telemetry import shard_exec
+        from repro.telemetry.faults import FaultInjector, FaultPlan
+
+        slept = []
+        real_sleep = shard_exec.time.sleep
+        monkeypatch.setattr(
+            shard_exec.time, "sleep",
+            lambda s: (slept.append(s), real_sleep(min(s, 0.01)))[1])
+
+        def restart_delays(seed):
+            slept.clear()
+            injector = FaultInjector(FaultPlan(kill_posts={0: {2}}))
+            with shard_exec.ShardWorkerPool(
+                    [_NapRole()], checkpoint_every=4,
+                    restart_backoff=0.5, restart_jitter=seed,
+                    faults=injector) as pool:
+                for _ in range(3):
+                    pool.post(0, "echo")
+                assert pool.call(0, "ping") == "ping"
+            return list(slept)
+
+        first = restart_delays(7)
+        again = restart_delays(7)
+        other = restart_delays(8)
+        assert first, "no restart happened"
+        assert first == again                      # seedable
+        assert first != other                      # actually random
+        expect = random_mod.Random(7).uniform(0.0, 0.5)
+        assert first[0] == expect                  # full jitter, U(0, base)
+        assert all(0.0 <= s <= 0.5 for s in first)
