@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.report import format_table
+from repro.analysis.report import deployability_table, format_table
 from repro.queries.catalog import FIG2_QUERIES, get
 from repro.switch.kvstore.cache import CacheGeometry
 from repro.telemetry.results import compare_tables
@@ -52,6 +52,25 @@ def fig2_table(report, dc_trace):
     )
     report("FIG2: query table", text)
     return rows
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fig2_deployability(report):
+    """The static analyzer's verdicts over the same catalog: the
+    deployability table must be error-free and its mergeability column
+    must reproduce the paper's linear-in-state column."""
+    analyses = {}
+    for entry in FIG2_QUERIES:
+        engine = QueryEngine(entry.source, params=entry.default_params,
+                             geometry=GEOMETRY)
+        analysis = engine.analyze()
+        assert not analysis.report.has_errors, entry.name
+        mergeable = all(s.mergeable for s in analysis.stages)
+        assert mergeable == entry.linear_in_state, entry.name
+        analyses[entry.name] = analysis
+    report("FIG2: compile-time deployability (repro lint)",
+           deployability_table(analyses))
+    return analyses
 
 
 def _bench_entry(benchmark, small_trace, name, **engine_kwargs):

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.core.compiler import compile_program
 from repro.core.interpreter import Interpreter

@@ -7,7 +7,9 @@ workload:
 1. write a declarative query (per-flow packet/byte counters, Fig. 2
    row 1);
 2. inspect the compiled switch configuration — parser fields,
-   match-action stage, key-value store layout, merge strategy;
+   match-action stage, key-value store layout, merge strategy — and
+   the compile-time deployability report (stable diagnostic codes,
+   see DIAGNOSTICS.md);
 3. open a streaming :class:`TelemetrySession` and ingest the trace in
    batches, pulling a mid-stream result snapshot along the way (the
    way a live monitor would);
@@ -42,6 +44,15 @@ def main() -> None:
     )
     print("switch configuration:")
     print(engine.describe_plan())
+    print()
+
+    # Deployability verdicts, decided before any packet flows: §3.2
+    # mergeability, the §4 SRAM budget, engine/session compatibility.
+    # Hard errors (RPR-E*) would make engine.open() raise; this query
+    # only accrues the per-stage accounting and hygiene notes.
+    print("deployability diagnostics:")
+    print(engine.diagnostics_report.format())
+    assert not engine.diagnostics_report.has_errors
     print()
 
     # Stream the observations through the modelled pipeline as a

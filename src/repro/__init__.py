@@ -62,6 +62,7 @@ interpreter's throughput for linear-fold aggregations (see
 ``benchmarks/bench_columnar.py``).
 """
 
+from .core.analyze import ProgramAnalysis, TraceBounds, analyze_program
 from .core.compiler import CompileOptions, compile_program
 from .core.interpreter import Interpreter, ResultTable, run_query
 from .core.linearity import analyze_fold
@@ -71,6 +72,7 @@ from .core.vector_exec import VectorExecutor, run_query_vectorized
 from .network.records import ObservationTable, PacketRecord
 from .switch.kvstore.cache import CacheGeometry
 from .switch.pipeline import SwitchPipeline
+from .telemetry.diagnostics import Diagnostic, DiagnosticsReport, diagnostic_code
 from .telemetry.runtime import QueryEngine, RunReport, run
 
 __version__ = "0.2.0"
@@ -78,16 +80,22 @@ __version__ = "0.2.0"
 __all__ = [
     "CacheGeometry",
     "CompileOptions",
+    "Diagnostic",
+    "DiagnosticsReport",
     "Interpreter",
     "ObservationTable",
     "PacketRecord",
+    "ProgramAnalysis",
     "QueryEngine",
     "ResultTable",
     "RunReport",
     "SwitchPipeline",
+    "TraceBounds",
     "VectorExecutor",
     "analyze_fold",
+    "analyze_program",
     "compile_program",
+    "diagnostic_code",
     "parse_program",
     "parse_query",
     "resolve_program",

@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.switch.area import (
     cache_bits,
-    effective_packet_rate,
     evictions_per_second,
 )
 from repro.switch.kvstore.cache import CacheGeometry

@@ -48,6 +48,42 @@ def format_percent(fraction: float, digits: int = 2) -> str:
     return f"{100 * fraction:.{digits}f}%"
 
 
+def deployability_table(analyses: "dict[str, object]",
+                        title: str = "catalog deployability") -> str:
+    """Catalog-wide deployability summary from
+    :func:`repro.core.analyze.analyze_program` results.
+
+    ``analyses`` maps query name to a
+    :class:`~repro.core.analyze.ProgramAnalysis`; one row per query:
+    stage count, mergeability/shardability verdicts, cache sizing from
+    the §4 area model, and the diagnostic tally (errors/warnings/
+    infos).
+    """
+    rows = []
+    for name, analysis in analyses.items():
+        stages = analysis.stages
+        report = analysis.report
+        mergeable = all(s.mergeable for s in stages) if stages else True
+        shardable = all(s.shardable for s in stages) if stages else True
+        pair_bits = "/".join(str(s.pair_bits) for s in stages) or "-"
+        mbit = sum(s.total_mbit for s in stages)
+        die = sum(s.area_fraction for s in stages)
+        rows.append([
+            name,
+            len(stages),
+            "yes" if mergeable else "NO",
+            "yes" if shardable else "NO",
+            pair_bits,
+            f"{mbit:.2f}",
+            format_percent(die),
+            f"{len(report.errors)}/{len(report.warnings)}/{len(report.infos)}",
+        ])
+    return format_table(
+        ["query", "stages", "mergeable", "shardable", "pair bits",
+         "Mbit", "% die", "E/W/I"],
+        rows, title=title)
+
+
 def banner(text: str) -> str:
     bar = "=" * max(60, len(text) + 4)
     return f"{bar}\n{text}\n{bar}"

@@ -18,6 +18,15 @@ Commands:
               optional load shedding, auto-checkpointing, and graceful
               drain on SIGTERM (plus an optional trace-file tailer).
 ``catalog``   List the Fig. 2 catalog, or show one entry's source.
+``lint``      Compile-time deployability analysis: run the static
+              analyzer over one query (or the whole catalog with
+              ``--catalog``) and print the diagnostics report —
+              mergeability/shardability, engine/session compatibility,
+              int64-overflow bounds, §4 SRAM feasibility, dead stages
+              and unused trace columns — with stable ``RPR-*`` codes
+              (see ``DIAGNOSTICS.md``).  ``--json`` emits a
+              machine-readable report; exit status 1 when any hard
+              error is found (the CI gate).
 
 Examples::
 
@@ -375,6 +384,94 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not problems else 1
 
 
+def _lint_bounds(args: argparse.Namespace):
+    """Trace bounds for the overflow analysis: measured from a real
+    trace when ``--trace`` is given, else from ``--records`` /
+    ``--max-field``."""
+    from repro.core.analyze import TraceBounds
+
+    if args.trace:
+        table = _load_trace(args.trace)
+        magnitudes: dict[str, float] = {}
+        if getattr(table, "is_columnar", False):
+            for name, col in table.columns().items():
+                finite = col[~_np_isinf(col)] if col.dtype.kind == "f" else col
+                magnitudes[name] = float(abs(finite).max()) if len(finite) else 0.0
+        return TraceBounds(records=len(table), field_magnitude=magnitudes)
+    return TraceBounds(records=args.records, field_magnitude=args.max_field)
+
+
+def _np_isinf(col):
+    import numpy as np
+
+    return np.isinf(col)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import deployability_table
+
+    if getattr(args, "query_opt", None) and not args.query:
+        args.query = args.query_opt
+    if args.catalog == "__all__":
+        targets = [(name, entry.source, dict(entry.default_params))
+                   for name, entry in ALL_QUERIES.items()]
+    else:
+        source, defaults = _query_source(args)
+        targets = [(args.catalog or "query", source, defaults)]
+
+    cli_params = _parse_params(args.param)
+    bounds = _lint_bounds(args)
+    analyses = {}
+    for name, source, params in targets:
+        params.update(cli_params)
+        engine = QueryEngine(
+            source, params=params, geometry=_geometry(args),
+            policy=args.policy, exact_history=args.exact_history,
+            refresh_interval=args.refresh, engine=args.engine)
+        analyses[name] = engine.analyze(
+            window=args.window, shards=args.shards, exact=args.exact,
+            trace_bounds=bounds, area_budget=args.area_budget)
+    total_errors = sum(len(a.report.errors) for a in analyses.values())
+
+    if args.json:
+        payload = {
+            "errors": total_errors,
+            "queries": {
+                name: {
+                    "report": a.report.to_json(),
+                    "stages": [{
+                        "query": s.query_name,
+                        "mergeable": s.mergeable,
+                        "shardable": s.shardable,
+                        "serialize_cause": s.serialize_cause,
+                        "pair_bits": s.pair_bits,
+                        "n_pairs": s.n_pairs,
+                        "total_mbit": s.total_mbit,
+                        "area_fraction": s.area_fraction,
+                    } for s in a.stages],
+                    "dead_stages": list(a.dead_stages),
+                    "unused_fields": list(a.unused_fields),
+                } for name, a in analyses.items()
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if total_errors else 0
+
+    if len(analyses) > 1:
+        print(deployability_table(analyses))
+        print()
+    for name, analysis in analyses.items():
+        print(f"== {name} ==")
+        print(analysis.report.format())
+        print()
+    verdict = ("DEPLOYABLE as configured" if total_errors == 0
+               else f"NOT DEPLOYABLE: {total_errors} hard error(s)")
+    print(verdict)
+    return 1 if total_errors else 0
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
     if args.show:
         entry = ALL_QUERIES.get(args.show)
@@ -505,6 +602,58 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--tail-session", default="tail",
                          help="session name the tailed file feeds")
     serve_p.set_defaults(func=cmd_serve)
+
+    lint_p = sub.add_parser(
+        "lint", help="static deployability analysis (no trace needed)")
+    lint_p.add_argument("query", nargs="?", default=None,
+                        help="query text to lint")
+    lint_p.add_argument("--query", dest="query_opt", default=None,
+                        help=argparse.SUPPRESS)  # parity with other commands
+    lint_p.add_argument("--query-file", help="file containing query text")
+    lint_p.add_argument("--catalog", nargs="?", const="__all__", default=None,
+                        metavar="NAME",
+                        help="lint one catalog query, or the whole Fig. 2 "
+                             "catalog when no name is given")
+    lint_p.add_argument("--param", action="append", default=[],
+                        metavar="NAME=VALUE", help="query parameter binding")
+    lint_p.add_argument("--cache-pairs", type=int, default=1 << 12,
+                        help="cache capacity in key-value pairs")
+    lint_p.add_argument("--ways", type=int, default=8,
+                        help="associativity (0=fully associative, 1=hash table)")
+    lint_p.add_argument("--policy", default="lru",
+                        choices=("lru", "fifo", "random"))
+    lint_p.add_argument("--exact-history", action="store_true",
+                        help="enable the exact-history merge extension")
+    lint_p.add_argument("--refresh", type=int, default=None, metavar="N",
+                        help="intended refresh_interval= for the session")
+    lint_p.add_argument("--engine", default="auto",
+                        choices=("auto", "vector", "row"))
+    # Plain ints (not the validating argparse types): lint's job is to
+    # *report* an invalid knob as a diagnostic, not to refuse it.
+    lint_p.add_argument("--window", type=int, default=None, metavar="N",
+                        help="intended window= for the session")
+    lint_p.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="intended shards= for the session")
+    lint_p.add_argument("--exact", action="store_true",
+                        help="intended exact= (software-only) session")
+    lint_p.add_argument("--records", type=int, default=10_000_000,
+                        metavar="N",
+                        help="assumed trace length for the int64-overflow "
+                             "analysis")
+    lint_p.add_argument("--max-field", type=float, default=float(2 ** 32),
+                        metavar="M",
+                        help="assumed max |field value| for the overflow "
+                             "analysis")
+    lint_p.add_argument("--trace", default=None, metavar="PATH",
+                        help="measure records/field bounds from a real "
+                             "trace file instead of --records/--max-field")
+    lint_p.add_argument("--area-budget", type=float, default=None,
+                        help="max fraction of the die the §4 model may "
+                             "spend on caches (default 0.25)")
+    lint_p.add_argument("--json", action="store_true",
+                        help="machine-readable report (the CI gate parses "
+                             "this)")
+    lint_p.set_defaults(func=cmd_lint)
 
     cat_p = sub.add_parser("catalog", help="list or show catalog queries")
     cat_p.add_argument("--show", help="print one query's source")

@@ -1,0 +1,516 @@
+"""Whole-program deployability analysis over compiled query plans.
+
+The paper decides a query's fate statically: §3.2's linear-in-state
+analysis says whether evictions merge (and therefore whether the stage
+can shard), §3.3/§4's area model says whether the key-value cache fits
+the chip.  The runtime already *contains* those verdicts — scattered
+across :mod:`repro.core.linearity`, :mod:`repro.core.merge_synthesis`,
+:mod:`repro.switch.area`, and ad-hoc constructor checks — but only
+surfaces them as runtime errors and mid-run ``RuntimeWarning``s.  This
+module lifts them into one compile-time pass:
+
+(a) per-stage **mergeability/shardability** — the verdict
+    :class:`~repro.switch.kvstore.sharded.ShardedStoreProxy` computes at
+    routing time, derived here from the synthesized merge strategies;
+(b) the **engine/session compatibility matrix** (row vs vector vs
+    windowed vs sharded vs ``exact`` vs ``refresh_interval``);
+(c) **value-range inference** over fold accumulators: given trace
+    bounds (record count x max field magnitude), predict the int64
+    overflow fallback that
+    :func:`~repro.core.vector_exec.guard_int64_accumulation` otherwise
+    discovers mid-run — the static bound is exactly the guard's
+    conservative formula, so the verdicts agree by construction;
+(d) **SRAM/area feasibility** per stage via :mod:`repro.switch.area`
+    ("won't fit" before deployment, §4's 38%-of-die example);
+(e) **unused-field / dead-stage detection** over the resolved program
+    (which trace columns need never be scanned).
+
+Everything is reported as :class:`~repro.telemetry.diagnostics.Diagnostic`
+records with stable codes; ``QueryEngine`` gates :meth:`open`/
+:meth:`serve` on the hard errors and the ``repro lint`` CLI prints the
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.switch import area
+from repro.switch.kvstore.cache import ENGINES, CacheGeometry
+from repro.telemetry.diagnostics import Diagnostic, DiagnosticsReport, make
+
+from .ast_nodes import (
+    BinOp,
+    Call,
+    ColumnRef,
+    Cond,
+    Expr,
+    FieldRef,
+    Number,
+    ParamRef,
+    StateRef,
+    UnaryOp,
+    walk,
+)
+from .eval_expr import Numeric
+from .plan import FoldConfig, GroupByStage, SwitchProgram
+from .schema import FIELDS
+from .semantics import ResolvedProgram
+
+__all__ = [
+    "DEFAULT_AREA_BUDGET",
+    "DEFAULT_FIELD_MAGNITUDE",
+    "FoldVerdict",
+    "OverflowBound",
+    "ProgramAnalysis",
+    "StageAnalysis",
+    "TraceBounds",
+    "analyze_program",
+    "session_diagnostics",
+]
+
+#: Largest fraction of the die the §4 model lets one program's caches
+#: claim before the analyzer calls it undeployable.  The paper blesses
+#: a 32-Mbit cache (<2.5% of a 200 mm² die) and rejects holding all
+#: 3.8 M trace flows on-chip (~486 Mbit ≈ 38%) — the default sits
+#: safely between the two.
+DEFAULT_AREA_BUDGET = 0.25
+
+#: Default per-field magnitude bound: every schema field is at most 64
+#: bits, but absent better knowledge we assume 32-bit payloads.
+DEFAULT_FIELD_MAGNITUDE = 2 ** 32
+
+_INT64_LIMIT = 2 ** 63
+
+_FIELD_DTYPE = {f.name: f.dtype for f in FIELDS}
+
+
+@dataclass(frozen=True)
+class TraceBounds:
+    """What the analyzer may assume about the trace to be ingested.
+
+    ``field_magnitude`` is either one bound for every field or a
+    per-field mapping (missing fields fall back to
+    :data:`DEFAULT_FIELD_MAGNITUDE`).  Bounds are magnitudes: the field
+    value is assumed to lie in ``[-m, +m]``.  Integer magnitudes are
+    kept exact — the runtime guard computes its bound in Python ints,
+    and agreeing with it at the 2^63 boundary needs more precision
+    than float64 carries.
+    """
+
+    records: int
+    field_magnitude: Numeric | Mapping[str, Numeric] = DEFAULT_FIELD_MAGNITUDE
+
+    def bound_for(self, name: str) -> Numeric:
+        if isinstance(self.field_magnitude, Mapping):
+            return self.field_magnitude.get(name, DEFAULT_FIELD_MAGNITUDE)
+        return self.field_magnitude
+
+
+@dataclass(frozen=True)
+class OverflowBound:
+    """Static accumulation bound for one integer state variable."""
+
+    var: str
+    per_record_bound: int
+    init_magnitude: int
+    total_bound: int           # |init| + records * per_record_bound
+    overflows: bool            # total_bound >= 2^63
+    safe_records: int | None   # largest N proven safe (None: unbounded)
+
+
+@dataclass(frozen=True)
+class FoldVerdict:
+    """Per-fold outcome of the mergeability + range analyses."""
+
+    column: str
+    mergeable: bool
+    strategy: str
+    exact: bool
+    reason: str | None
+    overflow: tuple[OverflowBound, ...] = ()
+
+
+@dataclass(frozen=True)
+class StageAnalysis:
+    """Per-``GROUPBY``-stage deployability facts."""
+
+    query_name: str
+    mergeable: bool
+    shardable: bool             # mergeable and >1 hash bucket to split
+    serialize_cause: str | None
+    pair_bits: int
+    n_pairs: int
+    total_bits: int
+    area_fraction: float
+    folds: tuple[FoldVerdict, ...]
+
+    @property
+    def total_mbit(self) -> float:
+        return self.total_bits / area.MBIT
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """The full analysis: per-stage facts plus the diagnostics report."""
+
+    stages: tuple[StageAnalysis, ...]
+    dead_stages: tuple[str, ...]
+    unused_fields: tuple[str, ...]
+    report: DiagnosticsReport
+
+    def stage(self, query_name: str) -> StageAnalysis:
+        for s in self.stages:
+            if s.query_name == query_name:
+                return s
+        raise KeyError(query_name)
+
+
+# ---------------------------------------------------------------------------
+# (b) engine/session compatibility matrix
+# ---------------------------------------------------------------------------
+
+
+def session_diagnostics(
+    engine: str = "auto",
+    window: int | None = None,
+    shards: int | None = None,
+    exact: bool = False,
+    refresh_interval: int | None = None,
+) -> list[Diagnostic]:
+    """Statically check one session-knob combination.
+
+    The emission order mirrors the runtime constructors' check order
+    (session layer first, then pipeline), so the first error here is
+    the error the runtime would have raised.
+    """
+    out: list[Diagnostic] = []
+    if engine not in ENGINES:
+        out.append(make("RPR-E008", engines=ENGINES, engine=engine))
+    if window is not None and window <= 0:
+        out.append(make("RPR-E004", window=window))
+    if shards is not None and shards < 1:
+        out.append(make("RPR-E005", shards=shards))
+    if exact and shards is not None:
+        out.append(make("RPR-E003"))
+    elif shards is not None:
+        if engine == "row":
+            out.append(make("RPR-E001"))
+        if refresh_interval is not None:
+            out.append(make("RPR-E002"))
+    if (not exact and window is None and engine != "row"
+            and (shards is not None or engine == "vector")):
+        out.append(make("RPR-W002"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# (c) value-range inference over fold accumulators
+# ---------------------------------------------------------------------------
+
+
+def _is_int_expr(expr: Expr, params: Mapping[str, Numeric],
+                 history: Mapping[str, Expr]) -> bool:
+    """Whether ``expr`` evaluates on the integer array path.
+
+    Mirrors the vector store's dtype derivation: float literals,
+    division, float-typed fields/params, or unbound params (unknown
+    type) all push the accumulator to float64, where int64 overflow
+    cannot happen.
+    """
+    for node in walk(expr):
+        if isinstance(node, Number) and isinstance(node.value, float):
+            return False
+        if isinstance(node, BinOp) and node.op == "/":
+            return False
+        if isinstance(node, (FieldRef, ColumnRef)):
+            if _FIELD_DTYPE.get(node.name) == "float":
+                return False
+        if isinstance(node, ParamRef):
+            if node.name not in params:
+                return False
+            if isinstance(params[node.name], float):
+                return False
+        if isinstance(node, StateRef):
+            dep = history.get(node.name)
+            if dep is None or not _is_int_expr(dep, params, history):
+                return False
+    return True
+
+
+def _abs_bound(expr: Expr, bounds: TraceBounds,
+               params: Mapping[str, Numeric],
+               history_bounds: Mapping[str, Numeric]) -> Numeric:
+    """Conservative bound on ``|expr|`` over any in-bounds record."""
+    if isinstance(expr, Number):
+        return abs(expr.value)
+    if isinstance(expr, (FieldRef, ColumnRef)):
+        return bounds.bound_for(expr.name)
+    if isinstance(expr, ParamRef):
+        value = params.get(expr.name)
+        return abs(value) if value is not None else DEFAULT_FIELD_MAGNITUDE
+    if isinstance(expr, StateRef):
+        # Only history variables may appear in B (state-free by
+        # construction); their pre-value is bounded by their own update.
+        return history_bounds.get(expr.name, DEFAULT_FIELD_MAGNITUDE)
+    if isinstance(expr, UnaryOp):
+        if expr.op == "-":
+            return _abs_bound(expr.operand, bounds, params, history_bounds)
+        return 1  # "not" yields 0/1
+    if isinstance(expr, BinOp):
+        left = _abs_bound(expr.left, bounds, params, history_bounds)
+        right = _abs_bound(expr.right, bounds, params, history_bounds)
+        if expr.op in ("+", "-"):
+            return left + right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left  # denominators are >= 1 in integer queries
+        return 1  # comparisons / and / or yield 0/1
+    if isinstance(expr, Call):
+        args = [_abs_bound(a, bounds, params, history_bounds)
+                for a in expr.args]
+        return max(args, default=0)  # max / min / abs
+    if isinstance(expr, Cond):
+        return max(
+            _abs_bound(expr.then, bounds, params, history_bounds),
+            _abs_bound(expr.orelse, bounds, params, history_bounds),
+        )
+    return DEFAULT_FIELD_MAGNITUDE
+
+
+def _history_bounds(fold: FoldConfig, bounds: TraceBounds,
+                    params: Mapping[str, Numeric]) -> dict[str, Numeric]:
+    """Bounds for history variables, resolved in depth order."""
+    lin = fold.linearity
+    out: dict[str, Numeric] = {}
+    for var, _depth in sorted(lin.history.items(), key=lambda kv: kv[1]):
+        out[var] = _abs_bound(lin.update_exprs[var], bounds, params, out)
+    return out
+
+
+def _as_int(value: Numeric) -> int:
+    """Round a bound up to an int (bounds only ever over-approximate)."""
+    i = int(value)
+    return i if i == value else i + 1
+
+
+def _overflow_bounds(fold: FoldConfig, bounds: TraceBounds,
+                     params: Mapping[str, Numeric]) -> tuple[OverflowBound, ...]:
+    """Accumulation bounds for an additive fold's integer variables.
+
+    The additive strategy updates ``s = s + B(pkt)`` per record, so
+    after ``N`` records ``|s| <= |init| + N * max|B|`` — the same
+    conservative formula
+    :func:`~repro.core.vector_exec.guard_int64_accumulation` applies to
+    a batch at runtime, evaluated here against the trace bounds.
+    """
+    spec = fold.merge
+    if spec.strategy != "additive":
+        return ()
+    history_exprs = {v: fold.linearity.update_exprs[v]
+                     for v in fold.linearity.history}
+    hist_bounds = _history_bounds(fold, bounds, params)
+    inits = fold.instance.initial_state()
+    out: list[OverflowBound] = []
+    for var in spec.order:
+        init = inits.get(var, 0)
+        offset = spec.offset.get(var, Number(0))
+        if isinstance(init, float) or not _is_int_expr(
+                offset, params, history_exprs):
+            continue
+        incr = _as_int(_abs_bound(offset, bounds, params, hist_bounds))
+        init_mag = abs(int(init))
+        total = init_mag + bounds.records * incr
+        safe = None if incr == 0 else (_INT64_LIMIT - 1 - init_mag) // incr
+        out.append(OverflowBound(
+            var=var, per_record_bound=incr, init_magnitude=init_mag,
+            total_bound=total, overflows=total >= _INT64_LIMIT,
+            safe_records=safe,
+        ))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# (a)+(c)+(d) per-stage analysis
+# ---------------------------------------------------------------------------
+
+
+def _geometry_for(name: str,
+                  geometry: CacheGeometry | Mapping[str, CacheGeometry] | None
+                  ) -> CacheGeometry | None:
+    if geometry is None:
+        return None
+    if isinstance(geometry, CacheGeometry):
+        return geometry
+    return geometry.get(name)
+
+
+def _analyze_stage(
+    stage: GroupByStage,
+    geom: CacheGeometry | None,
+    params: Mapping[str, Numeric],
+    trace_bounds: TraceBounds | None,
+) -> StageAnalysis:
+    verdicts: list[FoldVerdict] = []
+    for fold in stage.folds:
+        overflow = (_overflow_bounds(fold, trace_bounds, params)
+                    if trace_bounds is not None else ())
+        verdicts.append(FoldVerdict(
+            column=fold.column,
+            mergeable=fold.merge.mergeable,
+            strategy=fold.merge.strategy,
+            exact=fold.merge.exact,
+            reason=fold.linearity.reason,
+            overflow=overflow,
+        ))
+    mergeable = all(v.mergeable for v in verdicts)
+    n_buckets = geom.n_buckets if geom is not None else 0
+    shardable = mergeable and n_buckets > 1
+    if not mergeable:
+        cause = "non-mergeable fold"
+    elif n_buckets == 1:
+        cause = "single-bucket geometry"
+    else:
+        cause = None
+    n_pairs = geom.capacity if geom is not None else 0
+    total_bits = area.cache_bits(n_pairs, stage.pair_bits)
+    return StageAnalysis(
+        query_name=stage.query_name,
+        mergeable=mergeable,
+        shardable=shardable,
+        serialize_cause=cause,
+        pair_bits=stage.pair_bits,
+        n_pairs=n_pairs,
+        total_bits=total_bits,
+        area_fraction=area.area_fraction(total_bits),
+        folds=tuple(verdicts),
+    )
+
+
+# ---------------------------------------------------------------------------
+# (e) program hygiene
+# ---------------------------------------------------------------------------
+
+
+def _dead_queries(resolved: ResolvedProgram) -> tuple[str, ...]:
+    names = {q.name for q in resolved.queries}
+    seen: set[str] = set()
+    stack = [resolved.result]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in names:
+            continue
+        seen.add(name)
+        query = resolved.by_name(name)
+        for dep in (query.source, query.join_left, query.join_right):
+            if dep:
+                stack.append(dep)
+    return tuple(q.name for q in resolved.queries if q.name not in seen)
+
+
+def _unused_fields(compiled: SwitchProgram) -> tuple[str, ...]:
+    parsed = set(compiled.parse_fields)
+    return tuple(f.name for f in FIELDS if f.name not in parsed)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def analyze_program(
+    compiled: SwitchProgram,
+    resolved: ResolvedProgram | None = None,
+    *,
+    params: Mapping[str, Numeric] | None = None,
+    geometry: CacheGeometry | Mapping[str, CacheGeometry] | None = None,
+    engine: str = "auto",
+    window: int | None = None,
+    shards: int | None = None,
+    exact: bool = False,
+    refresh_interval: int | None = None,
+    trace_bounds: TraceBounds | None = None,
+    area_budget: float = DEFAULT_AREA_BUDGET,
+) -> ProgramAnalysis:
+    """Run every deployability analysis over one compiled program.
+
+    Session knobs (``window``/``shards``/``exact``/...) describe the
+    *intended* session; pass none of them to lint the program itself.
+    ``trace_bounds`` enables the overflow analysis; without it no
+    value-range verdicts are produced.
+    """
+    params = dict(params or {})
+    diags: list[Diagnostic] = list(session_diagnostics(
+        engine=engine, window=window, shards=shards, exact=exact,
+        refresh_interval=refresh_interval))
+
+    stages: list[StageAnalysis] = []
+    for stage in compiled.groupby_stages:
+        geom = _geometry_for(stage.query_name, geometry)
+        analysis = _analyze_stage(stage, geom, params, trace_bounds)
+        stages.append(analysis)
+
+        for verdict in analysis.folds:
+            if not verdict.mergeable:
+                diags.append(make(
+                    "RPR-W101", stage=stage.query_name,
+                    column=verdict.column, reason=verdict.reason,
+                ))
+            elif not verdict.exact:
+                fold = next(f for f in stage.folds
+                            if f.column == verdict.column)
+                diags.append(make(
+                    "RPR-W103", stage=stage.query_name,
+                    column=verdict.column,
+                    depth=fold.merge.history_depth,
+                ))
+            for bound in verdict.overflow:
+                if bound.overflows:
+                    diags.append(make(
+                        "RPR-W201", stage=stage.query_name,
+                        column=verdict.column, var=bound.var,
+                        init=bound.init_magnitude,
+                        records=trace_bounds.records,
+                        bound=bound.per_record_bound,
+                        safe=bound.safe_records,
+                    ))
+        if (analysis.mergeable and analysis.serialize_cause
+                and shards is not None and shards > 1 and not exact):
+            diags.append(make("RPR-W102", stage=stage.query_name))
+        if geom is not None:
+            diags.append(make(
+                "RPR-I301", stage=stage.query_name,
+                pairs=analysis.n_pairs, pair_bits=analysis.pair_bits,
+                mbit=analysis.total_mbit,
+                pct=100 * analysis.area_fraction,
+                chip=area.CHIP_AREA_MM2,
+            ))
+            if not exact and analysis.area_fraction > area_budget:
+                diags.append(make(
+                    "RPR-E301", stage=stage.query_name,
+                    pairs=analysis.n_pairs, pair_bits=analysis.pair_bits,
+                    mbit=analysis.total_mbit,
+                    pct=100 * analysis.area_fraction,
+                    chip=area.CHIP_AREA_MM2,
+                    budget_pct=100 * area_budget,
+                ))
+
+    dead: tuple[str, ...] = ()
+    if resolved is not None:
+        dead = _dead_queries(resolved)
+        for name in dead:
+            diags.append(make("RPR-W401", stage=name, name=name,
+                              result=resolved.result))
+
+    unused = _unused_fields(compiled)
+    if unused:
+        diags.append(make("RPR-I402", fields=", ".join(unused)))
+
+    return ProgramAnalysis(
+        stages=tuple(stages),
+        dead_stages=dead,
+        unused_fields=unused,
+        report=DiagnosticsReport(tuple(diags)),
+    )

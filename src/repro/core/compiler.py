@@ -26,7 +26,7 @@ from . import schema as sch
 from .ast_nodes import BinOp, Call, Cond, Expr, Number, UnaryOp, walk
 from .errors import CompileError
 from .linearity import LinearityResult, analyze_fold
-from .merge_synthesis import MergeSpec, synthesize_merge
+from .merge_synthesis import synthesize_merge
 from .plan import (
     AluProgram,
     FoldConfig,
@@ -38,7 +38,7 @@ from .plan import (
     ValueLayout,
     ValueSlot,
 )
-from .semantics import Column, FoldInstance, ResolvedProgram, ResolvedQuery
+from .semantics import FoldInstance, ResolvedProgram, ResolvedQuery
 
 #: Default bit width of one state register; §4 assumes 24-bit counters,
 #: which :func:`_state_bits` applies to pure-counting folds.

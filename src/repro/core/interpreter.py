@@ -27,7 +27,6 @@ from .errors import InterpreterError
 from .eval_expr import EvalContext, Numeric, evaluate, evaluate_predicate
 from .linearity import if_convert
 from .semantics import (
-    Column,
     FoldInstance,
     ResolvedProgram,
     ResolvedQuery,

@@ -55,7 +55,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from .ast_nodes import ColumnRef, Expr, FieldRef, StateRef, walk
+from .ast_nodes import ColumnRef, Expr, FieldRef, walk
 from .errors import LinearityError
 from .eval_expr import EvalContext, Numeric, evaluate
 from .linearity import LinearityResult

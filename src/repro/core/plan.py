@@ -13,7 +13,7 @@ Everything here is a passive description — execution lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .ast_nodes import Expr, format_expr
 from .linearity import LinearityResult

@@ -30,7 +30,7 @@ reference.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, Iterator, TypeVar
 
 import numpy as np

@@ -480,9 +480,9 @@ class ShardedStoreProxy:
             })
 
     def process(self, record: object) -> None:
-        raise HardwareError(
-            "sharded stores are batch-only; use add_batch(), or drop "
-            "shards= for per-packet streaming")
+        from repro.telemetry.diagnostics import exc_message
+
+        raise HardwareError(exc_message("RPR-E006"))
 
     def process_keyed(self, key, record: object) -> None:
         self.process(record)
@@ -538,11 +538,9 @@ class ShardedStoreProxy:
                 backing_writes=self._final.writes,
                 accuracy=self._final.accuracy)
         if self.window is None:
-            raise SessionError(
-                "mid-stream results need an incremental store; the "
-                "one-shot vector store defers its schedule to the "
-                "end of the stream — open the session with a "
-                "window= (or engine=\"row\") for streaming reads")
+            from repro.telemetry.diagnostics import exc_message
+
+            raise SessionError(exc_message("RPR-W002"))
         combined = _Combined(
             self.stage, self.params,
             self._pool.call_all("snapshot", {"stage": self._index}))

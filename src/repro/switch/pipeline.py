@@ -336,26 +336,24 @@ class SwitchPipeline:
         checkpoint_every: int | None = None,
         faults=None,
     ):
+        # Deferred import: the diagnostics table lives in the telemetry
+        # layer, which imports this module at package-init time.
+        from repro.telemetry.diagnostics import exc_message
+
         if engine not in ENGINES:
-            raise HardwareError(f"engine must be one of {ENGINES}, got {engine!r}")
+            raise HardwareError(
+                exc_message("RPR-E008", engines=ENGINES, engine=engine))
         if window is not None and window <= 0:
             # Checked here (not just in the windowed store) so the row
             # engine — which streams regardless — rejects it too.
-            raise HardwareError(
-                f"window must be a positive number of accesses, got {window!r}")
+            raise HardwareError(exc_message("RPR-E004", window=window))
         if shards is not None:
             if shards < 1:
-                raise HardwareError(
-                    f"shards must be a positive worker count, got {shards!r}")
+                raise HardwareError(exc_message("RPR-E005", shards=shards))
             if engine == "row":
-                raise HardwareError(
-                    "sharded execution runs on the vector path; "
-                    "engine=\"row\" cannot shard")
+                raise HardwareError(exc_message("RPR-E001"))
             if refresh_interval is not None:
-                raise HardwareError(
-                    "shards= is incompatible with refresh_interval= "
-                    "(refresh epochs cut at global stream positions, "
-                    "which per-shard streams cannot see)")
+                raise HardwareError(exc_message("RPR-E002"))
         self.program = program
         self.params = dict(params or {})
         missing = set(program.params) - set(self.params)
@@ -513,12 +511,9 @@ class SwitchPipeline:
                 writes[name] = backing.writes
                 accuracy[name] = backing.accuracy
             else:
-                raise SessionError(
-                    "mid-stream results need an incremental store; the "
-                    "one-shot vector store defers its schedule to the "
-                    "end of the stream — open the session with a "
-                    "window= (or engine=\"row\") for streaming reads"
-                )
+                from repro.telemetry.diagnostics import exc_message
+
+                raise SessionError(exc_message("RPR-W002"))
         return tables, stats, writes, accuracy
 
     # -- durable checkpoints -------------------------------------------------

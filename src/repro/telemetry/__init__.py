@@ -2,6 +2,7 @@
 
 from .client import ClientError, IngestClient, stream_file
 from .deploy import NetworkDeployment, NetworkRunReport, NetworkSession
+from .diagnostics import Diagnostic, DiagnosticsReport, diagnostic_code
 from .results import TableDiff, assert_tables_match, compare_tables
 from .runtime import QueryEngine, QueryInfo, RunReport, run
 from .serve import IngestServer, TraceTailer
@@ -9,6 +10,9 @@ from .session import TelemetrySession
 
 __all__ = [
     "ClientError",
+    "Diagnostic",
+    "DiagnosticsReport",
+    "diagnostic_code",
     "IngestClient",
     "IngestServer",
     "NetworkDeployment",

@@ -1,0 +1,322 @@
+"""Stable diagnostic codes for query deployability (single source).
+
+The paper's central claim is that a query's deployability is decidable
+*before* any packet flows: §3.2's linear-in-state analysis decides
+mergeability and §3.3/§4's area model decides whether the key-value
+cache fits the chip.  This module is the one table every layer of the
+reproduction reads when it has to tell an operator "this will not
+deploy" or "this will degrade": the static analyzer
+(:mod:`repro.core.analyze`), the session/pipeline constructors, the
+sharded store, the CLI ``lint`` command, and the ingest server's
+``REJECT`` frames all render from the same registry — same code, same
+wording, everywhere.
+
+Code families
+-------------
+
+``RPR-E0xx``  session/engine configuration errors (hard; raised at
+              open time before any shard worker forks)
+``RPR-E3xx``  resource infeasibility (hard; §4 area model)
+``RPR-W0xx``  session configuration caveats
+``RPR-W1xx``  mergeability/shardability degradations (§3.2)
+``RPR-W2xx``  value-range / overflow risks
+``RPR-W4xx``  program hygiene (dead stages)
+``RPR-I3xx``  resource accounting (informational)
+``RPR-I4xx``  trace-scan hints (informational)
+
+This module is deliberately dependency-free (stdlib only) so that both
+the ``core``/``switch`` layers and the telemetry runtime can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "DiagnosticsReport",
+    "diagnostic_code",
+    "exc_message",
+    "make",
+    "render",
+]
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One registry entry: everything stable about a diagnostic code."""
+
+    code: str          # "RPR-E001"
+    slug: str          # "row-engine-cannot-shard"
+    severity: str      # "error" | "warning" | "info"
+    when: str          # "open" | "compile" | "runtime"
+    template: str      # message template (str.format over context)
+    fix: str           # canonical fix hint
+
+
+_REGISTRY: tuple[CodeInfo, ...] = (
+    # -- session/engine configuration (checked at open time) ---------------
+    CodeInfo(
+        "RPR-E001", "row-engine-cannot-shard", "error", "open",
+        'sharded execution runs on the vector path; engine="row" cannot '
+        'shard',
+        'drop shards= or use engine="auto"/"vector"',
+    ),
+    CodeInfo(
+        "RPR-E002", "refresh-cannot-shard", "error", "open",
+        "shards= is incompatible with refresh_interval= (refresh epochs "
+        "cut at global stream positions, which per-shard streams cannot "
+        "see)",
+        "drop one of shards= / refresh_interval=",
+    ),
+    CodeInfo(
+        "RPR-E003", "exact-cannot-shard", "error", "open",
+        "exact sessions have no hardware stores to shard; drop shards= "
+        "(or exact=True)",
+        "drop shards= for exact evaluation, or drop exact=True to run "
+        "the hardware model",
+    ),
+    CodeInfo(
+        "RPR-E004", "invalid-window", "error", "open",
+        "window must be a positive number of accesses, got {window!r} "
+        "(omit it for one-shot execution)",
+        "pass a positive window, or omit window= entirely",
+    ),
+    CodeInfo(
+        "RPR-E005", "invalid-shards", "error", "open",
+        "shards must be a positive worker count, got {shards!r} "
+        "(omit it for single-process execution)",
+        "pass a positive shard count, or omit shards= entirely",
+    ),
+    CodeInfo(
+        "RPR-E006", "sharded-batch-only", "error", "runtime",
+        "sharded stores are batch-only; use add_batch(), or drop "
+        "shards= for per-packet streaming",
+        "ingest columnar batches, or open the session without shards=",
+    ),
+    CodeInfo(
+        "RPR-E008", "unknown-engine", "error", "compile",
+        "engine must be one of {engines}, got {engine!r}",
+        'pick one of "auto", "vector", "row"',
+    ),
+    # -- resource infeasibility (§3.3/§4 area model) -----------------------
+    CodeInfo(
+        "RPR-E301", "sram-wont-fit", "error", "open",
+        "stage {stage!r} cache will not fit: {pairs} pairs x "
+        "{pair_bits} b = {mbit:.1f} Mbit = {pct:.1f}% of a "
+        "{chip:.0f} mm2 die (budget {budget_pct:.1f}%)",
+        "shrink the cache geometry, narrow the key/value layout, or "
+        "raise area_budget",
+    ),
+    # -- session configuration caveats -------------------------------------
+    CodeInfo(
+        "RPR-W002", "one-shot-no-mid-stream-results", "warning", "open",
+        "mid-stream results need an incremental store; the one-shot "
+        "vector store defers its schedule to the end of the stream — "
+        'open the session with a window= (or engine="row") for '
+        "streaming reads",
+        "pass window= for bounded-memory streaming with mid-stream "
+        "snapshots",
+    ),
+    # -- mergeability / shardability (§3.2) --------------------------------
+    CodeInfo(
+        "RPR-W101", "non-mergeable-fold-serializes-stage", "warning",
+        "compile",
+        "fold {column!r} is not linear in state ({reason}); evictions "
+        "cannot be merged — the backing store keeps per-epoch value "
+        "lists (multi-epoch keys invalid) and sharded execution routes "
+        "the whole stage {stage!r} through one worker",
+        "rewrite the update as S = A*S + B with state-free A/B "
+        "(paper S3.2) to restore mergeability",
+    ),
+    CodeInfo(
+        "RPR-W102", "single-bucket-serializes-stage", "warning", "open",
+        "stage {stage!r} uses a single-bucket (fully associative) "
+        "geometry; hash partitioning has nothing to split and sharded "
+        "execution routes the whole stage through one worker",
+        "use a hash-table or set-associative geometry with more than "
+        "one bucket",
+    ),
+    CodeInfo(
+        "RPR-W103", "inexact-merge", "warning", "compile",
+        "fold {column!r} merges inexactly: its coefficients read packet "
+        "history (depth {depth}), so the first packet after each "
+        "eviction sees freshly initialised history",
+        "enable exact_history=True to log and replay the first k "
+        "packets of each epoch",
+    ),
+    # -- value-range / overflow ---------------------------------------------
+    CodeInfo(
+        "RPR-W201", "int64-overflow-risk", "warning", "compile",
+        "fold {column!r} state {var!r} may exceed int64: |init| {init} "
+        "+ {records} records x per-record bound {bound} reaches 2^63 "
+        "(safe up to {safe} records); the vector engine will fall back "
+        "to exact scalar replay mid-run",
+        "shorten the trace / shrink the field magnitude, or accept the "
+        "slower bit-identical scalar replay fallback",
+    ),
+    # -- resource accounting -------------------------------------------------
+    CodeInfo(
+        "RPR-I301", "sram-budget", "info", "compile",
+        "stage {stage!r} cache: {pairs} pairs x {pair_bits} b = "
+        "{mbit:.2f} Mbit = {pct:.2f}% of a {chip:.0f} mm2 die",
+        "",
+    ),
+    # -- program hygiene ------------------------------------------------------
+    CodeInfo(
+        "RPR-W401", "dead-stage", "warning", "compile",
+        "query {name!r} is dead: not reachable from result {result!r} "
+        "but still compiled to a stage that consumes switch resources",
+        "remove the unused query, or reference it from the result",
+    ),
+    CodeInfo(
+        "RPR-I402", "unused-field", "info", "compile",
+        "trace columns never scanned by this program: {fields}; a "
+        "shared-scan query set could skip parsing them",
+        "",
+    ),
+)
+
+CODES: dict[str, CodeInfo] = {c.code: c for c in _REGISTRY}
+
+_CODE_RE = re.compile(r"RPR-[EWI]\d{3}")
+
+
+def render(code: str, **context: object) -> str:
+    """The canonical message for ``code`` (no code prefix)."""
+    return CODES[code].template.format(**context)
+
+
+def exc_message(code: str, **context: object) -> str:
+    """Message with the ``[RPR-...]`` prefix, for raising exceptions.
+
+    Every layer that rejects a configuration raises with this exact
+    string, so the CLI, ``open()``, and served ``REJECT`` frames agree
+    on wording and the code is recoverable with
+    :func:`diagnostic_code`.
+    """
+    return f"[{code}] {render(code, **context)}"
+
+
+def diagnostic_code(text: object) -> str | None:
+    """Extract the first diagnostic code embedded in ``text`` (e.g. an
+    exception message), or ``None``."""
+    match = _CODE_RE.search(str(text))
+    return match.group(0) if match else None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer (or a runtime rejection)."""
+
+    code: str
+    severity: str
+    stage: str | None
+    message: str
+    fix_hint: str = ""
+
+    @property
+    def slug(self) -> str:
+        return CODES[self.code].slug
+
+    def format(self) -> str:
+        where = f" [{self.stage}]" if self.stage else ""
+        line = f"{self.code} {self.severity}{where}: {self.message}"
+        if self.fix_hint:
+            line += f"\n    fix: {self.fix_hint}"
+        return line
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": self.severity,
+            "stage": self.stage,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+def make(code: str, stage: str | None = None, **context: object) -> Diagnostic:
+    """Build a :class:`Diagnostic` from the registry."""
+    info = CODES[code]
+    if stage is not None:
+        context.setdefault("stage", stage)
+    return Diagnostic(
+        code=code,
+        severity=info.severity,
+        stage=stage,
+        message=render(code, **context),
+        fix_hint=info.fix,
+    )
+
+
+@dataclass(frozen=True)
+class DiagnosticsReport:
+    """The full outcome of one analysis pass, in emission order."""
+
+    diagnostics: tuple[Diagnostic, ...] = field(default=())
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "info")
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    @property
+    def first_error(self) -> Diagnostic | None:
+        for d in self.diagnostics:
+            if d.severity == "error":
+                return d
+        return None
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def format(self) -> str:
+        """Human-readable report, errors first."""
+        if not self.diagnostics:
+            return "no diagnostics: deployable as configured"
+        order = {"error": 0, "warning": 1, "info": 2}
+        ranked = sorted(self.diagnostics,
+                        key=lambda d: order[d.severity])
+        lines = [d.format() for d in ranked]
+        counts = (f"{len(self.errors)} error(s), "
+                  f"{len(self.warnings)} warning(s), "
+                  f"{len(self.infos)} info(s)")
+        return "\n".join(lines + [counts])
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+    def dumps(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent)

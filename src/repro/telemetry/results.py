@@ -8,7 +8,7 @@ truth, row by row and column by column.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -27,16 +27,16 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 import numpy as np
 
 from repro.core.ast_nodes import Program
 from repro.core.compiler import CompileOptions, compile_program
+from repro.core.errors import HardwareError
 from repro.core.eval_expr import Numeric
 from repro.core.interpreter import Interpreter, ResultTable
-from repro.core.linearity import analyze_fold
 from repro.core.parser import parse_program
 from repro.core.plan import SwitchProgram
 from repro.core.semantics import ResolvedProgram, resolve_program
@@ -54,7 +54,26 @@ from repro.switch.kvstore.cache import (
     simulate_eviction_count,
 )
 from repro.switch.pipeline import DEFAULT_GEOMETRY, GeometrySpec
+from repro.telemetry.diagnostics import Diagnostic, DiagnosticsReport, exc_message
 from repro.telemetry.session import TelemetrySession
+
+#: Legacy exception type raised for each hard diagnostic, keeping the
+#: pre-analyzer contract of every entry point (session-knob errors were
+#: ``ValueError``s, pipeline/hardware errors ``HardwareError``s).
+_EXC_FOR_CODE = {
+    "RPR-E001": HardwareError,
+    "RPR-E002": HardwareError,
+    "RPR-E003": ValueError,
+    "RPR-E004": ValueError,
+    "RPR-E005": ValueError,
+    "RPR-E008": ValueError,
+    "RPR-E301": HardwareError,
+}
+
+
+def _raise_for(diag: Diagnostic) -> None:
+    exc_type = _EXC_FOR_CODE.get(diag.code, HardwareError)
+    raise exc_type(f"[{diag.code}] {diag.message}")
 
 
 @dataclass
@@ -156,7 +175,8 @@ class QueryEngine:
         engine: str = "auto",
     ):
         if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+            raise ValueError(
+                exc_message("RPR-E008", engines=ENGINES, engine=engine))
         program = parse_program(source) if isinstance(source, str) else source
         self.resolved: ResolvedProgram = resolve_program(program)
         self.compiled: SwitchProgram = compile_program(
@@ -170,6 +190,10 @@ class QueryEngine:
         self.engine = engine
         self._interpreter: Interpreter | None = None
         self._vector: VectorExecutor | None = None
+        #: Compile-time deployability report for the program as
+        #: configured (no session knobs); :meth:`diagnostics` re-runs
+        #: the analysis for a specific session shape.
+        self.diagnostics_report: DiagnosticsReport = self.diagnostics()
 
     # -- introspection -------------------------------------------------------
 
@@ -195,6 +219,31 @@ class QueryEngine:
 
     def describe_plan(self) -> str:
         return self.compiled.describe()
+
+    def analyze(self, *, window: int | None = None, exact: bool = False,
+                shards: int | None = None, trace_bounds=None,
+                area_budget: float | None = None):
+        """Run the compile-time deployability analysis
+        (:func:`repro.core.analyze.analyze_program`) for this engine's
+        configuration plus the given session knobs; returns a
+        :class:`~repro.core.analyze.ProgramAnalysis`."""
+        from repro.core.analyze import DEFAULT_AREA_BUDGET, analyze_program
+
+        return analyze_program(
+            self.compiled, self.resolved, params=self.params,
+            geometry=self.geometry, engine=self.engine,
+            window=window, shards=shards, exact=exact,
+            refresh_interval=self.refresh_interval,
+            trace_bounds=trace_bounds,
+            area_budget=(DEFAULT_AREA_BUDGET if area_budget is None
+                         else area_budget),
+        )
+
+    def diagnostics(self, **kwargs) -> DiagnosticsReport:
+        """The :class:`DiagnosticsReport` of :meth:`analyze` — the
+        structured record of every deployability verdict, with stable
+        codes (see ``DIAGNOSTICS.md``)."""
+        return self.analyze(**kwargs).report
 
     # -- engine selection ------------------------------------------------------
 
@@ -262,12 +311,23 @@ class QueryEngine:
                 which serializes the whole session on demand.
             faults: A :class:`~repro.telemetry.faults.FaultInjector`
                 for deterministic fault injection (tests/benchmarks).
+
+        Every hard diagnostic (``RPR-E*``, see ``DIAGNOSTICS.md``) is
+        raised here — before any session state is allocated or shard
+        worker forked — with the same code and wording the CLI ``lint``
+        command and served ``REJECT`` frames report.
         """
+        report = self.diagnostics(window=window, exact=exact, shards=shards)
+        error = report.first_error
+        if error is not None:
+            _raise_for(error)
         kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
-        return TelemetrySession(self, window=window, exact=exact,
-                                shards=shards,
-                                checkpoint_every=checkpoint_every,
-                                faults=faults, **kwargs)
+        session = TelemetrySession(self, window=window, exact=exact,
+                                   shards=shards,
+                                   checkpoint_every=checkpoint_every,
+                                   faults=faults, **kwargs)
+        session.diagnostics = report
+        return session
 
     def serve(self, **kwargs):
         """Build a live ingest front end over this engine: a
@@ -280,7 +340,9 @@ class QueryEngine:
         ``run_forever()``) on the returned server."""
         from .serve import IngestServer
 
-        return IngestServer(self, **kwargs)
+        server = IngestServer(self, **kwargs)
+        server.diagnostics = self.diagnostics_report
+        return server
 
     def resume(self, snapshot: bytes,
                checkpoint_every: int | None = None,
@@ -320,6 +382,9 @@ class QueryEngine:
             self, window=payload["window"], exact=payload["exact"],
             chunk_size=payload["chunk_size"], shards=payload["shards"],
             checkpoint_every=checkpoint_every, faults=faults)
+        session.diagnostics = self.diagnostics(
+            window=payload["window"], exact=payload["exact"],
+            shards=payload["shards"])
         session._restore_payload(payload)
         return session
 

@@ -642,8 +642,11 @@ class IngestServer:
             except Exception as exc:         # noqa: BLE001 - to the client
                 del self._sessions[name]
                 self._rejected += 1
+                from .diagnostics import diagnostic_code
+
                 await self._send(writer, wire.T_REJECT, {
-                    "reason": f"session open failed: {exc}"})
+                    "reason": f"session open failed: {exc}",
+                    "code": diagnostic_code(exc)})
                 return None
         served = self._sessions[name]
         await self._send(writer, wire.T_OK, {

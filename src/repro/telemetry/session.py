@@ -52,6 +52,7 @@ from repro.network.records import ObservationTable
 from repro.switch.pipeline import DEFAULT_CHUNK_SIZE, SwitchPipeline
 
 from .checkpoint import pack_checkpoint
+from .diagnostics import exc_message
 
 if TYPE_CHECKING:                                  # pragma: no cover
     from .runtime import QueryEngine, RunReport
@@ -89,18 +90,17 @@ class TelemetrySession:
         self.window = window
         self.exact = exact
         self.shards = shards
+        #: Deployability report attached by :meth:`QueryEngine.open`
+        #: (``None`` when the session was constructed directly).
+        self.diagnostics = None
+        # Defense in depth for direct construction: QueryEngine.open()
+        # already rejected these, with the same codes and wording.
         if window is not None and window <= 0:
-            raise ValueError(
-                f"window must be a positive number of accesses, got "
-                f"{window!r} (omit it for one-shot execution)")
+            raise ValueError(exc_message("RPR-E004", window=window))
         if shards is not None and shards < 1:
-            raise ValueError(
-                f"shards must be a positive worker count, got {shards!r} "
-                f"(omit it for single-process execution)")
+            raise ValueError(exc_message("RPR-E005", shards=shards))
         if exact and shards is not None:
-            raise ValueError(
-                "exact sessions have no hardware stores to shard; "
-                "drop shards= (or exact=True)")
+            raise ValueError(exc_message("RPR-E003"))
         self._chunk_size = chunk_size
         self._closed = False
         self._broken: str | None = None

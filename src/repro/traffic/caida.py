@@ -21,7 +21,6 @@ that the reported metrics (eviction %, accuracy %) depend on.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

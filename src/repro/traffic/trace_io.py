@@ -18,7 +18,6 @@ from __future__ import annotations
 import csv
 import math
 from pathlib import Path
-from typing import Iterable
 
 from repro.network.records import RECORD_FIELDS, ObservationTable, PacketRecord
 

@@ -15,7 +15,6 @@ SIGTERM without leaking ``/dev/shm`` segments.
 
 import os
 import signal
-import struct
 import subprocess
 import sys
 import time

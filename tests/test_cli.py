@@ -168,3 +168,65 @@ class TestSweep:
         main(["sweep", "fig5", "--scale", "0.0001", "--engine", "row"])
         row = capsys.readouterr().out
         assert vec == row
+
+
+class TestLint:
+    def test_catalog_is_error_clean(self, capsys):
+        code = main(["lint", "--catalog"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "catalog deployability" in out
+        assert "NOT DEPLOYABLE" not in out
+        # the paper's one non-linear row shows up as non-mergeable
+        assert "tcp_non_monotonic" in out
+
+    def test_catalog_json_is_machine_readable(self, capsys):
+        import json
+
+        code = main(["lint", "--catalog", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["errors"] == 0
+        assert "tcp_non_monotonic" in payload["queries"]
+        report = payload["queries"]["per_flow_counters"]["report"]
+        assert report["errors"] == 0
+
+    def test_single_query_deployable(self, capsys):
+        code = main(["lint", "SELECT COUNT GROUPBY srcip"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DEPLOYABLE as configured" in out
+
+    def test_error_config_exits_nonzero(self, capsys):
+        code = main(["lint", "SELECT COUNT GROUPBY srcip",
+                     "--engine", "row", "--shards", "4"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RPR-E001" in out and "NOT DEPLOYABLE" in out
+
+    def test_invalid_window_is_a_diagnostic_not_a_crash(self, capsys):
+        code = main(["lint", "SELECT COUNT GROUPBY srcip",
+                     "--window", "-5"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RPR-E004" in out
+
+    def test_sram_error_from_oversized_geometry(self, capsys):
+        code = main(["lint", "SELECT COUNT GROUPBY 5tuple",
+                     "--cache-pairs", "8388608", "--ways", "8"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RPR-E301" in out
+
+    def test_trace_bounds_drive_overflow_verdict(self, trace_file, capsys):
+        code = main(["lint", "SELECT SUM(pkt_len) GROUPBY srcip",
+                     "--trace", trace_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RPR-W201" not in out
+        code = main(["lint", "SELECT SUM(pkt_len) GROUPBY srcip",
+                     "--records", str(2 ** 40), "--max-field",
+                     str(2 ** 40)])
+        out = capsys.readouterr().out
+        assert code == 0  # overflow risk is a warning, not an error
+        assert "RPR-W201" in out

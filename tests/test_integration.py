@@ -2,7 +2,6 @@
 and check the diagnosis is right — the workflow the paper motivates.
 """
 
-import math
 
 import pytest
 

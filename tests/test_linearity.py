@@ -5,7 +5,6 @@ constructed folds spanning all matrix kinds and failure reasons, and
 (c) the history-variable machinery of footnote 4.
 """
 
-import pytest
 
 from repro.core.ast_nodes import Number
 from repro.core.linearity import analyze_fold, history_depths, if_convert

@@ -7,7 +7,6 @@ caches (maximising eviction pressure), for a pool of linear fold
 programs spanning all three merge strategies.
 """
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

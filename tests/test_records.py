@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.network.records import ObservationTable, PacketRecord
+from repro.network.records import ObservationTable
 
 from tests.conftest import make_record, synthetic_trace
 

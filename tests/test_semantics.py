@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.ast_nodes import ColumnRef, FieldRef, Number, ParamRef, StateRef
+from repro.core.ast_nodes import ColumnRef, FieldRef, Number, StateRef
 from repro.core.errors import SemanticError
 from repro.core.parser import parse_program
 from repro.core.semantics import resolve_program

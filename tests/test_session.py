@@ -21,7 +21,7 @@ from repro.network.records import ObservationTable
 from repro.queries.catalog import FIG2_QUERIES
 from repro.switch.kvstore.cache import CacheGeometry
 from repro.switch.kvstore.windowed_store import WindowedVectorStore
-from repro.telemetry import QueryEngine, TelemetrySession, compare_tables
+from repro.telemetry import QueryEngine, compare_tables
 
 from tests.conftest import synthetic_trace
 

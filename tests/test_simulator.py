@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import LinkSpec, leaf_spine, linear_chain, single_switch

@@ -9,7 +9,6 @@ from repro.analysis.accuracy import run_accuracy_sweep
 from repro.analysis.eviction import run_eviction_sweep, scaled_capacity
 from repro.analysis.sweep_exec import (
     resolve_engine,
-    run_accuracy_sweep_parallel,
     run_eviction_sweep_parallel,
     stats_fn,
 )
