@@ -1,0 +1,50 @@
+"""``repro check`` — concurrency & resource-safety static analysis.
+
+A pluggable AST+CFG checker framework for the serve/shard/checkpoint
+runtime: checkers register :func:`~repro.analysis.static.base.checker`
+functions emitting stable ``RPR-Cxxx`` findings (rendered through
+:mod:`repro.telemetry.diagnostics`), with inline
+``# repro: allow[RPR-Cxxx]`` suppressions that must name the code.
+
+Public surface:
+
+* :func:`check_paths` / :func:`check_source` — run the checkers
+* :class:`CheckReport` / :class:`Finding` — results
+* :func:`iter_rules` — the code↔checker table
+* ``DETERMINISM_SCOPE`` / :func:`determinism_modules` — the replay-
+  critical module set shared with ``tests/test_self_lint.py``
+"""
+
+from repro.analysis.static.base import (
+    CheckerInfo,
+    Finding,
+    ModuleContext,
+    all_checkers,
+    checker,
+)
+from repro.analysis.static.checkers.determinism import (
+    DETERMINISM_CODES,
+    DETERMINISM_SCOPE,
+    determinism_modules,
+)
+from repro.analysis.static.runner import (
+    CheckReport,
+    check_paths,
+    check_source,
+    iter_rules,
+)
+
+__all__ = [
+    "CheckReport",
+    "CheckerInfo",
+    "DETERMINISM_CODES",
+    "DETERMINISM_SCOPE",
+    "Finding",
+    "ModuleContext",
+    "all_checkers",
+    "check_paths",
+    "check_source",
+    "checker",
+    "determinism_modules",
+    "iter_rules",
+]

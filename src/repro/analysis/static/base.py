@@ -1,0 +1,193 @@
+"""Core of the ``repro check`` static-analysis framework.
+
+This module owns the three mechanisms every checker shares:
+
+* the **checker registry** — a checker is a plain function
+  ``(ModuleContext) -> Iterable[Finding]`` registered with the
+  :func:`checker` decorator, declaring the ``RPR-Cxxx`` codes it can
+  emit and (optionally) the fnmatch path *scope* it applies to;
+* the **ModuleContext** — one parsed source file (AST, source lines,
+  suppression table) handed to every applicable checker;
+* **suppressions** — an inline ``# repro: allow[RPR-Cxxx]`` comment on
+  the flagged line waives that code for that line.  The comment *must*
+  name a registered code: a bare ``# repro: allow`` or an unknown code
+  is itself a finding (``RPR-C001``), so suppressions can never rot
+  into silent blanket waivers.
+
+Findings render through :mod:`repro.telemetry.diagnostics` — the same
+registry the deployability analyzer and the served ``REJECT`` frames
+use — so a code means the same thing in every surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.telemetry.diagnostics import CODES, render
+
+__all__ = [
+    "CheckerInfo",
+    "Finding",
+    "ModuleContext",
+    "all_checkers",
+    "checker",
+]
+
+#: A well-formed suppression comment: ``repro: allow[RPR-C101]`` (or
+#: a comma-separated list of codes inside the brackets).
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+#: Any ``repro: allow`` comment at all, bracketed or not — used to
+#: catch the malformed bare form.
+_ALLOW_ANY_RE = re.compile(r"#\s*repro:\s*allow")
+_CODE_TOKEN_RE = re.compile(r"^RPR-C\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker hit: a diagnostic code anchored to a source line."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+    fix_hint: str
+
+    @property
+    def slug(self) -> str:
+        return CODES[self.code].slug
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}: {self.code} {self.message}"
+        if self.fix_hint:
+            text += f"\n    fix: {self.fix_hint}"
+        return text
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+class ModuleContext:
+    """One source file under analysis: AST plus the suppression table.
+
+    Construction parses the source (``SyntaxError`` propagates — the
+    runner reports it as unparseable) and tokenizes the comments into
+    ``allowed``: line number -> set of waived codes.  Malformed
+    suppression comments become ``RPR-C001`` findings immediately.
+    """
+
+    def __init__(self, path: str | Path, source: str) -> None:
+        self.path = str(path)
+        self.source = source
+        self.tree = ast.parse(source, filename=self.path)
+        self.allowed: dict[int, set[str]] = {}
+        self.suppression_findings: list[Finding] = []
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except tokenize.TokenError:
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            if not _ALLOW_ANY_RE.search(tok.string):
+                continue
+            lineno = tok.start[0]
+            match = _ALLOW_RE.search(tok.string)
+            if match is None:
+                self.suppression_findings.append(self.finding(
+                    "RPR-C001", lineno,
+                    problem="no bracketed code list (bare 'repro: "
+                            "allow' waives nothing)"))
+                continue
+            names = [t.strip() for t in match.group(1).split(",")]
+            for name in names:
+                if not _CODE_TOKEN_RE.match(name) or name not in CODES:
+                    self.suppression_findings.append(self.finding(
+                        "RPR-C001", lineno,
+                        problem=f"{name or '<empty>'!r} is not a "
+                                f"registered RPR-Cxxx code"))
+                else:
+                    self.allowed.setdefault(lineno, set()).add(name)
+
+    def finding(self, code: str, where: int | ast.AST,
+                **context: object) -> Finding:
+        """Build a :class:`Finding` rendered through the diagnostics
+        registry; ``where`` is a line number or an AST node."""
+        line = where if isinstance(where, int) else where.lineno
+        return Finding(
+            code=code,
+            path=self.path,
+            line=line,
+            message=render(code, **context),
+            fix_hint=CODES[code].fix,
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        return finding.code in self.allowed.get(finding.line, set())
+
+
+@dataclass(frozen=True)
+class CheckerInfo:
+    """Registry entry: one checker family and the codes it owns."""
+
+    name: str
+    codes: tuple[str, ...]
+    scope: tuple[str, ...] | None
+    run: Callable[[ModuleContext], Iterable[Finding]]
+
+    def applies_to(self, path: str) -> bool:
+        if self.scope is None:
+            return True
+        posix = Path(path).as_posix()
+        return any(fnmatch.fnmatch(posix, pat) for pat in self.scope)
+
+
+_CHECKERS: list[CheckerInfo] = []
+
+
+def checker(name: str, codes: Iterable[str],
+            scope: Iterable[str] | None = None) -> Callable:
+    """Register a checker function under ``name``.
+
+    ``codes`` are the ``RPR-Cxxx`` codes the checker may emit (all must
+    be registered in the diagnostics table); ``scope`` optionally
+    restricts the checker to files matching any of the fnmatch
+    patterns (matched against the POSIX form of the path).
+    """
+    code_tuple = tuple(codes)
+    for code in code_tuple:
+        if code not in CODES:
+            raise ValueError(f"checker {name!r} declares unregistered "
+                             f"diagnostic code {code!r}")
+
+    def wrap(fn: Callable[[ModuleContext], Iterable[Finding]]) -> Callable:
+        _CHECKERS.append(CheckerInfo(
+            name=name, codes=code_tuple,
+            scope=tuple(scope) if scope is not None else None, run=fn))
+        return fn
+
+    return wrap
+
+
+def all_checkers() -> tuple[CheckerInfo, ...]:
+    """Every registered checker (importing the built-in families on
+    first use)."""
+    from repro.analysis.static import checkers  # noqa: F401  (registers)
+    return tuple(_CHECKERS)

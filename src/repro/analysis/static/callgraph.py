@@ -1,0 +1,107 @@
+"""Intra-module call graph for async-reachability analysis.
+
+The blocking checker (``RPR-C101``) must see *through* one level of
+helper functions: ``async def read_frame`` calling a sync
+``decode_payload`` that calls ``pickle.loads`` blocks the event loop
+exactly as much as the direct call would.  This module builds the
+conservative call graph that powers that walk.
+
+Resolution is deliberately narrow, trading recall for a zero
+false-positive rate on method names that collide across classes:
+
+* ``f(...)`` where ``f`` is a module-level ``def`` in the same file
+  resolves to that function;
+* ``self.m(...)`` / ``cls.m(...)`` resolves to method ``m`` of the
+  *enclosing class only*;
+* everything else (``obj.m(...)`` on an arbitrary receiver, calls into
+  other modules, closures) is opaque — those callees are analyzed in
+  their own right when they live in a scanned file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["FunctionInfo", "build_edges", "collect_functions",
+           "own_nodes"]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in a module."""
+
+    node: ast.AST               # FunctionDef | AsyncFunctionDef
+    name: str
+    qualname: str
+    class_name: str | None
+    is_async: bool
+
+
+def own_nodes(func: ast.AST) -> list[ast.AST]:
+    """All AST nodes of ``func``'s own frame — the nodes of nested
+    function/class definitions are excluded (their bodies execute in a
+    different frame, if ever)."""
+    nodes: list[ast.AST] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return nodes
+
+
+def collect_functions(tree: ast.Module) -> list[FunctionInfo]:
+    """Every def in the module, at any nesting depth, with its
+    enclosing-class context."""
+    found: list[FunctionInfo] = []
+
+    def visit(node: ast.AST, class_name: str | None,
+              prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                found.append(FunctionInfo(
+                    node=child, name=child.name, qualname=qual,
+                    class_name=class_name,
+                    is_async=isinstance(child, ast.AsyncFunctionDef)))
+                visit(child, None, f"{qual}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, child.name, f"{prefix}{child.name}.")
+            else:
+                visit(child, class_name, prefix)
+
+    visit(tree, None, "")
+    return found
+
+
+def build_edges(tree: ast.Module, functions: list[FunctionInfo],
+                ) -> dict[str, list[tuple[str, int]]]:
+    """``qualname -> [(callee qualname, call lineno), ...]`` using the
+    narrow resolution rules above."""
+    module_level = {f.name: f for f in functions
+                    if f.class_name is None and "." not in f.qualname}
+    by_class: dict[tuple[str, str], FunctionInfo] = {
+        (f.class_name, f.name): f for f in functions
+        if f.class_name is not None}
+    edges: dict[str, list[tuple[str, int]]] = {}
+    for info in functions:
+        out: list[tuple[str, int]] = []
+        for node in own_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in module_level:
+                out.append((module_level[func.id].qualname, node.lineno))
+            elif (isinstance(func, ast.Attribute)
+                  and isinstance(func.value, ast.Name)
+                  and func.value.id in ("self", "cls")
+                  and info.class_name is not None
+                  and (info.class_name, func.attr) in by_class):
+                out.append((by_class[(info.class_name,
+                                      func.attr)].qualname, node.lineno))
+        edges[info.qualname] = out
+    return edges

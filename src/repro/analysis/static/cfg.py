@@ -1,0 +1,444 @@
+"""Structured control-flow analysis for resource lifetimes.
+
+The lifecycle checker (``RPR-C201``/``RPR-C202``) has to *prove* that
+an acquired resource — a ``SharedMemory`` segment, a socket, a file
+handle — is released on every path out of the acquiring function,
+including the paths the happy-path tests never take: an exception
+between the acquisition and the ``try`` that was meant to guard it, an
+early ``return``, a ``break`` that skips the close.
+
+This module implements that proof as an abstract interpretation over
+the *structured* control flow of one function: each statement
+transforms a small set of abstract states for one tracked name —
+
+``UNTRACKED``  the name does not (yet / any longer) hold the resource
+``HELD``       the resource is live and this frame owns it
+``RELEASED``   a release call ran (``.close()``/``.unlink()``/
+               ``release_*(name)``)
+``ESCAPED``    ownership left the frame (returned, stored on an
+               object/container, passed to a call) — some other owner
+               is now responsible
+
+— and control-flow edges are tracked per *outcome class*: fall-through,
+``return``, exception, ``break``, ``continue``.  ``try``/``except``/
+``finally``, ``with``, and loops (to a fixed point) route the state
+sets exactly the way CPython routes control: exceptions raised in a
+``try`` body enter each handler with the state *at the raise point*,
+bypass non-broad handlers, and everything funnels through ``finally``.
+
+Two deliberate approximations keep the walk noise-free:
+
+* a release call is atomic (it cannot raise and leak) — guarding the
+  guard would demand ``finally`` inside every ``finally``;
+* only statements containing a call (or ``assert``/``yield``/
+  ``await``) can raise — attribute and index errors on plain data are
+  treated as logic bugs, not leak paths.
+
+Branch conditions of the shape ``if name:`` / ``if name is not None:``
+are refined: a held resource is never ``None`` (and never falsy), so
+the ``None`` arm only carries the untracked state.  This is what lets
+the canonical ``finally: if handle is not None: handle.close()``
+pattern verify cleanly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["ESCAPED", "HELD", "Outcomes", "RELEASED", "ResourceWalker",
+           "UNTRACKED"]
+
+UNTRACKED = "untracked"
+HELD = "held"
+RELEASED = "released"
+ESCAPED = "escaped"
+
+#: Methods on the tracked name that release the underlying resource.
+RELEASE_METHODS = frozenset({
+    "close", "unlink", "release", "shutdown", "terminate", "detach",
+})
+#: A free-function release: ``release_shared_memory(shm)`` and kin —
+#: the function name mentions releasing and the tracked name is an
+#: argument.
+RELEASE_NAME_HINTS = ("close", "release", "unlink")
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+@dataclass
+class Outcomes:
+    """The abstract states leaving a statement block, per exit class.
+
+    ``ret`` and ``exc`` carry ``(state, lineno)`` pairs so a finding
+    can name the return statement / raise point that leaks.
+    """
+
+    fall: set[str] = field(default_factory=set)
+    ret: set[tuple[str, int]] = field(default_factory=set)
+    exc: set[tuple[str, int]] = field(default_factory=set)
+    brk: set[str] = field(default_factory=set)
+    cont: set[str] = field(default_factory=set)
+
+    def absorb(self, other: "Outcomes") -> None:
+        """Merge the abrupt exits of ``other`` (everything but fall)."""
+        self.ret |= other.ret
+        self.exc |= other.exc
+        self.brk |= other.brk
+        self.cont |= other.cont
+
+
+def _is_broad_handler(type_node: ast.expr | None) -> bool:
+    if type_node is None:
+        return True
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BROAD_EXCEPTIONS
+    if isinstance(type_node, ast.Tuple):
+        return any(isinstance(e, ast.Name) and e.id in _BROAD_EXCEPTIONS
+                   for e in type_node.elts)
+    return False
+
+
+def _contains_raising_expr(node: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Call, ast.Await, ast.Yield,
+                              ast.YieldFrom))
+               for n in ast.walk(node))
+
+
+class ResourceWalker:
+    """Track one acquisition (``name = <acquire-call>``) through the
+    enclosing function body."""
+
+    def __init__(self, name: str, acquisition: ast.stmt) -> None:
+        self.name = name
+        self.acquisition = acquisition
+
+    # -- entry ---------------------------------------------------------------
+
+    def walk_function(self, func: ast.AST) -> Outcomes:
+        out = self._walk(func.body, {UNTRACKED})
+        # loose break/continue cannot occur at function level
+        return out
+
+    # -- helpers -------------------------------------------------------------
+
+    def _bare_name_in(self, node: ast.AST | None) -> bool:
+        """Is the tracked name used *as an object* (not merely as the
+        base of an attribute read like ``shm.buf``)?"""
+        if node is None:
+            return False
+        attr_bases = {id(n.value) for n in ast.walk(node)
+                      if isinstance(n, ast.Attribute)}
+        return any(isinstance(n, ast.Name) and n.id == self.name
+                   and id(n) not in attr_bases
+                   for n in ast.walk(node))
+
+    def _is_release_stmt(self, stmt: ast.stmt) -> bool:
+        if not isinstance(stmt, ast.Expr) or \
+                not isinstance(stmt.value, ast.Call):
+            return False
+        call = stmt.value
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == self.name
+                and func.attr in RELEASE_METHODS):
+            return True
+        if isinstance(func, ast.Name):
+            fname = func.id.lower()
+        elif isinstance(func, ast.Attribute):
+            fname = func.attr.lower()
+        else:
+            return False
+        return (any(hint in fname for hint in RELEASE_NAME_HINTS)
+                and any(isinstance(a, ast.Name) and a.id == self.name
+                        for a in call.args))
+
+    def _rebinds(self, stmt: ast.stmt) -> bool:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = stmt.targets
+        for target in targets:
+            for n in ast.walk(target):
+                if isinstance(n, ast.Name) and n.id == self.name:
+                    return True
+        return False
+
+    def _escape_exprs(self, stmt: ast.stmt) -> list[ast.AST]:
+        """The parts of a simple statement where a bare use of the name
+        hands ownership away (excludes rebinding targets)."""
+        if isinstance(stmt, ast.Assign):
+            # a bare use in a *subscript/attribute* target also stores
+            # the object somewhere: d[k] = name / self.x = name
+            parts: list[ast.AST] = [stmt.value]
+            parts += [t for t in stmt.targets
+                      if not isinstance(t, ast.Name)]
+            return parts
+        if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            return [stmt.value] if stmt.value is not None else []
+        if isinstance(stmt, ast.Expr):
+            return [stmt.value]
+        if isinstance(stmt, ast.Assert):
+            return [stmt.test]
+        if isinstance(stmt, (ast.Delete, ast.Pass, ast.Import,
+                             ast.ImportFrom, ast.Global, ast.Nonlocal)):
+            return []
+        return [stmt]
+
+    def _refine(self, test: ast.expr, states: set[str],
+                truthy: bool) -> set[str]:
+        """Filter states through a branch condition on the tracked
+        name: a held/released resource object is never None / falsy."""
+        if isinstance(test, ast.Constant):
+            # `while True:` never falls through its false branch
+            return set(states) if bool(test.value) == truthy else set()
+        is_name = isinstance(test, ast.Name) and test.id == self.name
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._refine(test.operand, states, not truthy)
+        is_none_cmp = is_not_none_cmp = False
+        if (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.left, ast.Name)
+                and test.left.id == self.name
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None):
+            is_none_cmp = isinstance(test.ops[0], ast.Is)
+            is_not_none_cmp = isinstance(test.ops[0], ast.IsNot)
+        definite = (is_name or is_not_none_cmp, is_none_cmp)
+        if definite[0]:      # `name` / `name is not None`: live states
+            keep_live = truthy
+        elif definite[1]:    # `name is None`: live states are false
+            keep_live = not truthy
+        else:
+            return set(states)
+        if keep_live:
+            return set(states)
+        return {s for s in states if s == UNTRACKED}
+
+    # -- the walk ------------------------------------------------------------
+
+    def _walk(self, stmts: list[ast.stmt], states: set[str]) -> Outcomes:
+        out = Outcomes()
+        cur = set(states)
+        for stmt in stmts:
+            if not cur:
+                break
+            step = self._step(stmt, cur)
+            out.absorb(step)
+            cur = step.fall
+        out.fall = cur
+        return out
+
+    def _step(self, stmt: ast.stmt, states: set[str]) -> Outcomes:
+        if isinstance(stmt, ast.If):
+            return self._step_if(stmt, states)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._step_loop(stmt, states)
+        if isinstance(stmt, ast.Try):
+            return self._step_try(stmt, states)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._step_with(stmt, states)
+        if isinstance(stmt, ast.Return):
+            return self._step_return(stmt, states)
+        if isinstance(stmt, ast.Raise):
+            out = Outcomes()
+            out.exc = {(s, stmt.lineno) for s in states}
+            return out
+        if isinstance(stmt, ast.Break):
+            out = Outcomes()
+            out.brk = set(states)
+            return out
+        if isinstance(stmt, ast.Continue):
+            out = Outcomes()
+            out.cont = set(states)
+            return out
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            out = Outcomes()
+            # defining a closure over the name publishes it
+            captured = any(isinstance(n, ast.Name) and n.id == self.name
+                           for n in ast.walk(stmt))
+            out.fall = {ESCAPED if captured and s == HELD else s
+                        for s in states}
+            return out
+        return self._step_simple(stmt, states)
+
+    def _step_simple(self, stmt: ast.stmt, states: set[str]) -> Outcomes:
+        out = Outcomes()
+        is_acq = stmt is self.acquisition
+        release = (not is_acq) and self._is_release_stmt(stmt)
+        may_raise = (not release) and (
+            isinstance(stmt, (ast.Assert, ast.Import, ast.ImportFrom))
+            or _contains_raising_expr(stmt))
+        if may_raise and HELD in states:
+            out.exc.add((HELD, stmt.lineno))
+        escapes = (not release) and any(
+            self._bare_name_in(part) for part in self._escape_exprs(stmt))
+        rebinds = self._rebinds(stmt)
+        for s in states:
+            if is_acq:
+                out.fall.add(HELD)
+                continue
+            if release:
+                out.fall.add(RELEASED if s == HELD else s)
+                continue
+            ns = ESCAPED if (escapes and s == HELD) else s
+            if rebinds:
+                ns = UNTRACKED
+            out.fall.add(ns)
+        return out
+
+    def _step_if(self, stmt: ast.If, states: set[str]) -> Outcomes:
+        out = Outcomes()
+        if _contains_raising_expr(stmt.test) and HELD in states:
+            out.exc.add((HELD, stmt.lineno))
+        then_out = self._walk(stmt.body,
+                              self._refine(stmt.test, states, True))
+        else_out = self._walk(stmt.orelse,
+                              self._refine(stmt.test, states, False))
+        out.absorb(then_out)
+        out.absorb(else_out)
+        out.fall = then_out.fall | else_out.fall
+        return out
+
+    def _step_loop(self, stmt: ast.stmt, states: set[str]) -> Outcomes:
+        out = Outcomes()
+        is_while = isinstance(stmt, ast.While)
+        head = stmt.test if is_while else stmt.iter
+        if _contains_raising_expr(head) and HELD in states:
+            out.exc.add((HELD, stmt.lineno))
+        if not is_while and self._bare_name_in(head):
+            states = {ESCAPED if s == HELD else s for s in states}
+        entry = set(states)
+        body_out = Outcomes()
+        while True:
+            body_states = (self._refine(stmt.test, entry, True)
+                           if is_while else set(entry))
+            if not is_while:
+                # the loop target rebinds; drop tracking if it's ours
+                if any(isinstance(n, ast.Name) and n.id == self.name
+                       for n in ast.walk(stmt.target)):
+                    body_states = {UNTRACKED for _ in body_states} or set()
+            body_out = self._walk(stmt.body, body_states)
+            new_entry = entry | body_out.fall | body_out.cont
+            if new_entry == entry:
+                break
+            entry = new_entry
+        out.absorb(body_out)
+        out.brk = set()          # breaks terminate here, at this loop
+        out.cont = set()
+        exits = set(body_out.brk)
+        if is_while:
+            exits |= self._refine(stmt.test, entry, False)
+        else:
+            exits |= entry       # a for loop exits when iteration ends
+        orelse_out = self._walk(stmt.orelse, set(exits))
+        out.absorb(orelse_out)
+        out.fall = orelse_out.fall if stmt.orelse else exits
+        if stmt.orelse:
+            # `break` skips orelse
+            out.fall |= body_out.brk
+        return out
+
+    def _step_try(self, stmt: ast.Try, states: set[str]) -> Outcomes:
+        out = Outcomes()
+        body_out = self._walk(stmt.body, states)
+        out.ret |= body_out.ret
+        out.brk |= body_out.brk
+        out.cont |= body_out.cont
+        exc_states = {s for s, _ in body_out.exc}
+        fall = set()
+        caught_all = False
+        for handler in stmt.handlers:
+            h_out = self._walk(handler.body, set(exc_states))
+            out.absorb(h_out)
+            fall |= h_out.fall
+            if _is_broad_handler(handler.type):
+                caught_all = True
+        if not caught_all:
+            out.exc |= body_out.exc
+        if stmt.orelse:
+            o_out = self._walk(stmt.orelse, set(body_out.fall))
+            out.absorb(o_out)
+            fall |= o_out.fall
+        else:
+            fall |= body_out.fall
+        out.fall = fall
+        if stmt.finalbody:
+            out = self._through_finally(stmt.finalbody, out)
+        return out
+
+    def _through_finally(self, finalbody: list[ast.stmt],
+                         out: Outcomes) -> Outcomes:
+        cache: dict[str, Outcomes] = {}
+
+        def transform(state: str) -> Outcomes:
+            if state not in cache:
+                cache[state] = self._walk(finalbody, {state})
+            return cache[state]
+
+        new = Outcomes()
+        for s in out.fall:
+            new.fall |= transform(s).fall
+        for s, ln in out.ret:
+            new.ret |= {(s2, ln) for s2 in transform(s).fall}
+        for s, ln in out.exc:
+            new.exc |= {(s2, ln) for s2 in transform(s).fall}
+        for s in out.brk:
+            new.brk |= transform(s).fall
+        for s in out.cont:
+            new.cont |= transform(s).fall
+        for f_out in cache.values():
+            new.absorb(f_out)    # abrupt exits of the finally itself
+        return new
+
+    def _step_with(self, stmt: ast.stmt, states: set[str]) -> Outcomes:
+        out = Outcomes()
+        closes = False
+        rebinds = False
+        for item in stmt.items:
+            ce = item.context_expr
+            if _contains_raising_expr(ce) and HELD in states:
+                out.exc.add((HELD, stmt.lineno))
+            if isinstance(ce, ast.Name) and ce.id == self.name:
+                closes = True
+            elif (isinstance(ce, ast.Call)
+                  and isinstance(ce.func, ast.Name)
+                  and ce.func.id == "closing"
+                  and any(isinstance(a, ast.Name) and a.id == self.name
+                          for a in ce.args)):
+                closes = True
+            elif self._bare_name_in(ce):
+                # handed to some other context manager: ownership moves
+                states = {ESCAPED if s == HELD else s for s in states}
+            if item.optional_vars is not None and any(
+                    isinstance(n, ast.Name) and n.id == self.name
+                    for n in ast.walk(item.optional_vars)):
+                rebinds = True
+        body_states = {UNTRACKED} if rebinds else set(states)
+        b_out = self._walk(stmt.body, body_states)
+        if closes:
+            fix = (lambda s: RELEASED if s == HELD else s)
+            b_out.fall = {fix(s) for s in b_out.fall}
+            b_out.ret = {(fix(s), ln) for s, ln in b_out.ret}
+            b_out.exc = {(fix(s), ln) for s, ln in b_out.exc}
+            b_out.brk = {fix(s) for s in b_out.brk}
+            b_out.cont = {fix(s) for s in b_out.cont}
+        out.absorb(b_out)
+        out.fall = b_out.fall
+        return out
+
+    def _step_return(self, stmt: ast.Return, states: set[str]) -> Outcomes:
+        out = Outcomes()
+        raising = stmt.value is not None and \
+            _contains_raising_expr(stmt.value)
+        escapes = self._bare_name_in(stmt.value)
+        for s in states:
+            if raising and s == HELD:
+                out.exc.add((HELD, stmt.lineno))
+            final = ESCAPED if (escapes and s == HELD) else s
+            out.ret.add((final, stmt.lineno))
+        return out

@@ -1,0 +1,23 @@
+"""The built-in checker families of ``repro check``.
+
+Importing this package registers every checker with the framework
+registry (:func:`repro.analysis.static.base.all_checkers` does this
+lazily); each module is one family from the tentpole list:
+
+* :mod:`blocking`     — RPR-C101/C102, event-loop blocking
+* :mod:`lifecycle`    — RPR-C201/C202, resource acquisitions/releases
+* :mod:`purity`       — RPR-C301/C302, checkpoint-state purity
+* :mod:`exceptions`   — RPR-C401/C402, exception discipline
+* :mod:`determinism`  — RPR-C501..C504, wall clock / shared randomness
+"""
+
+from repro.analysis.static.checkers import (  # noqa: F401  (registration)
+    blocking,
+    determinism,
+    exceptions,
+    lifecycle,
+    purity,
+)
+
+__all__ = ["blocking", "determinism", "exceptions", "lifecycle",
+           "purity"]

@@ -1,0 +1,136 @@
+"""Event-loop blocking checker (``RPR-C101``/``RPR-C102``).
+
+The ingest server's design center is that the asyncio loop *only*
+shuffles frames — every window execution, checkpoint write, and other
+slow operation belongs to a per-session worker thread.  A single
+blocking call on the loop (file I/O, ``pickle`` of a large payload,
+``time.sleep``, a sync socket op) stalls *every* connection at once,
+which is precisely the failure mode the backpressure design exists to
+prevent.
+
+``RPR-C101`` flags a blocking call whose enclosing function is an
+``async def``, or a sync helper reachable from one through the
+intra-module call graph (``callgraph.build_edges``); calls directly
+under ``await`` are coroutines, not blockers, and are skipped.
+``RPR-C102`` flags ``import`` statements inside ``async def`` bodies —
+module loading is file I/O executed under the global import lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.static.base import Finding, ModuleContext, checker
+from repro.analysis.static.callgraph import (
+    FunctionInfo,
+    build_edges,
+    collect_functions,
+    own_nodes,
+)
+
+#: Bare-name calls that always block.
+_BLOCKING_NAMES = frozenset({"open", "input"})
+
+#: ``module.attr`` calls that always block (or, for pickle, block for
+#: as long as the payload is large — which a static check must assume).
+_BLOCKING_MODULE_ATTRS = frozenset({
+    ("time", "sleep"),
+    ("pickle", "dumps"), ("pickle", "loads"),
+    ("pickle", "dump"), ("pickle", "load"),
+    ("os", "replace"), ("os", "rename"), ("os", "stat"),
+    ("os", "fstat"), ("os", "remove"), ("os", "unlink"),
+    ("os", "makedirs"), ("os", "fsync"), ("os", "listdir"),
+    ("socket", "socket"), ("socket", "create_connection"),
+    ("shutil", "copy"), ("shutil", "copyfile"), ("shutil", "rmtree"),
+    ("subprocess", "run"), ("subprocess", "call"),
+    ("subprocess", "check_call"), ("subprocess", "check_output"),
+})
+
+#: Method names that block regardless of receiver (sync socket and
+#: path I/O, lock acquisition).  ``wait``/``result`` block on
+#: threading/concurrent primitives; their asyncio twins are awaited
+#: and therefore skipped before classification.
+_BLOCKING_METHODS = frozenset({
+    "sendall", "recv", "recvfrom", "accept", "connect",
+    "read_bytes", "write_bytes", "read_text", "write_text",
+    "mkdir", "acquire", "wait", "result",
+})
+
+
+def _classify(call: ast.Call) -> str | None:
+    """A human-readable name for the blocking operation, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id if func.id in _BLOCKING_NAMES else None
+    if not isinstance(func, ast.Attribute):
+        return None
+    if (isinstance(func.value, ast.Name)
+            and (func.value.id, func.attr) in _BLOCKING_MODULE_ATTRS):
+        return f"{func.value.id}.{func.attr}"
+    if func.attr in _BLOCKING_METHODS:
+        if isinstance(func.value, ast.Constant):
+            return None          # e.g. ", ".join-style constant receiver
+        return f".{func.attr}"
+    return None
+
+
+def _blocking_calls(info: FunctionInfo) -> list[tuple[ast.Call, str]]:
+    awaited = {id(n.value) for n in own_nodes(info.node)
+               if isinstance(n, ast.Await)}
+    hits: list[tuple[ast.Call, str]] = []
+    for node in own_nodes(info.node):
+        if isinstance(node, ast.Call) and id(node) not in awaited:
+            label = _classify(node)
+            if label is not None:
+                hits.append((node, label))
+    return hits
+
+
+@checker("event-loop-blocking", codes=("RPR-C101", "RPR-C102"))
+def check_blocking(module: ModuleContext) -> Iterator[Finding]:
+    functions = collect_functions(module.tree)
+    if not any(f.is_async for f in functions):
+        return
+    by_qualname = {f.qualname: f for f in functions}
+    edges = build_edges(module.tree, functions)
+
+    reported: set[tuple[int, str]] = set()
+    for entry in functions:
+        if not entry.is_async:
+            continue
+        # direct blocking calls and imports in the async body itself
+        for call, label in _blocking_calls(entry):
+            key = (call.lineno, label)
+            if key not in reported:
+                reported.add(key)
+                yield module.finding("RPR-C101", call, call=label,
+                                     entry=entry.name, via="")
+        for node in own_nodes(entry.node):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                name = (node.module if isinstance(node, ast.ImportFrom)
+                        and node.module else node.names[0].name)
+                yield module.finding("RPR-C102", node, module=name,
+                                     entry=entry.name)
+        # sync helpers reachable from this async entry
+        seen: set[str] = {entry.qualname}
+        queue: list[tuple[str, tuple[str, ...]]] = [
+            (callee, (by_qualname[callee].name,))
+            for callee, _ in edges.get(entry.qualname, ())
+            if not by_qualname[callee].is_async]
+        while queue:
+            qual, chain = queue.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = by_qualname[qual]
+            for call, label in _blocking_calls(info):
+                key = (call.lineno, label)
+                if key not in reported:
+                    reported.add(key)
+                    yield module.finding(
+                        "RPR-C101", call, call=label, entry=entry.name,
+                        via=" via " + " -> ".join(chain))
+            for callee, _ in edges.get(qual, ()):
+                if not by_qualname[callee].is_async:
+                    queue.append((callee, chain + (by_qualname[callee].name,)))

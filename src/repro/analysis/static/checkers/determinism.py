@@ -1,0 +1,95 @@
+"""Determinism checker (``RPR-C501``..``RPR-C504``).
+
+The rules formerly hard-coded in ``tests/test_self_lint.py``, now
+first-class: checkpoint/restore, shard combining, and the exact
+scalar-replay fallback are all bit-replay arguments — re-executing the
+same stream must produce the same state.  Wall-clock reads
+(``time.time``) and shared module-level randomness (``random.*``, the
+legacy ``np.random`` global generator, unseeded ``random.Random()``)
+silently break that argument, and no behavioural test reliably catches
+a freshly introduced one.
+
+``time.monotonic``/``time.sleep`` and explicitly seeded
+``random.Random(seed)`` instances remain allowed.
+
+The scope is the determinism-critical module set (the replacement
+engines and stores replayed by checkpoint/restore, the
+session/checkpoint layer, the shard worker fabric, and the fault
+injector); ``DETERMINISM_SCOPE`` is exported so the thin test wrapper
+and the framework can never drift on the module list.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.static.base import Finding, ModuleContext, checker
+
+__all__ = ["DETERMINISM_CODES", "DETERMINISM_SCOPE",
+           "determinism_modules"]
+
+DETERMINISM_CODES = ("RPR-C501", "RPR-C502", "RPR-C503", "RPR-C504")
+
+#: Modules whose behaviour must be a pure function of (stream, seed).
+DETERMINISM_SCOPE = (
+    "*/repro/switch/kvstore/*.py",
+    "*/repro/core/vector_exec.py",
+    "*/repro/core/interpreter.py",
+    "*/repro/telemetry/checkpoint.py",
+    "*/repro/telemetry/session.py",
+    "*/repro/telemetry/shard_exec.py",
+    "*/repro/telemetry/faults.py",
+)
+
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+
+
+def determinism_modules(src_root: str | Path) -> list[Path]:
+    """The concrete files under ``src_root`` (a ``.../repro`` source
+    tree) that the determinism scope covers."""
+    root = Path(src_root)
+    return sorted(
+        list((root / "switch" / "kvstore").glob("*.py"))
+        + [
+            root / "core" / "vector_exec.py",
+            root / "core" / "interpreter.py",
+            root / "telemetry" / "checkpoint.py",
+            root / "telemetry" / "session.py",
+            root / "telemetry" / "shard_exec.py",
+            root / "telemetry" / "faults.py",
+        ]
+    )
+
+
+def _is_module_attr(node: ast.AST, module: str,
+                    attr: str | None = None) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == module
+            and (attr is None or node.attr == attr))
+
+
+@checker("determinism", codes=DETERMINISM_CODES,
+         scope=DETERMINISM_SCOPE)
+def check_determinism(module: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        # wall clock: time.time (time.monotonic / time.sleep are fine)
+        if _is_module_attr(node, "time", "time"):
+            yield module.finding("RPR-C501", node)
+        # shared module-level Mersenne Twister: random.<anything>
+        # except instantiating an explicitly seeded generator
+        if (_is_module_attr(node, "random")
+                and node.attr not in _ALLOWED_RANDOM_ATTRS):
+            yield module.finding("RPR-C502", node, attr=node.attr)
+        # legacy numpy global generator (np.random.* / numpy.random.*)
+        if (isinstance(node, ast.Attribute)
+                and (_is_module_attr(node.value, "np", "random")
+                     or _is_module_attr(node.value, "numpy", "random"))):
+            yield module.finding("RPR-C503", node, attr=node.attr)
+        # unseeded random.Random() — a fresh MT seeded from the OS
+        if (isinstance(node, ast.Call)
+                and _is_module_attr(node.func, "random", "Random")
+                and not node.args and not node.keywords):
+            yield module.finding("RPR-C504", node)

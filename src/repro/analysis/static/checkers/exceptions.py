@@ -1,0 +1,141 @@
+"""Exception-discipline checker (``RPR-C401``/``RPR-C402``).
+
+``RPR-C401`` — a broad handler (``except:``, ``except Exception``,
+``except BaseException``) that neither re-raises nor *records* the
+exception can swallow a :class:`SessionError`/:class:`ShardError`
+carrying real diagnosis (a failed shard, a corrupt checkpoint) without
+a trace.  A handler is fine if it re-raises, binds the exception and
+actually uses it, or captures the traceback
+(``traceback.format_exc``/``print_exc``, ``sys.exc_info``,
+``logging.exception``).
+
+``RPR-C402`` — functions registered via ``signal.signal`` run between
+two bytecodes of whatever the main thread was doing; acquiring a lock,
+waiting, joining, sleeping, or opening files there can deadlock against
+the interrupted frame.  Functions registered via ``atexit.register``
+run during interpreter shutdown, where starting a new thread raises
+``RuntimeError``.  Only the handler's *direct* body is checked — the
+flag is for handlers that should set an event and get out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.static.base import Finding, ModuleContext, checker
+from repro.analysis.static.callgraph import collect_functions, own_nodes
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Calls that count as "recording" the exception inside a handler.
+_RECORDING_ATTRS = frozenset({
+    "format_exc", "print_exc", "print_exception", "exc_info",
+    "exception",
+})
+
+#: Blocking / lock-taking calls unsafe in a signal handler's direct
+#: body.
+_SIGNAL_UNSAFE_METHODS = frozenset({"acquire", "wait", "join"})
+
+
+def _broad_caught(type_node: ast.expr | None) -> str | None:
+    if type_node is None:
+        return "<bare>"
+    if isinstance(type_node, ast.Name) and type_node.id in _BROAD:
+        return type_node.id
+    if isinstance(type_node, ast.Tuple):
+        for elt in type_node.elts:
+            if isinstance(elt, ast.Name) and elt.id in _BROAD:
+                return elt.id
+    return None
+
+
+def _handler_records(handler: ast.ExceptHandler) -> bool:
+    for node in handler.body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                return True
+            if (handler.name is not None and isinstance(sub, ast.Name)
+                    and sub.id == handler.name
+                    and isinstance(sub.ctx, ast.Load)):
+                return True
+            if (isinstance(sub, ast.Attribute)
+                    and sub.attr in _RECORDING_ATTRS):
+                return True
+    return False
+
+
+@checker("exception-discipline", codes=("RPR-C401", "RPR-C402"))
+def check_exceptions(module: ModuleContext) -> Iterator[Finding]:
+    # -- swallowed broad excepts -------------------------------------------
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            caught = _broad_caught(handler.type)
+            if caught is None:
+                continue
+            if not _handler_records(handler):
+                yield module.finding("RPR-C401", handler, caught=caught)
+
+    # -- signal / atexit handler reentrancy --------------------------------
+    functions = collect_functions(module.tree)
+    module_level = {f.name: f for f in functions
+                    if f.class_name is None and "." not in f.qualname}
+    registered: list[tuple[str, str]] = []   # (kind, function name)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)):
+            continue
+        if (func.value.id, func.attr) == ("signal", "signal") \
+                and len(node.args) >= 2 \
+                and isinstance(node.args[1], ast.Name):
+            registered.append(("signal", node.args[1].id))
+        elif (func.value.id, func.attr) == ("atexit", "register") \
+                and node.args and isinstance(node.args[0], ast.Name):
+            registered.append(("atexit", node.args[0].id))
+
+    seen: set[tuple[str, str]] = set()
+    for kind, fname in registered:
+        if (kind, fname) in seen or fname not in module_level:
+            continue
+        seen.add((kind, fname))
+        info = module_level[fname]
+        for node in own_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            label = _unsafe_call(node, kind)
+            if label is not None:
+                yield module.finding("RPR-C402", node, kind=kind,
+                                     func=fname, call=label)
+
+
+def _unsafe_call(call: ast.Call, kind: str) -> str | None:
+    func = call.func
+    if kind == "signal":
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "open"
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name)
+                    and (func.value.id, func.attr) == ("time", "sleep")):
+                return "time.sleep"
+            if func.attr in _SIGNAL_UNSAFE_METHODS \
+                    and not isinstance(func.value, ast.Constant):
+                return f".{func.attr}"
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id == "threading"
+                    and func.attr in ("Lock", "RLock", "Condition")):
+                return f"threading.{func.attr}"
+        return None
+    # atexit: starting threads during interpreter shutdown raises
+    if isinstance(func, ast.Attribute) and func.attr == "Thread" \
+            and isinstance(func.value, ast.Name) \
+            and func.value.id == "threading":
+        return "threading.Thread"
+    if isinstance(func, ast.Name) and func.id == "Thread":
+        return "Thread"
+    return None

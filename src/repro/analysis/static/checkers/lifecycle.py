@@ -1,0 +1,98 @@
+"""Resource-lifecycle checker (``RPR-C201``/``RPR-C202``).
+
+Every ``SharedMemory`` segment, socket, or file handle acquired by a
+function must be provably released on *every* path out of it — or its
+ownership must provably move to another owner (returned, stored on an
+object or in a container, handed to a call).  The proof is the
+path-sensitive walk in :mod:`repro.analysis.static.cfg`: a ``HELD``
+state surviving to an exception edge is a leak the happy-path tests
+will never see (``RPR-C201``); one surviving to a ``return`` or the
+function's end is a leak on the normal path (``RPR-C202``).
+
+Tracked acquisitions are direct assignments of the form
+``name = SharedMemory(...)`` / ``name = socket.socket(...)`` /
+``name = open(...)`` (and ``os.fdopen``/``path.open``).  ``with``
+acquisitions are already safe by construction and are not tracked;
+names declared ``global``/``nonlocal`` publish the resource to another
+owner and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.static.base import Finding, ModuleContext, checker
+from repro.analysis.static.callgraph import collect_functions, own_nodes
+from repro.analysis.static.cfg import HELD, ResourceWalker
+
+
+def _acquisition_label(call: ast.Call) -> str | None:
+    """The resource kind a call acquires, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "SharedMemory":
+            return "shared-memory segment"
+        if func.id == "open":
+            return "file handle"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "SharedMemory":
+        return "shared-memory segment"
+    if (isinstance(func.value, ast.Name) and func.value.id == "socket"
+            and func.attr == "socket"):
+        return "socket"
+    if (isinstance(func.value, ast.Name) and func.value.id == "os"
+            and func.attr == "fdopen"):
+        return "file handle"
+    if func.attr == "open":
+        # only path-like receivers: engine.open()/deployment.open()
+        # return sessions, not OS handles
+        recv = func.value
+        if isinstance(recv, ast.Name) and (
+                "path" in recv.id.lower() or "file" in recv.id.lower()):
+            return "file handle"
+        if (isinstance(recv, ast.Call) and isinstance(recv.func, ast.Name)
+                and recv.func.id == "Path"):
+            return "file handle"
+    return None
+
+
+@checker("resource-lifecycle", codes=("RPR-C201", "RPR-C202"))
+def check_lifecycle(module: ModuleContext) -> Iterator[Finding]:
+    for info in collect_functions(module.tree):
+        published: set[str] = set()
+        for node in own_nodes(info.node):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                published.update(node.names)
+        for stmt in own_nodes(info.node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if len(stmt.targets) != 1 or \
+                    not isinstance(stmt.targets[0], ast.Name):
+                continue
+            if not isinstance(stmt.value, ast.Call):
+                continue
+            label = _acquisition_label(stmt.value)
+            if label is None:
+                continue
+            name = stmt.targets[0].id
+            if name in published:
+                continue
+            out = ResourceWalker(name, stmt).walk_function(info.node)
+            exc_leaks = sorted(ln for s, ln in out.exc if s == HELD)
+            if exc_leaks:
+                yield module.finding(
+                    "RPR-C201", stmt, resource=label, name=name,
+                    line=exc_leaks[0])
+            ret_leaks = sorted(ln for s, ln in out.ret if s == HELD)
+            if ret_leaks:
+                yield module.finding(
+                    "RPR-C202", stmt, resource=label, name=name,
+                    line=ret_leaks[0])
+            elif HELD in out.fall:
+                end = getattr(info.node.body[-1], "lineno", stmt.lineno)
+                yield module.finding(
+                    "RPR-C202", stmt, resource=label, name=name,
+                    line=end)

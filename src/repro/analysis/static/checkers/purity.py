@@ -1,0 +1,148 @@
+"""Checkpoint-state purity checker (``RPR-C301``/``RPR-C302``).
+
+The whole durability story (PR 7) rests on checkpoint payloads being
+*plain data*: dicts/lists/arrays/scalars that pickle, travel through a
+shard pipe, and replay bit-identically.  A lock, thread, socket,
+process handle, live session object, lambda, or generator smuggled
+into a ``checkpoint_state()`` dict either fails to pickle at the worst
+possible moment (mid-checkpoint, after the journal was truncated) or
+— worse — pickles something that cannot be meaningfully restored.
+
+This checker walks every function named ``checkpoint_state`` /
+``checkpoint`` / ``_checkpoint_payload`` and classifies the values of
+each dict it builds (literals, comprehensions, and
+``payload[...] = value`` stores):
+
+* lambdas, generator expressions, references to module functions, and
+  bare ``self`` are flagged as ``RPR-C301`` (not data at all);
+* attribute reads whose name names a runtime handle
+  (``self._lock``, ``self._thread``, ``self._sock``, ...) are flagged
+  as ``RPR-C302`` — the heuristic is the attribute's snake_case
+  segments, so ``self._evict_counts`` passes while ``self._cond``
+  does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.static.base import Finding, ModuleContext, checker
+from repro.analysis.static.callgraph import collect_functions, own_nodes
+
+#: Functions whose return payloads must be plain data.
+_CHECKPOINT_NAMES = frozenset({
+    "checkpoint_state", "checkpoint", "_checkpoint_payload",
+})
+
+#: snake_case segments that name runtime handles, not data.
+_HANDLE_SEGMENTS = frozenset({
+    "lock", "locks", "mutex", "rlock", "cond", "condition",
+    "thread", "threads", "sock", "socket", "sockets", "conn",
+    "connection", "connections", "proc", "process", "processes",
+    "pool", "pools", "executor", "executors", "shm", "loop",
+    "future", "futures", "fut", "handle", "handles", "fh", "fd",
+    "server", "client", "writer", "reader", "timer", "timers",
+    "task", "tasks", "sem", "semaphore",
+})
+
+#: Constructors whose results are runtime handles.
+_HANDLE_CONSTRUCTORS = frozenset({
+    ("threading", "Lock"), ("threading", "RLock"),
+    ("threading", "Condition"), ("threading", "Event"),
+    ("threading", "Semaphore"), ("threading", "BoundedSemaphore"),
+    ("threading", "Thread"), ("socket", "socket"),
+})
+
+
+def _handle_attr(attr: str) -> bool:
+    return any(seg in _HANDLE_SEGMENTS
+               for seg in attr.lower().strip("_").split("_"))
+
+
+def _attr_text(node: ast.Attribute) -> str:
+    parts = [node.attr]
+    value = node.value
+    while isinstance(value, ast.Attribute):
+        parts.append(value.attr)
+        value = value.value
+    if isinstance(value, ast.Name):
+        parts.append(value.id)
+    return ".".join(reversed(parts))
+
+
+def _classify(value: ast.expr, module_funcs: set[str],
+              ) -> tuple[str, dict[str, object]] | None:
+    """``(code, context)`` when ``value`` is not plain data."""
+    if isinstance(value, ast.Lambda):
+        return "RPR-C301", {"what": "a lambda"}
+    if isinstance(value, ast.GeneratorExp):
+        return "RPR-C301", {"what": "a generator expression"}
+    if isinstance(value, ast.Name):
+        if value.id == "self":
+            return "RPR-C301", {"what": "the live object itself"}
+        if value.id in module_funcs:
+            return "RPR-C301", {
+                "what": f"a reference to function {value.id}()"}
+        return None
+    if isinstance(value, ast.Attribute):
+        if _handle_attr(value.attr):
+            return "RPR-C302", {"attr": _attr_text(value)}
+        return None
+    if isinstance(value, ast.Call):
+        func = value.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and (func.value.id, func.attr) in _HANDLE_CONSTRUCTORS):
+            return "RPR-C302", {
+                "attr": f"{func.value.id}.{func.attr}(...)"}
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "RPR-C302", {"attr": "open(...)"}
+        return None
+    if isinstance(value, ast.IfExp):
+        return (_classify(value.body, module_funcs)
+                or _classify(value.orelse, module_funcs))
+    if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+        for elt in value.elts:
+            bad = _classify(elt, module_funcs)
+            if bad:
+                return bad
+        return None
+    if isinstance(value, ast.ListComp):
+        return _classify(value.elt, module_funcs)
+    if isinstance(value, ast.DictComp):
+        return _classify(value.value, module_funcs)
+    # nested ast.Dict literals are visited by the outer walk directly
+    return None
+
+
+def _key_repr(key: ast.expr | None) -> str:
+    if isinstance(key, ast.Constant):
+        return repr(key.value)
+    return "<dynamic>" if key is None else ast.unparse(key)
+
+
+@checker("checkpoint-purity", codes=("RPR-C301", "RPR-C302"))
+def check_purity(module: ModuleContext) -> Iterator[Finding]:
+    module_funcs = {f.name for f in collect_functions(module.tree)
+                    if f.class_name is None}
+    for info in collect_functions(module.tree):
+        if info.name not in _CHECKPOINT_NAMES:
+            continue
+        for node in own_nodes(info.node):
+            entries: list[tuple[ast.expr | None, ast.expr]] = []
+            if isinstance(node, ast.Dict):
+                entries = list(zip(node.keys, node.values))
+            elif isinstance(node, ast.DictComp):
+                entries = [(node.key, node.value)]
+            elif (isinstance(node, ast.Assign)
+                  and len(node.targets) == 1
+                  and isinstance(node.targets[0], ast.Subscript)):
+                entries = [(node.targets[0].slice, node.value)]
+            for key, value in entries:
+                bad = _classify(value, module_funcs)
+                if bad is None:
+                    continue
+                code, context = bad
+                yield module.finding(code, value,
+                                     key=_key_repr(key), **context)

@@ -27,6 +27,12 @@ Commands:
               (see ``DIAGNOSTICS.md``).  ``--json`` emits a
               machine-readable report; exit status 1 when any hard
               error is found (the CI gate).
+``check``     Concurrency & resource-safety static analysis over the
+              runtime's *own* Python source: AST/CFG checkers for
+              event-loop blocking, resource lifecycles, checkpoint
+              purity, exception discipline, and determinism, with
+              stable ``RPR-Cxxx`` codes.  ``--json`` for CI; exit
+              status 1 when any finding survives suppression review.
 
 Examples::
 
@@ -472,6 +478,27 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if total_errors else 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.static import check_paths, iter_rules
+
+    if args.rules:
+        rows = [[r["code"], r["slug"], r["checker"], r["scope"]]
+                for r in iter_rules()]
+        print(format_table(["code", "slug", "checker", "scope"], rows,
+                           title="repro check rules"))
+        return 0
+    paths = args.paths or [str(Path(__file__).parent)]
+    select = None
+    if args.select:
+        select = {c.strip() for c in args.select.split(",") if c.strip()}
+    report = check_paths(paths, select=select)
+    if args.json:
+        print(report.dumps())
+    else:
+        print(report.format())
+    return 1 if report.has_findings else 0
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
     if args.show:
         entry = ALL_QUERIES.get(args.show)
@@ -654,6 +681,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable report (the CI gate parses "
                              "this)")
     lint_p.set_defaults(func=cmd_lint)
+
+    check_p = sub.add_parser(
+        "check",
+        help="concurrency & resource-safety static analysis over the "
+             "runtime's own source (RPR-Cxxx codes)")
+    check_p.add_argument("paths", nargs="*", metavar="PATH",
+                         help="files or directories to analyze "
+                              "(default: the installed repro package)")
+    check_p.add_argument("--select", default=None, metavar="CODES",
+                         help="comma-separated RPR-Cxxx codes to run "
+                              "(default: all)")
+    check_p.add_argument("--rules", action="store_true",
+                         help="list every rule with its code, checker, "
+                              "and scope, then exit")
+    check_p.add_argument("--json", action="store_true",
+                         help="machine-readable findings (the CI gate "
+                              "parses this)")
+    check_p.set_defaults(func=cmd_check)
 
     cat_p = sub.add_parser("catalog", help="list or show catalog queries")
     cat_p.add_argument("--show", help="print one query's source")

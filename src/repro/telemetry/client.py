@@ -33,11 +33,15 @@ import socket
 import time
 from collections import OrderedDict, deque
 from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.errors import SessionError
 from repro.network.records import ObservationTable
 
 from . import wire
+
+if TYPE_CHECKING:
+    from repro.telemetry.faults import FaultInjector
 
 
 class ClientError(SessionError):
@@ -65,11 +69,13 @@ class IngestClient:
             acks once this many batches are on the wire.
     """
 
-    def __init__(self, address, session: str = "default", *,
+    def __init__(self, address: tuple[str, int] | str | Path,
+                 session: str = "default", *,
                  connect_timeout: float = 10.0, io_timeout: float = 60.0,
                  max_retries: int = 8, backoff_base: float = 0.05,
                  backoff_cap: float = 2.0, retry_seed: int | None = None,
-                 faults=None, max_inflight: int = 8):
+                 faults: "FaultInjector | None" = None,
+                 max_inflight: int = 8) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self._address = self._parse_address(address)
@@ -98,7 +104,8 @@ class IngestClient:
         self.shed_seqs: list[int] = []
 
     @staticmethod
-    def _parse_address(address):
+    def _parse_address(
+            address: tuple[str, int] | str | Path) -> tuple[str, Any]:
         if isinstance(address, tuple):
             host, port = address
             return ("tcp", (host, int(port)))
@@ -120,21 +127,31 @@ class IngestClient:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.settimeout(self._connect_timeout)
         try:
+            sock.settimeout(self._connect_timeout)
             sock.connect(target)
-        except OSError:
+            sock.settimeout(self._io_timeout)
+        except Exception:
+            # until the socket lands on self._sock nothing else can
+            # close it — a failed settimeout/connect must not leak the fd
             sock.close()
             raise
-        sock.settimeout(self._io_timeout)
         self._sock = sock
         self._buf.clear()
         self._paused = False
 
+    def _require_sock(self) -> socket.socket:
+        """The live socket; raises into the retry path if the
+        connection was dropped out from under the caller."""
+        sock = self._sock
+        if sock is None:
+            raise ConnectionError("connection dropped")
+        return sock
+
     def _hello(self) -> dict:
         if self._sock is None:
             self._connect_once()
-        self._sock.sendall(wire.pack_frame(
+        self._require_sock().sendall(wire.pack_frame(
             wire.T_HELLO, {"session": self.session}))
         ftype, payload = self._read_frame()
         if ftype == wire.T_REJECT:
@@ -171,7 +188,7 @@ class IngestClient:
         self._buf.clear()
         self._paused = False
 
-    def _with_retry(self, fn):
+    def _with_retry(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn`` against a live connection, reconnecting with
         full-jitter backoff on connection failures."""
         last: Exception | None = None
@@ -201,11 +218,12 @@ class IngestClient:
     # -- framing ---------------------------------------------------------------
 
     def _read_frame(self) -> tuple[int, dict]:
+        sock = self._require_sock()
         while True:
             frame = self._parse_buffered()
             if frame is not None:
                 return frame
-            chunk = self._sock.recv(1 << 16)
+            chunk = sock.recv(1 << 16)
             if not chunk:
                 raise ConnectionError("server closed the connection")
             self._buf.extend(chunk)
@@ -215,11 +233,12 @@ class IngestClient:
         frame = self._parse_buffered()
         if frame is not None:
             return frame
-        self._sock.setblocking(False)
+        sock = self._require_sock()
+        sock.setblocking(False)
         try:
             while True:
                 try:
-                    chunk = self._sock.recv(1 << 16)
+                    chunk = sock.recv(1 << 16)
                 except (BlockingIOError, InterruptedError):
                     return None
                 if not chunk:
@@ -229,7 +248,7 @@ class IngestClient:
                 if frame is not None:
                     return frame
         finally:
-            self._sock.settimeout(self._io_timeout)
+            sock.settimeout(self._io_timeout)
 
     def _parse_buffered(self) -> tuple[int, dict] | None:
         if len(self._buf) < wire.HEADER.size:
@@ -285,7 +304,7 @@ class IngestClient:
 
     # -- sending ---------------------------------------------------------------
 
-    def send(self, batch) -> None:
+    def send(self, batch: Any) -> None:
         """Queue one batch (an :class:`ObservationTable`, a row list,
         or a columns dict) and drive the pipeline; blocks while the
         server asserts backpressure or the pipeline is full."""
@@ -307,7 +326,7 @@ class IngestClient:
                 f"server; its final report is available via close_session()")
 
     @staticmethod
-    def _columnize(batch) -> dict:
+    def _columnize(batch: Any) -> dict:
         if isinstance(batch, dict):
             return ObservationTable.from_arrays(batch).columns()
         if isinstance(batch, ObservationTable):
@@ -337,8 +356,9 @@ class IngestClient:
     def _transmit_batch(self, seq: int, columns: dict) -> None:
         frame = bytearray(wire.pack_frame(
             wire.T_BATCH, {"seq": seq, "columns": columns}))
+        sock = self._require_sock()
         action = self._faults.on_send() if self._faults is not None else None
-        if action == "stall":
+        if action == "stall" and self._faults is not None:
             time.sleep(self._faults.plan.stall_seconds)
         elif action == "corrupt":
             # Flip one payload byte: the server's checksum rejects the
@@ -347,13 +367,13 @@ class IngestClient:
         elif action == "disconnect":
             # Mid-frame disconnect: half the frame leaves, then the
             # socket dies — the server never sees a complete frame.
-            self._sock.sendall(bytes(frame[:len(frame) // 2]))
+            sock.sendall(bytes(frame[:len(frame) // 2]))
             try:
-                self._sock.shutdown(socket.SHUT_RDWR)
+                sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
             raise ConnectionError("injected mid-frame disconnect")
-        self._sock.sendall(bytes(frame))
+        sock.sendall(bytes(frame))
 
     # -- synchronous calls -----------------------------------------------------
 
@@ -381,7 +401,7 @@ class IngestClient:
 
     def _call(self, ftype: int) -> dict:
         self._drive_all()
-        self._sock.sendall(wire.pack_frame(ftype, {}))
+        self._require_sock().sendall(wire.pack_frame(ftype, {}))
         while True:
             rtype, payload = self._read_frame()
             if rtype == wire.T_RESULT:
@@ -406,12 +426,13 @@ class IngestClient:
         self.connect()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.disconnect()
 
 
-def stream_file(address, path: str | Path, session: str = "default",
-                batch_size: int = 4096, **kwargs) -> dict:
+def stream_file(address: tuple[str, int] | str | Path,
+                path: str | Path, session: str = "default",
+                batch_size: int = 4096, **kwargs: Any) -> dict:
     """Convenience: replay a CSV observation trace through a client
     (connect → send in ``batch_size`` chunks → close); returns the
     final close payload."""

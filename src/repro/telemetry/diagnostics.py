@@ -23,6 +23,12 @@ Code families
 ``RPR-W4xx``  program hygiene (dead stages)
 ``RPR-I3xx``  resource accounting (informational)
 ``RPR-I4xx``  trace-scan hints (informational)
+``RPR-C0xx``  static-checker framework hygiene (``repro check``)
+``RPR-C1xx``  event-loop blocking (async bodies reaching sync I/O)
+``RPR-C2xx``  resource lifecycle (acquisitions without releases)
+``RPR-C3xx``  checkpoint-state purity (non-data snapshot payloads)
+``RPR-C4xx``  exception discipline (swallowed errors, unsafe handlers)
+``RPR-C5xx``  determinism (wall clock / shared randomness in replay)
 
 This module is deliberately dependency-free (stdlib only) so that both
 the ``core``/``switch`` layers and the telemetry runtime can import it
@@ -183,11 +189,101 @@ _REGISTRY: tuple[CodeInfo, ...] = (
         "shared-scan query set could skip parsing them",
         "",
     ),
+    # -- concurrency / resource-safety static checks (``repro check``) -------
+    CodeInfo(
+        "RPR-C001", "unusable-suppression", "error", "check",
+        "unusable suppression comment: {problem}",
+        "write '# repro: allow[RPR-Cxxx]' naming the exact registered "
+        "code(s) the line is waiving",
+    ),
+    CodeInfo(
+        "RPR-C101", "event-loop-blocking-call", "error", "check",
+        "blocking call {call}() can stall the event loop: reachable "
+        "from async {entry}(){via}",
+        "move the call off the loop (await loop.run_in_executor(...)) "
+        "or use the asyncio equivalent",
+    ),
+    CodeInfo(
+        "RPR-C102", "import-inside-async", "error", "check",
+        "import of {module!r} inside async {entry}() runs module-load "
+        "file I/O under the import lock on the event loop",
+        "hoist the import to module top level",
+    ),
+    CodeInfo(
+        "RPR-C201", "leak-on-exception-path", "error", "check",
+        "{resource} held by {name!r} is not released when a later "
+        "statement raises (first unguarded raise point: line {line})",
+        "guard the window between acquisition and ownership hand-off "
+        "with try/except that releases and re-raises (or with/finally)",
+    ),
+    CodeInfo(
+        "RPR-C202", "leak-on-exit-path", "error", "check",
+        "{resource} held by {name!r} is not released on the exit path "
+        "at line {line}",
+        "close the resource before returning, or hand ownership off "
+        "explicitly (return it / store it on the owner)",
+    ),
+    CodeInfo(
+        "RPR-C301", "non-data-checkpoint-value", "error", "check",
+        "checkpoint payload entry {key} is {what}; snapshots must be "
+        "plain data the restore path can unpickle and replay",
+        "store the underlying plain-data state (counters, arrays, "
+        "dicts) instead",
+    ),
+    CodeInfo(
+        "RPR-C302", "runtime-handle-in-checkpoint", "error", "check",
+        "checkpoint payload entry {key} captures runtime handle "
+        "{attr!r}; locks/threads/sockets/processes do not survive "
+        "pickling",
+        "serialize the handle's replayable state, not the handle",
+    ),
+    CodeInfo(
+        "RPR-C401", "swallowed-broad-except", "error", "check",
+        "broad 'except {caught}' swallows the exception: the handler "
+        "neither re-raises nor records it, so a SessionError/"
+        "ShardError here would vanish silently",
+        "re-raise after cleanup, narrow the exception type, or bind "
+        "the exception and report it",
+    ),
+    CodeInfo(
+        "RPR-C402", "nonreentrant-exit-handler", "error", "check",
+        "{kind} handler {func}() calls {call}(), which can deadlock "
+        "or fail when the handler interrupts the main thread",
+        "set a flag/event in the handler and do the blocking work on "
+        "a normal code path",
+    ),
+    CodeInfo(
+        "RPR-C501", "wall-clock-in-replay", "error", "check",
+        "time.time is wall clock; replay needs stream-position time "
+        "(use the record's tin/tout or time.monotonic for "
+        "non-replayed timeouts)",
+        "use the record's tin/tout stream time, or time.monotonic for "
+        "timeouts that are never replayed",
+    ),
+    CodeInfo(
+        "RPR-C502", "shared-module-random", "error", "check",
+        "random.{attr} uses the shared module-level generator; use a "
+        "seeded random.Random(seed) instance",
+        "thread a seeded random.Random(seed) from the session seed",
+    ),
+    CodeInfo(
+        "RPR-C503", "numpy-global-random", "error", "check",
+        "np.random.{attr} uses numpy's global generator; pass a "
+        "Generator seeded from the session seed",
+        "use np.random.default_rng(seed) / a Generator threaded from "
+        "the session seed",
+    ),
+    CodeInfo(
+        "RPR-C504", "unseeded-random-instance", "error", "check",
+        "random.Random() without a seed draws OS entropy; seed it "
+        "from the session/shard seed",
+        "pass an explicit seed derived from the session/shard seed",
+    ),
 )
 
 CODES: dict[str, CodeInfo] = {c.code: c for c in _REGISTRY}
 
-_CODE_RE = re.compile(r"RPR-[EWI]\d{3}")
+_CODE_RE = re.compile(r"RPR-[EWIC]\d{3}")
 
 
 def render(code: str, **context: object) -> str:

@@ -114,6 +114,10 @@ class FaultInjector:
         self._acks = 0
         self._ingests = 0
         self._sends = 0
+        #: Send faults whose ordinal was claimed by a higher-priority
+        #: fault on the same send — carried over to the next sends so
+        #: an overlapping plan still fires every scheduled fault.
+        self._send_backlog: list[str] = []
 
     # -- pool transport hooks ------------------------------------------------
 
@@ -161,15 +165,20 @@ class FaultInjector:
         ``"stall"`` (sleep ``stall_seconds`` first), else ``None``.
         Each ordinal counts one *transmission attempt* — a retried
         batch is a fresh send event, so every scheduled fault fires
-        exactly once and every plan terminates."""
+        exactly once and every plan terminates.  When one ordinal
+        schedules several faults, one fires per send in
+        disconnect/corrupt/stall priority order and the rest carry
+        over to the following sends (a disconnect or corrupt forces a
+        retry, so the carried-over fault always gets its send)."""
         self._sends += 1
         if self._sends in self.plan.disconnect_sends:
-            self.events.append(("disconnect_send", self._sends))
-            return "disconnect"
+            self._send_backlog.append("disconnect")
         if self._sends in self.plan.corrupt_sends:
-            self.events.append(("corrupt_send", self._sends))
-            return "corrupt"
+            self._send_backlog.append("corrupt")
         if self._sends in self.plan.stall_sends:
-            self.events.append(("stall_send", self._sends))
-            return "stall"
+            self._send_backlog.append("stall")
+        if self._send_backlog:
+            kind = self._send_backlog.pop(0)
+            self.events.append((f"{kind}_send", self._sends))
+            return kind
         return None

@@ -69,15 +69,17 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import IO, TYPE_CHECKING, Any, Iterator
 
 from repro.core.errors import SessionError
 from repro.network.records import RECORD_FIELDS, ObservationTable, PacketRecord
 
 from . import wire
+from .diagnostics import diagnostic_code
 from .wire import FrameError
 
 if TYPE_CHECKING:                                  # pragma: no cover
+    from .faults import FaultInjector
     from .runtime import QueryEngine
 
 
@@ -98,10 +100,10 @@ class _ServedSession:
     story: a ``results``/``close``/``checkpoint`` call observes every
     batch enqueued before it, exactly like the shard pool's pipe."""
 
-    def __init__(self, server: "IngestServer", name: str):
+    def __init__(self, server: "IngestServer", name: str) -> None:
         self._server = server
         self.name = name
-        self.session = None                       # worker thread only
+        self.session: Any = None                  # worker thread only
         self._cond = threading.Condition()
         self._jobs: deque = deque()
         self.queued_bytes = 0
@@ -267,8 +269,9 @@ class _ServedSession:
             if (self.queued_bytes <= self._server.queue_low_bytes
                     and self._drain_waiters):
                 waiters, self._drain_waiters = self._drain_waiters, []
-                self._server._loop.call_soon_threadsafe(
-                    _set_events, waiters)
+                loop = self._server._loop
+                assert loop is not None   # set before any batch arrives
+                loop.call_soon_threadsafe(_set_events, waiters)
         if self.error is None:
             self._maybe_checkpoint()
 
@@ -281,7 +284,9 @@ class _ServedSession:
             self._write_checkpoint()
 
     def _write_checkpoint(self) -> str:
-        path = Path(self._server.checkpoint_dir) / f"{self.name}.ckpt"
+        ckpt_dir = self._server.checkpoint_dir
+        assert ckpt_dir is not None       # both callers guard on it
+        path = Path(ckpt_dir) / f"{self.name}.ckpt"
         tmp = path.with_suffix(".ckpt.tmp")
         tmp.write_bytes(self.session.checkpoint())
         os.replace(tmp, path)                 # atomic: no torn checkpoints
@@ -289,7 +294,7 @@ class _ServedSession:
             self.checkpoints_written += 1
         return str(path)
 
-    def _do_call(self, op: str):
+    def _do_call(self, op: str) -> dict | None:
         if op == "open":
             self.session = self._server._open_session()
             return None
@@ -386,7 +391,7 @@ class IngestServer:
                  window: int | None = None, shards: int | None = None,
                  chunk_size: int | None = None,
                  checkpoint_every: int | None = None,
-                 faults=None,
+                 faults: "FaultInjector | None" = None,
                  max_sessions: int = 8,
                  max_inflight_bytes: int = 256 << 20,
                  queue_high_bytes: int = 32 << 20,
@@ -396,7 +401,7 @@ class IngestServer:
                  checkpoint_dir: str | Path | None = None,
                  checkpoint_every_batches: int | None = None,
                  include_invalid: bool = True,
-                 ingest_delay: float = 0.0):
+                 ingest_delay: float = 0.0) -> None:
         if queue_low_bytes is None:
             queue_low_bytes = queue_high_bytes // 4
         if not 0 <= queue_low_bytes <= queue_high_bytes:
@@ -410,9 +415,9 @@ class IngestServer:
                 "checkpoint_every_batches requires checkpoint_dir")
         self.engine = engine
         self._host, self._port, self._unix_path = host, port, unix_path
-        self._open_kwargs = dict(window=window, shards=shards,
-                                 checkpoint_every=checkpoint_every,
-                                 faults=faults)
+        self._open_kwargs: dict[str, Any] = dict(
+            window=window, shards=shards,
+            checkpoint_every=checkpoint_every, faults=faults)
         if chunk_size is not None:
             self._open_kwargs["chunk_size"] = chunk_size
         self.max_sessions = max_sessions
@@ -435,7 +440,7 @@ class IngestServer:
         self._tailers: list[tuple[TraceTailer, threading.Thread,
                                   threading.Event]] = []
         self._pending_tailers: list[tuple] = []
-        self._address = None
+        self._address: str | tuple[str, int] | None = None
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
         self._thread: threading.Thread | None = None
@@ -443,18 +448,18 @@ class IngestServer:
         if checkpoint_dir is not None:
             Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
 
-    def _open_session(self):
+    def _open_session(self) -> Any:
         return self.engine.open(**self._open_kwargs)
 
     # -- lifecycle -------------------------------------------------------------
 
     @property
-    def address(self):
+    def address(self) -> str | tuple[str, int] | None:
         """The bound listen address: ``(host, port)`` for TCP, the
         socket path string for UNIX — valid once started."""
         return self._address
 
-    def start(self):
+    def start(self) -> str | tuple[str, int] | None:
         """Run the service on a background thread; returns the bound
         address once the socket is listening.  Pair with :meth:`stop`."""
         if self._thread is not None:
@@ -467,12 +472,16 @@ class IngestServer:
             raise self._startup_error
         return self._address
 
-    def stop(self, timeout: float = 60.0) -> dict:
+    def _request_drain(self) -> None:
+        if self._drain_requested is not None:
+            self._drain_requested.set()
+
+    def stop(self, timeout: float = 60.0) -> dict | None:
         """Request a graceful drain (finish queued windows, checkpoint,
         close, report) and return the drain report."""
         if self._loop is not None:
             try:
-                self._loop.call_soon_threadsafe(self._drain_requested.set)
+                self._loop.call_soon_threadsafe(self._request_drain)
             except RuntimeError:             # loop already finished
                 pass
         if self._thread is not None:
@@ -487,12 +496,12 @@ class IngestServer:
         try:
             if signals:
                 for signum in (signal.SIGTERM, signal.SIGINT):
-                    loop.add_signal_handler(
-                        signum, lambda: self._drain_requested.set())
-            self.drain_report = loop.run_until_complete(self._main(loop))
+                    loop.add_signal_handler(signum, self._request_drain)
+            report = loop.run_until_complete(self._main(loop))
+            self.drain_report = report
         finally:
             loop.close()
-        return self.drain_report
+        return report
 
     def _thread_main(self) -> None:
         loop = asyncio.new_event_loop()
@@ -559,8 +568,10 @@ class IngestServer:
 
     # -- connections -----------------------------------------------------------
 
-    async def _handle_conn(self, reader, writer) -> None:
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
+        assert task is not None              # we are inside a task
         self._conn_tasks.add(task)
         try:
             await self._serve_conn(reader, writer)
@@ -576,7 +587,8 @@ class IngestServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _serve_conn(self, reader, writer) -> None:
+    async def _serve_conn(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
         name: str | None = None
         while True:
             try:
@@ -620,7 +632,8 @@ class IngestServer:
                     "fatal": True})
                 return
 
-    async def _handle_hello(self, writer, payload) -> str | None:
+    async def _handle_hello(self, writer: asyncio.StreamWriter,
+                            payload: dict) -> str | None:
         name = str(payload.get("session", "default"))
         if name in self._final:
             # A finalized name stays addressable so a close() retry
@@ -642,8 +655,6 @@ class IngestServer:
             except Exception as exc:         # noqa: BLE001 - to the client
                 del self._sessions[name]
                 self._rejected += 1
-                from .diagnostics import diagnostic_code
-
                 await self._send(writer, wire.T_REJECT, {
                     "reason": f"session open failed: {exc}",
                     "code": diagnostic_code(exc)})
@@ -664,7 +675,8 @@ class IngestServer:
                     f"(limit {self.max_inflight_bytes}); retry later")
         return None
 
-    async def _handle_batch(self, writer, name: str, payload) -> bool:
+    async def _handle_batch(self, writer: asyncio.StreamWriter,
+                            name: str, payload: dict) -> bool:
         served = self._sessions.get(name)
         if served is None:
             await self._send(writer, wire.T_ERROR, {
@@ -716,7 +728,8 @@ class IngestServer:
             await self._send(writer, wire.T_OK, {"seq": seq})
         return True
 
-    async def _handle_call(self, writer, name: str, ftype: int) -> None:
+    async def _handle_call(self, writer: asyncio.StreamWriter,
+                           name: str, ftype: int) -> None:
         op = {wire.T_RESULTS: "results", wire.T_CHECKPOINT: "checkpoint",
               wire.T_CLOSE: "close"}[ftype]
         if name in self._final:
@@ -750,7 +763,8 @@ class IngestServer:
         await self._send(writer, wire.T_RESULT, result)
 
     @staticmethod
-    async def _send(writer, ftype: int, payload: dict) -> None:
+    async def _send(writer: asyncio.StreamWriter,
+                    ftype: int, payload: dict) -> None:
         writer.write(wire.pack_frame(ftype, payload))
         try:
             await writer.drain()
@@ -818,7 +832,7 @@ class TraceTailer:
     """
 
     def __init__(self, path: str | Path, batch_size: int = 4096,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.path = Path(path)
@@ -827,12 +841,13 @@ class TraceTailer:
         self.rotations = 0
         self.truncations = 0
 
-    def batches(self, stop: threading.Event | None = None):
+    def batches(self, stop: threading.Event | None = None
+                ) -> Iterator[ObservationTable]:
         """Generate :class:`ObservationTable` batches until ``stop`` is
         set (one final catch-up read runs first, so everything written
         before the stop is delivered)."""
-        handle = None
-        inode = None
+        handle: IO[bytes] | None = None
+        inode: int | None = None
         fields: list[str] | None = None
         pending = b""
         rows: list[PacketRecord] = []
@@ -874,14 +889,20 @@ class TraceTailer:
             if handle is not None:
                 handle.close()
 
-    def _try_open(self):
+    def _try_open(self) -> tuple[IO[bytes] | None, int | None]:
         try:
             handle = open(self.path, "rb")
         except FileNotFoundError:
             return None, None
-        return handle, os.fstat(handle.fileno()).st_ino
+        try:
+            return handle, os.fstat(handle.fileno()).st_ino
+        except Exception:
+            # the handle has no owner yet; a failed fstat (EBADF under
+            # a racing rotation, resource pressure) must not leak it
+            handle.close()
+            raise
 
-    def _stale(self, handle, inode) -> bool:
+    def _stale(self, handle: IO[bytes], inode: int | None) -> bool:
         """True when the path no longer names the open file (rotation)
         or the file shrank beneath our read position (truncation)."""
         try:
@@ -903,7 +924,7 @@ class TraceTailer:
     @staticmethod
     def _record(fields: list[str], line: bytes) -> PacketRecord:
         values = next(csv.reader(io.StringIO(line.decode())))
-        kwargs: dict[str, float | int] = {}
+        kwargs: dict[str, Any] = {}
         for name, raw in zip(fields, values):
             if name not in RECORD_FIELDS:
                 continue

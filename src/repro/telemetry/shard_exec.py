@@ -54,6 +54,7 @@ import multiprocessing
 import os
 import random
 import signal
+import sys
 import threading
 import time
 import traceback
@@ -130,15 +131,21 @@ def _pack_frames(arrays: Mapping[str, np.ndarray] | None) -> tuple[
         packed.append((name, offset, arr))
         offset += arr.nbytes
     shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
-    specs = []
-    for name, off, arr in packed:
-        if arr.nbytes:
-            view = np.ndarray(arr.shape, dtype=arr.dtype,
-                              buffer=shm.buf, offset=off)
-            view[...] = arr
-            del view       # drop the buffer export before any close()
-        specs.append((name, off, arr.dtype.str, arr.shape))
-    return shm, tuple(specs)
+    try:
+        specs = []
+        for name, off, arr in packed:
+            if arr.nbytes:
+                view = np.ndarray(arr.shape, dtype=arr.dtype,
+                                  buffer=shm.buf, offset=off)
+                view[...] = arr
+                del view   # drop the buffer export before any close()
+            specs.append((name, off, arr.dtype.str, arr.shape))
+        return shm, tuple(specs)
+    except BaseException:
+        # the segment has no owner until it lands in w.pending; a
+        # failed view write must not leak it in /dev/shm
+        release_shared_memory(shm)
+        raise
 
 
 def _unpack_frames(shm_name: str | None,
@@ -255,8 +262,12 @@ def _close_live_pools() -> None:
     for pool in list(_LIVE_POOLS):
         try:
             pool.close()
-        except Exception:                # pragma: no cover - best effort
-            pass
+        except Exception as exc:         # pragma: no cover - best effort
+            # teardown must still visit every remaining pool, but a
+            # failed close (undrained worker, leaked segment) is what
+            # the operator needs to hear about at exit
+            sys.stderr.write(
+                f"repro: shard pool teardown failed: {exc!r}\n")
 
 
 def _sigterm_handler(signum, frame):     # pragma: no cover - exercised

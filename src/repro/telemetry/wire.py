@@ -38,6 +38,7 @@ and (server → client)::
 
 from __future__ import annotations
 
+import asyncio
 import pickle
 import struct
 import zlib
@@ -116,8 +117,16 @@ async def read_frame(reader) -> tuple[int, dict]:
     stream's own ``IncompleteReadError``/``ConnectionError`` propagate
     for disconnects (including a mid-frame EOF, which simply never
     completes the read — a half-sent frame is discarded, the basis of
-    the client's exactly-once retry)."""
+    the client's exactly-once retry).
+
+    The payload decode (checksum + unpickle) runs in the loop's
+    default executor: a BATCH frame can carry megabytes of columns,
+    and unpickling it inline would stall the accept loop for every
+    other connection — the exact failure mode the per-session worker
+    threads exist to prevent."""
     header = await reader.readexactly(HEADER.size)
     ftype, length, crc = parse_header(header)
     body = await reader.readexactly(length)
-    return ftype, decode_payload(body, crc)
+    loop = asyncio.get_running_loop()
+    return ftype, await loop.run_in_executor(None, decode_payload,
+                                             body, crc)

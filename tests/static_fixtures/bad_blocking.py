@@ -1,0 +1,15 @@
+"""Seeded violations: RPR-C101 (direct and transitive) and RPR-C102."""
+import pickle
+import time
+
+
+def _flush(payload):
+    return pickle.dumps(payload)      # C101, reached via handle -> _flush
+
+
+async def handle(conn, payload):
+    import json                       # C102: import under the loop
+    time.sleep(0.1)                   # C101: direct sleep on the loop
+    data = open("/tmp/x").read()      # C101: direct file I/O on the loop
+    _flush(payload)
+    return json.dumps(data)

@@ -1,0 +1,13 @@
+"""Seeded violations: RPR-C501..C504, one per line of jitter()."""
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    now = time.time()                 # C501: wall clock
+    rng = random.Random()             # C504: unseeded instance
+    noise = np.random.rand(3)         # C503: numpy global generator
+    shared = random.random()          # C502: shared module generator
+    return now + rng.random() + noise.sum() + shared

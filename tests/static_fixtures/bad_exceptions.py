@@ -1,0 +1,30 @@
+"""Seeded violations: RPR-C401 (swallowed broad except) and RPR-C402
+(non-reentrant signal/atexit handler bodies)."""
+import atexit
+import signal
+import threading
+import time
+
+_LOCK = threading.Lock()
+
+
+def flush_everything():
+    worker = threading.Thread(target=print)   # C402: thread at shutdown
+    worker.start()
+
+
+def on_term(signum, frame):
+    _LOCK.acquire()                           # C402: lock in a handler
+    time.sleep(0.5)                           # C402: sleep in a handler
+    _LOCK.release()
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:                         # C401: swallowed silently
+        pass
+
+
+atexit.register(flush_everything)
+signal.signal(signal.SIGTERM, on_term)

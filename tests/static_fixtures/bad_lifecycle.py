@@ -1,0 +1,20 @@
+"""Seeded violations: RPR-C201 (leak on exception path) and RPR-C202
+(leak on a return path)."""
+import socket
+
+
+def leak_on_exception(host, port, frame):
+    sock = socket.socket()            # C201: connect/sendall may raise
+    sock.connect((host, port))
+    sock.sendall(frame)
+    sock.close()
+    return True
+
+
+def leak_on_return(path):
+    handle = open(path, "rb")         # C201 (read may raise) + C202
+    data = handle.read(16)
+    if not data:
+        return None                   # leaves the handle open
+    handle.close()
+    return data

@@ -1,0 +1,22 @@
+"""Seeded violations: RPR-C301 (non-data values) and RPR-C302
+(runtime handles) inside a checkpoint payload."""
+import threading
+
+
+def _rebuild(rows):
+    return rows
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = []
+
+    def checkpoint_state(self):
+        return {
+            "rows": list(self._rows),
+            "lock": self._lock,            # C302: handle attribute
+            "rebuild": _rebuild,           # C301: function reference
+            "thunk": lambda: None,         # C301: a lambda
+            "guard": threading.Lock(),     # C302: handle constructor
+        }

@@ -1,0 +1,11 @@
+"""Seeded violations: RPR-C001 — suppression comments that waive
+nothing (bare, unknown code, malformed code, empty list)."""
+import time
+
+
+def wall_clock():
+    a = time.monotonic()  # repro: allow
+    b = time.monotonic()  # repro: allow[RPR-C999]
+    c = time.monotonic()  # repro: allow[not-a-code]
+    d = time.monotonic()  # repro: allow[]
+    return a + b + c + d

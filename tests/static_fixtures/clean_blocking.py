@@ -1,0 +1,14 @@
+"""Clean twin of bad_blocking: awaited coroutines and executor
+offload never trip RPR-C101/C102."""
+import asyncio
+import json
+
+
+def _encode(payload):
+    return json.dumps(payload)        # not a blocking call
+
+
+async def handle(loop, payload):
+    await asyncio.sleep(0.1)          # awaited: a coroutine, not a block
+    body = _encode(payload)
+    return await loop.run_in_executor(None, len, body)

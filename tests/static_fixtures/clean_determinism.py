@@ -1,0 +1,11 @@
+"""Clean twin of bad_determinism: monotonic time and a seeded
+generator are the allowed forms."""
+import random
+import time
+
+
+def jitter(seed):
+    start = time.monotonic()
+    rng = random.Random(seed)
+    time.sleep(0)
+    return start + rng.random()

@@ -1,0 +1,27 @@
+"""Clean twin of bad_exceptions: handlers set a flag and get out; the
+broad except records the exception before deciding anything."""
+import atexit
+import signal
+import traceback
+
+_STOP = []
+
+
+def flush_everything():
+    _STOP.append(True)
+
+
+def on_term(signum, frame):
+    _STOP.append(True)
+
+
+def report(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        traceback.print_exc()
+        return exc
+
+
+atexit.register(flush_everything)
+signal.signal(signal.SIGTERM, on_term)

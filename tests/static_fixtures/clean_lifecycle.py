@@ -1,0 +1,23 @@
+"""Clean twin of bad_lifecycle: try/finally, ownership transfer, and
+``with`` blocks all discharge the release obligation."""
+import socket
+
+
+def closed_on_every_path(host, port, frame):
+    sock = socket.socket()
+    try:
+        sock.connect((host, port))
+        sock.sendall(frame)
+    finally:
+        sock.close()
+    return True
+
+
+def ownership_moves(path):
+    handle = open(path, "rb")
+    return handle                     # the caller owns it now
+
+
+def with_block(path):
+    with open(path, "rb") as handle:
+        return handle.read()

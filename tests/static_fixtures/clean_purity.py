@@ -1,0 +1,14 @@
+"""Clean twin of bad_purity: plain-data checkpoint payloads."""
+
+
+class Store:
+    def __init__(self):
+        self._rows = []
+        self._evict_counts = {}
+
+    def checkpoint_state(self):
+        return {
+            "rows": list(self._rows),
+            "evictions": dict(self._evict_counts),
+            "sizes": [len(r) for r in self._rows],
+        }

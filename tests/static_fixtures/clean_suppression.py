@@ -1,0 +1,8 @@
+"""A genuine violation correctly suppressed: the well-formed
+``repro: allow[RPR-C501]`` waives exactly that code on that line, and
+the runner counts it as suppressed rather than reporting it."""
+import time
+
+
+def wall_clock_for_display():
+    return time.time()  # repro: allow[RPR-C501]

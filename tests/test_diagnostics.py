@@ -60,7 +60,7 @@ def codes_of(report):
 
 class TestRegistry:
     def test_severity_matches_code_letter(self):
-        family = {"E": "error", "W": "warning", "I": "info"}
+        family = {"E": "error", "W": "warning", "I": "info", "C": "error"}
         for code, info in CODES.items():
             assert info.severity == family[code[4]], code
 
@@ -69,7 +69,7 @@ class TestRegistry:
         assert len(slugs) == len(set(slugs))
 
     def test_when_is_known_phase(self):
-        assert all(info.when in ("open", "compile", "runtime")
+        assert all(info.when in ("open", "compile", "runtime", "check")
                    for info in CODES.values())
 
     def test_errors_and_warnings_carry_fix_hints(self):

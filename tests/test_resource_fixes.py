@@ -1,0 +1,224 @@
+"""Regression tests for the resource-safety fixes found by
+``python -m repro check`` (the RPR-Cxxx static analyzer).
+
+Each test pins one genuine violation the analyzer flagged in the
+shipped runtime — a handle or segment leaked on an exception path, a
+swallowed teardown error, the ingest accept loop unpickling inline —
+and asserts the *behavioral* fix, not the analyzer verdict: the
+fixture corpus in ``tests/test_static_check.py`` covers detection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import builtins
+import socket as socket_mod
+
+import numpy as np
+import pytest
+
+from repro.telemetry import client as client_mod
+from repro.telemetry import serve as serve_mod
+from repro.telemetry import shard_exec, wire
+from repro.telemetry.faults import FaultInjector, FaultPlan
+
+
+class TestPackFramesLeak:
+    """RPR-C201 at shard_exec._pack_frames: the freshly created
+    shared-memory segment has no owner until it is returned — a failed
+    view write must release it, or it leaks in /dev/shm forever."""
+
+    def test_failed_view_write_releases_segment(self, monkeypatch):
+        released = []
+        real_release = shard_exec.release_shared_memory
+
+        def recording_release(shm):
+            released.append(shm.name)
+            real_release(shm)
+
+        def exploding_ndarray(*args, **kwargs):
+            raise MemoryError("injected: view construction failed")
+
+        monkeypatch.setattr(shard_exec, "release_shared_memory",
+                            recording_release)
+        monkeypatch.setattr(shard_exec.np, "ndarray", exploding_ndarray)
+        with pytest.raises(MemoryError):
+            shard_exec._pack_frames({"pkts": np.arange(8, dtype=np.int64)})
+        assert len(released) == 1
+        # the segment must actually be gone from /dev/shm
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=released[0])
+
+    def test_happy_path_still_packs(self):
+        shm, specs = shard_exec._pack_frames(
+            {"pkts": np.arange(8, dtype=np.int64)})
+        try:
+            assert specs == (("pkts", 0, "<i8", (8,)),)
+        finally:
+            shard_exec.release_shared_memory(shm)
+
+
+class TestConnectOnceLeak:
+    """RPR-C201 at client._connect_once: until the socket is assigned
+    to ``self._sock`` nothing else can close it, so a failed
+    settimeout/connect must close it inline."""
+
+    def test_refused_connect_closes_socket(self, monkeypatch):
+        created = []
+        real_socket = socket_mod.socket
+
+        def recording_socket(*args, **kwargs):
+            sock = real_socket(*args, **kwargs)
+            created.append(sock)
+            return sock
+
+        monkeypatch.setattr(client_mod.socket, "socket", recording_socket)
+        # grab a port that is definitely closed right now
+        probe = real_socket(socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        client = client_mod.IngestClient(("127.0.0.1", port),
+                                         connect_timeout=1.0)
+        with pytest.raises(OSError):
+            client._connect_once()
+        assert client._sock is None
+        assert len(created) == 1
+        assert created[0].fileno() == -1     # closed, fd returned to OS
+
+
+class TestTryOpenLeak:
+    """RPR-C201 at serve.TraceTailer._try_open: a failed fstat (EBADF
+    under a racing rotation) must not leak the just-opened handle."""
+
+    def test_failed_fstat_closes_handle(self, tmp_path, monkeypatch):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("ts,srcip\n")
+        opened = []
+        real_open = builtins.open
+
+        def recording_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        def exploding_fstat(fd):
+            raise OSError(9, "injected EBADF")
+
+        monkeypatch.setattr(builtins, "open", recording_open)
+        monkeypatch.setattr(serve_mod.os, "fstat", exploding_fstat)
+        tailer = serve_mod.TraceTailer(trace)
+        with pytest.raises(OSError):
+            tailer._try_open()
+        assert len(opened) == 1
+        assert opened[0].closed
+
+    def test_missing_file_returns_none(self, tmp_path):
+        tailer = serve_mod.TraceTailer(tmp_path / "absent.csv")
+        assert tailer._try_open() == (None, None)
+
+
+class TestCloseLivePoolsDiscipline:
+    """RPR-C401 at shard_exec._close_live_pools: a failing pool close
+    must be reported on stderr and must not stop teardown from
+    visiting the remaining pools."""
+
+    def test_failing_close_is_reported_and_others_still_close(
+            self, capsys):
+        closed = []
+
+        class DummyPool:
+            def __init__(self, name, fail=False):
+                self.name = name
+                self.fail = fail
+
+            def close(self):
+                if self.fail:
+                    raise RuntimeError(f"injected close failure "
+                                       f"({self.name})")
+                closed.append(self.name)
+
+        saved = list(shard_exec._LIVE_POOLS)
+        for pool in saved:
+            shard_exec._LIVE_POOLS.discard(pool)
+        bad = DummyPool("bad", fail=True)
+        good_a, good_b = DummyPool("a"), DummyPool("b")
+        try:
+            shard_exec._LIVE_POOLS.update((bad, good_a, good_b))
+            shard_exec._close_live_pools()
+        finally:
+            for pool in (bad, good_a, good_b):
+                shard_exec._LIVE_POOLS.discard(pool)
+            shard_exec._LIVE_POOLS.update(saved)
+        assert sorted(closed) == ["a", "b"]
+        err = capsys.readouterr().err
+        assert "shard pool teardown failed" in err
+        assert "injected close failure" in err
+
+
+class TestReadFrameOffload:
+    """RPR-C101 at wire.read_frame: the payload decode (checksum +
+    unpickle of a potentially multi-megabyte BATCH) runs in the loop's
+    executor, not inline on the accept loop."""
+
+    def test_roundtrip_through_executor(self):
+        payload = {"seq": 7, "columns": {"pkts": list(range(256))}}
+        frame = wire.pack_frame(wire.T_BATCH, payload)
+
+        async def roundtrip():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await wire.read_frame(reader)
+
+        ftype, decoded = asyncio.run(roundtrip())
+        assert ftype == wire.T_BATCH
+        assert decoded == payload
+
+    def test_corrupt_payload_still_raises_frame_error(self):
+        frame = bytearray(wire.pack_frame(wire.T_BATCH, {"seq": 1}))
+        frame[-1] ^= 0xFF
+
+        async def roundtrip():
+            reader = asyncio.StreamReader()
+            reader.feed_data(bytes(frame))
+            reader.feed_eof()
+            return await wire.read_frame(reader)
+
+        with pytest.raises(wire.FrameError):
+            asyncio.run(roundtrip())
+
+
+class TestSendFaultBacklog:
+    """Injector fix: when one send ordinal schedules several faults,
+    each send fires exactly one and the shadowed ones carry over to
+    the retry-forced subsequent sends — no scheduled fault is lost."""
+
+    def test_overlapping_faults_all_fire(self):
+        inj = FaultInjector(FaultPlan(disconnect_sends={1},
+                                      corrupt_sends={1},
+                                      stall_sends={1}))
+        assert inj.on_send() == "disconnect"
+        assert inj.on_send() == "corrupt"
+        assert inj.on_send() == "stall"
+        assert inj.on_send() is None
+        kinds = [e[0] for e in inj.events]
+        assert kinds == ["disconnect_send", "corrupt_send", "stall_send"]
+
+    def test_disjoint_faults_fire_on_their_ordinal(self):
+        inj = FaultInjector(FaultPlan(disconnect_sends={2},
+                                      corrupt_sends={4}))
+        assert [inj.on_send() for _ in range(5)] == [
+            None, "disconnect", None, "corrupt", None]
+
+    def test_carryover_respects_priority_order(self):
+        # a fault landing on a send that is already servicing a
+        # carried-over fault queues behind it
+        inj = FaultInjector(FaultPlan(disconnect_sends={1},
+                                      corrupt_sends={1, 2}))
+        assert inj.on_send() == "disconnect"
+        assert inj.on_send() == "corrupt"    # carried over from send 1
+        assert inj.on_send() == "corrupt"    # scheduled on send 2
+        assert inj.on_send() is None

@@ -1,85 +1,37 @@
-"""AST-based self-lint for determinism-critical modules.
+"""Determinism self-lint for replay-critical modules — thin wrapper.
 
-Checkpoint/restore, shard combining, and the exact scalar-replay
-fallback are all bit-replay arguments: re-executing the same stream
-must produce the same state.  Wall-clock reads (``time.time``) and
-shared module-level randomness (``random.random()`` and friends, the
-legacy ``np.random`` global generator, unseeded ``random.Random()``)
-silently break that argument, and no behavioural test reliably
-catches a freshly introduced one.  This lint walks the AST of every
-replay/checkpoint/shard module and forbids them outright;
-``time.monotonic``/``time.sleep`` and explicitly seeded
-``random.Random(seed)`` instances remain allowed.
+The AST walk that used to live here is now the ``determinism`` checker
+of the ``repro.analysis.static`` framework (codes ``RPR-C501`` …
+``RPR-C504``; see ``DIAGNOSTICS.md``).  This module keeps the original
+test surface — every replay/checkpoint/shard module stays clean, and
+the meta-tests prove the rules still *fire* — but delegates the
+analysis itself to the shared framework so ``python -m repro check``
+and the test suite can never disagree about what the lint means.
 """
 
-import ast
 from pathlib import Path
 
 import pytest
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-#: Modules whose behaviour must be a pure function of (stream, seed):
-#: the replacement engines and stores replayed by checkpoint/restore,
-#: the session/checkpoint layer itself, the shard worker fabric, and
-#: the fault injector that tests determinism claims.
-LINTED_MODULES = sorted(
-    list((SRC / "switch" / "kvstore").glob("*.py"))
-    + [
-        SRC / "core" / "vector_exec.py",
-        SRC / "core" / "interpreter.py",
-        SRC / "telemetry" / "checkpoint.py",
-        SRC / "telemetry" / "session.py",
-        SRC / "telemetry" / "shard_exec.py",
-        SRC / "telemetry" / "faults.py",
-    ]
+from repro.analysis.static import (
+    DETERMINISM_CODES,
+    check_source,
+    determinism_modules,
 )
 
-ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules whose behaviour must be a pure function of (stream, seed) —
+#: resolved by the framework so the checker's fnmatch scope and this
+#: test's module list are the same definition.
+LINTED_MODULES = determinism_modules(SRC)
 
 
-def _is_module_attr(node: ast.AST, module: str, attr: str | None = None) -> bool:
-    return (isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == module
-            and (attr is None or node.attr == attr))
-
-
-def find_violations(source: str, path: str = "<string>") -> list[str]:
-    """All determinism-lint violations in ``source``."""
-    tree = ast.parse(source, filename=path)
-    violations: list[str] = []
-
-    def flag(node: ast.AST, message: str) -> None:
-        violations.append(f"{path}:{node.lineno}: {message}")
-
-    for node in ast.walk(tree):
-        # wall clock: time.time (time.monotonic / time.sleep are fine)
-        if _is_module_attr(node, "time", "time"):
-            flag(node, "time.time is wall clock; replay needs "
-                       "stream-position time (use the record's tin/tout "
-                       "or time.monotonic for non-replayed timeouts)")
-        # shared module-level Mersenne Twister: random.<anything> except
-        # instantiating an explicitly seeded generator
-        if (_is_module_attr(node, "random")
-                and node.attr not in ALLOWED_RANDOM_ATTRS):
-            flag(node, f"random.{node.attr} uses the shared module-level "
-                       "generator; use a seeded random.Random(seed) "
-                       "instance")
-        # legacy numpy global generator (np.random.* / numpy.random.*)
-        if (isinstance(node, ast.Attribute)
-                and (_is_module_attr(node.value, "np", "random")
-                     or _is_module_attr(node.value, "numpy", "random"))):
-            flag(node, f"np.random.{node.attr} uses numpy's global "
-                       "generator; pass a Generator seeded from the "
-                       "session seed")
-        # unseeded random.Random() — a fresh MT seeded from the OS
-        if (isinstance(node, ast.Call)
-                and _is_module_attr(node.func, "random", "Random")
-                and not node.args and not node.keywords):
-            flag(node, "random.Random() without a seed draws OS entropy; "
-                       "seed it from the session/shard seed")
-    return violations
+def _lint(source: str, path: str = "lint_probe.py") -> list[str]:
+    """Determinism findings only, formatted ``path:line: CODE msg``."""
+    findings = check_source(source, path, select=set(DETERMINISM_CODES),
+                            ignore_scope=True)
+    return [f"{f.path}:{f.line}: {f.message}" for f in findings]
 
 
 def test_linted_module_set_is_nonempty_and_present():
@@ -90,7 +42,7 @@ def test_linted_module_set_is_nonempty_and_present():
 
 @pytest.mark.parametrize("path", LINTED_MODULES, ids=lambda p: p.stem)
 def test_no_wall_clock_or_shared_randomness(path):
-    violations = find_violations(path.read_text(), str(path))
+    violations = _lint(path.read_text(), str(path))
     assert not violations, "\n".join(violations)
 
 
@@ -99,34 +51,34 @@ class TestLinterCatchesViolations:
     these rules would pass every module forever."""
 
     def test_flags_wall_clock(self):
-        out = find_violations("import time\nt = time.time()\n")
+        out = _lint("import time\nt = time.time()\n")
         assert len(out) == 1 and "wall clock" in out[0]
 
     def test_allows_monotonic_and_sleep(self):
         src = "import time\nt = time.monotonic()\ntime.sleep(0.1)\n"
-        assert find_violations(src) == []
+        assert _lint(src) == []
 
     def test_flags_shared_mt(self):
         for call in ("random.random()", "random.randrange(5)",
                      "random.seed(1)", "random.uniform(0, 1)"):
-            out = find_violations(f"import random\nx = {call}\n")
+            out = _lint(f"import random\nx = {call}\n")
             assert out and "shared module-level" in out[0], call
 
     def test_allows_seeded_random_instance(self):
         src = "import random\nrng = random.Random(42)\nx = rng.random()\n"
-        assert find_violations(src) == []
+        assert _lint(src) == []
 
     def test_flags_unseeded_random_instance(self):
-        out = find_violations("import random\nrng = random.Random()\n")
+        out = _lint("import random\nrng = random.Random()\n")
         assert len(out) == 1 and "without a seed" in out[0]
 
     def test_flags_numpy_global_generator(self):
         for call in ("np.random.rand(3)", "np.random.default_rng()",
                      "numpy.random.shuffle(x)"):
-            out = find_violations(f"x = {call}\n")
+            out = _lint(f"x = {call}\n")
             assert out and "global" in out[0], call
 
     def test_allows_seeded_generator_objects(self):
         src = "rng = np.random\n"  # bare module alias is not a draw
         # an Attribute chain np.random with no further attr is not flagged
-        assert find_violations("import numpy as np\n" + src) == []
+        assert _lint("import numpy as np\n" + src) == []

@@ -1,0 +1,187 @@
+"""End-to-end tests for the ``repro check`` static-analysis framework.
+
+Three layers of assurance:
+
+* the **fixture corpus** (``tests/static_fixtures/``) exercises every
+  ``RPR-Cxxx`` code positively (a ``bad_*`` file the checker must
+  flag, with exact per-code counts) and negatively (a ``clean_*`` twin
+  it must pass) — a silent regression in any rule fails here;
+* the **shipped tree** must come back with zero findings and zero
+  suppression comments — the analyzer gate the CI job enforces;
+* the **rule table** must stay in sync with ``DIAGNOSTICS.md`` and the
+  diagnostics registry, so every code a checker can emit is documented.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.static import check_paths, check_source, iter_rules
+from repro.cli import main as cli_main
+from repro.telemetry.diagnostics import CODES
+
+TESTS = Path(__file__).resolve().parent
+FIXTURES = TESTS / "static_fixtures"
+SRC = TESTS.parent / "src" / "repro"
+
+#: fixture file -> exact expected per-code finding counts (the select
+#: passed to the checker is the file's family, so unrelated rules and
+#: the determinism scope never interfere).
+EXPECTED_BAD = {
+    "bad_blocking.py": {"RPR-C101": 3, "RPR-C102": 1},
+    "bad_lifecycle.py": {"RPR-C201": 2, "RPR-C202": 1},
+    "bad_purity.py": {"RPR-C301": 2, "RPR-C302": 2},
+    "bad_exceptions.py": {"RPR-C401": 1, "RPR-C402": 3},
+    "bad_determinism.py": {"RPR-C501": 1, "RPR-C502": 1,
+                           "RPR-C503": 1, "RPR-C504": 1},
+    "bad_suppression.py": {"RPR-C001": 4},
+}
+
+#: clean twin -> the family select it must survive untouched.
+EXPECTED_CLEAN = {
+    "clean_blocking.py": ("RPR-C101", "RPR-C102"),
+    "clean_lifecycle.py": ("RPR-C201", "RPR-C202"),
+    "clean_purity.py": ("RPR-C301", "RPR-C302"),
+    "clean_exceptions.py": ("RPR-C401", "RPR-C402"),
+    "clean_determinism.py": ("RPR-C501", "RPR-C502",
+                             "RPR-C503", "RPR-C504"),
+}
+
+
+def _run_fixture(name: str, select) -> list:
+    path = FIXTURES / name
+    return check_source(path.read_text(), str(path), select=set(select),
+                        ignore_scope=True)
+
+
+class TestFixtureCorpus:
+    def test_corpus_covers_every_check_code(self):
+        check_codes = {c for c in CODES if c.startswith("RPR-C")}
+        covered = {code for expected in EXPECTED_BAD.values()
+                   for code in expected}
+        assert covered == check_codes
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_BAD))
+    def test_bad_fixture_flagged_with_exact_codes(self, name):
+        expected = EXPECTED_BAD[name]
+        findings = _run_fixture(name, expected)
+        assert Counter(f.code for f in findings) == Counter(expected), \
+            "\n".join(f.format() for f in findings)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_CLEAN))
+    def test_clean_fixture_passes(self, name):
+        findings = _run_fixture(name, EXPECTED_CLEAN[name])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_findings_anchor_to_the_violating_line(self):
+        findings = _run_fixture(
+            "bad_determinism.py",
+            ("RPR-C501", "RPR-C502", "RPR-C503", "RPR-C504"))
+        assert {(f.code, f.line) for f in findings} == {
+            ("RPR-C501", 9), ("RPR-C504", 10),
+            ("RPR-C503", 11), ("RPR-C502", 12)}
+
+    def test_findings_carry_fix_hints(self):
+        findings = _run_fixture("bad_lifecycle.py",
+                                ("RPR-C201", "RPR-C202"))
+        assert findings and all(f.fix_hint for f in findings)
+        assert all("fix:" in f.format() for f in findings)
+
+    def test_wellformed_suppression_waives_and_is_counted(self):
+        report = check_paths([FIXTURES / "clean_suppression.py"],
+                             select={"RPR-C001", "RPR-C501"},
+                             ignore_scope=True)
+        assert not report.has_findings
+        assert report.suppressed == 1
+
+    def test_suppression_only_waives_the_named_code(self):
+        src = ("import time\n\n\n"
+               "def f():\n"
+               "    return time.time()  # repro: allow[RPR-C502]\n")
+        findings = check_source(src, "probe.py",
+                                select={"RPR-C501", "RPR-C502"},
+                                ignore_scope=True)
+        assert [f.code for f in findings] == ["RPR-C501"]
+
+
+class TestShippedTree:
+    def test_zero_findings_on_shipped_tree(self):
+        report = check_paths([SRC])
+        assert not report.has_findings, report.format()
+        assert report.files_checked > 70
+
+    def test_zero_suppression_comments_in_shipped_tree(self):
+        # the tokenizing scanner only sees real comments, so the
+        # framework's own docstrings mentioning the syntax don't count
+        from repro.analysis.static import ModuleContext
+
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            module = ModuleContext(path, path.read_text())
+            if module.allowed or module.suppression_findings:
+                offenders.append(str(path))
+        assert offenders == [], (
+            "shipped modules must fix violations, not suppress them")
+
+
+class TestRuleTable:
+    def test_every_check_code_is_owned_or_framework_level(self):
+        owned = {row["code"] for row in iter_rules()}
+        check_codes = {c for c in CODES if c.startswith("RPR-C")}
+        # RPR-C001 is emitted by the suppression scanner itself, not a
+        # registered checker; every other C-code needs an owner.
+        assert owned | {"RPR-C001"} == check_codes
+
+    def test_rules_are_documented_in_diagnostics_md(self):
+        table = (TESTS.parent / "DIAGNOSTICS.md").read_text()
+        for code in sorted(c for c in CODES if c.startswith("RPR-C")):
+            assert f"`{code}`" in table, f"{code} missing from " \
+                                         f"DIAGNOSTICS.md"
+
+    def test_rule_rows_are_complete(self):
+        for row in iter_rules():
+            assert row["code"] in CODES
+            assert row["slug"] == CODES[row["code"]].slug
+            assert row["checker"]
+            assert row["scope"]
+
+
+class TestCli:
+    def test_check_exits_one_on_findings(self, capsys):
+        rc = cli_main(["check", str(FIXTURES / "bad_exceptions.py")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RPR-C401" in out and "RPR-C402" in out
+
+    def test_check_exits_zero_on_clean_tree(self, capsys):
+        rc = cli_main(["check", str(SRC / "analysis" / "static")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 finding(s)" in out
+
+    def test_check_json_is_machine_readable(self, capsys):
+        rc = cli_main(["check", "--json",
+                       str(FIXTURES / "bad_exceptions.py")])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["errors"] == len(payload["findings"]) > 0
+        assert {f["code"] for f in payload["findings"]} == {
+            "RPR-C401", "RPR-C402"}
+
+    def test_check_select_filters_codes(self, capsys):
+        rc = cli_main(["check", "--select", "RPR-C401", "--json",
+                       str(FIXTURES / "bad_exceptions.py")])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert {f["code"] for f in payload["findings"]} == {"RPR-C401"}
+
+    def test_check_rules_lists_every_owned_code(self, capsys):
+        rc = cli_main(["check", "--rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for row in iter_rules():
+            assert row["code"] in out
